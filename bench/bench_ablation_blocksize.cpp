@@ -1,0 +1,50 @@
+// Ablation: maximum block size (Section 3 text) — "we found that a maximum
+// block size between 20 and 30 is good on the Cray T3E. We used 24."
+//
+// Sweeps max_block over {8,16,24,32,48,64} and reports the simulated 64-PE
+// factorization time: too small wastes the dense kernels, too large starves
+// parallelism and load balance.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/perfmodel.hpp"
+#include "symbolic/symbolic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  constexpr int kP = 64;
+  const std::vector<index_t> sizes{8, 16, 24, 32, 48, 64};
+  std::printf(
+      "Ablation: max supernode block size, simulated %d-PE factorization "
+      "time (paper: 20-30 best, 24 used)\n\n",
+      kP);
+  std::vector<std::string> header{"Matrix"};
+  for (index_t b : sizes) header.push_back("b=" + std::to_string(b));
+  header.push_back("Best");
+  Table table(header);
+  const auto grid = dist::ProcessGrid::near_square(kP);
+  for (const auto& e : bench::select_large(argc, argv)) {
+    const auto A = e.make();
+    std::vector<std::string> row{e.name};
+    double best_t = 1e300;
+    index_t best_b = 0;
+    for (index_t b : sizes) {
+      SolverOptions opt;
+      opt.symbolic.max_block = b;
+      Solver<double> solver(A, opt);
+      const auto& S = solver.factors().sym();
+      const double t = dist::simulate_factorization(S, grid, {}, {}).time;
+      row.push_back(Table::fmt(t, 3));
+      if (t < best_t) {
+        best_t = t;
+        best_b = b;
+      }
+    }
+    row.push_back("b=" + std::to_string(best_b));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  return 0;
+}

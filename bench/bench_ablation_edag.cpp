@@ -1,0 +1,44 @@
+// Ablation: EDAG communication pruning (Section 3 text) — "for AF23560 on
+// 32 processes, the total number of messages is reduced from 351052 to
+// 302570, or 16% fewer messages. The reduction is even more with more
+// processes or sparser problems."
+//
+// Exact message counts from the static structure, with and without
+// sparsity-aware destination pruning, on 32 and 128 processes.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "dist/perfmodel.hpp"
+#include "symbolic/symbolic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  std::printf(
+      "Ablation: EDAG-pruned vs send-to-all communication (exact message "
+      "counts from the static schedule)\n\n");
+  Table table({"Matrix", "P", "SendToAll", "EDAG-pruned", "Reduction%"});
+  for (const auto& e : bench::select_large(argc, argv)) {
+    const auto A = e.make();
+    Solver<double> solver(A, {});
+    const auto& S = solver.factors().sym();
+    for (int P : {32, 128}) {
+      const auto grid = dist::ProcessGrid::near_square(P);
+      const auto full = dist::count_factorization_comm(S, grid, false);
+      const auto pruned = dist::count_factorization_comm(S, grid, true);
+      table.add_row(
+          {e.name, Table::fmt_int(P), Table::fmt_int(full.messages),
+           Table::fmt_int(pruned.messages),
+           Table::fmt(100.0 * (1.0 - static_cast<double>(pruned.messages) /
+                                         static_cast<double>(full.messages)),
+                      1)});
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape checks vs the paper: double-digit reductions at P=32 "
+      "(paper: 16%% on AF23560), larger at higher P and for sparser "
+      "matrices (the circuit one).\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 2: "Characteristics of the matrices" — dimension, nnz(A) and
+// nnz(L+U), with matrices sorted by increasing factorization time (the
+// paper's x-axis), so the right edge holds the matrices that matter for
+// parallelization.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  std::printf("Figure 2: matrix characteristics, sorted by factorization "
+              "time (series: dimension, nnz(A), nnz(L+U))\n\n");
+  std::vector<bench::MatrixRun> runs;
+  for (const auto& e : bench::select_testbed(argc, argv))
+    runs.push_back(bench::run_gesp(e));
+  std::sort(runs.begin(), runs.end(),
+            [](const auto& a, const auto& b) {
+              return a.factor_time < b.factor_time;
+            });
+  Table table({"Rank", "Matrix", "FactorTime(s)", "Dimension", "nnz(A)",
+               "nnz(L+U)", "Fill"});
+  int rank = 1;
+  for (const auto& r : runs) {
+    table.add_row(
+        {Table::fmt_int(rank++), r.name, Table::fmt(r.factor_time, 3),
+         Table::fmt_int(r.n), Table::fmt_int(r.nnz),
+         r.failed ? "FAILED" : Table::fmt_int(r.nnz_lu),
+         r.failed ? "-"
+                  : Table::fmt(static_cast<double>(r.nnz_lu) /
+                                   static_cast<double>(r.nnz),
+                               1)});
+  }
+  table.print(std::cout);
+  std::printf("\nShape check vs the paper: matrices large in dimension and "
+              "nonzeros also take the longest to factorize.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 3: "Iterative refinement steps in GESP."
+//
+// Per-matrix refinement iteration counts plus the histogram the paper
+// quotes: 5 matrices need 1 step, 31 need 2, 9 need 3, 8 need more than 3
+// (the shape to match: almost everything converges within 3 steps).
+#include <cstdio>
+#include <iostream>
+#include <map>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  std::printf("Figure 3: iterative refinement steps in GESP\n\n");
+  Table table({"Matrix", "RefineSteps", "berr", "PivotsReplaced"});
+  std::map<int, int> histogram;
+  int failures = 0;
+  for (const auto& e : bench::select_testbed(argc, argv)) {
+    const auto r = bench::run_gesp(e);
+    if (r.failed) {
+      table.add_row({r.name, "FAILED", "-", "-"});
+      ++failures;
+      continue;
+    }
+    table.add_row({r.name, Table::fmt_int(r.refine_iters),
+                   Table::fmt_sci(r.berr, 2),
+                   Table::fmt_int(r.pivots_replaced)});
+    histogram[std::min(r.refine_iters, 4)]++;
+  }
+  table.print(std::cout);
+  std::printf("\nHistogram (paper: 5 x 1 step, 31 x 2, 9 x 3, 8 x >3):\n");
+  for (const auto& [steps, count] : histogram) {
+    if (steps < 4)
+      std::printf("  %d step%s : %d matrices\n", steps,
+                  steps == 1 ? " " : "s", count);
+    else
+      std::printf("  >3 steps: %d matrices\n", count);
+  }
+  if (failures) std::printf("  failed  : %d matrices\n", failures);
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark): the dense block kernels at the
+// paper's block sizes, the sparse kernels, and each phase of the GESP
+// pipeline — the per-component numbers behind the end-to-end tables.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dense/kernels.hpp"
+#include "matching/matching.hpp"
+#include "numeric/gepp.hpp"
+#include "numeric/lu_factors.hpp"
+#include "ordering/amd.hpp"
+#include "ordering/patterns.hpp"
+#include "sparse/equilibrate.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace {
+
+using namespace gesp;
+
+std::vector<double> random_block(index_t rows, index_t cols,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+void BM_GemmMinus(benchmark::State& state) {
+  const index_t b = static_cast<index_t>(state.range(0));
+  const index_t m = 4 * b, c = 2 * b;
+  const auto A = random_block(m, b, 1);
+  const auto B = random_block(b, c, 2);
+  auto C = random_block(m, c, 3);
+  for (auto _ : state) {
+    dense::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * b * c);
+}
+BENCHMARK(BM_GemmMinus)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48);
+
+void BM_GetrfNoPiv(benchmark::State& state) {
+  const index_t b = static_cast<index_t>(state.range(0));
+  const auto base = random_block(b, b, 4);
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = 1e-30;
+  for (auto _ : state) {
+    auto a = base;
+    // Diagonal dominance keeps the kernel on the no-replacement path.
+    for (index_t k = 0; k < b; ++k) a[k + k * b] += b;
+    dense::PivotStats stats;
+    dense::getrf(a.data(), b, b, policy, stats);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * b * b * b / 3);
+}
+BENCHMARK(BM_GetrfNoPiv)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_TrsmRightUpper(benchmark::State& state) {
+  const index_t b = 24, m = 256;
+  auto U = random_block(b, b, 5);
+  for (index_t k = 0; k < b; ++k) U[k + k * b] += b;
+  const auto base = random_block(m, b, 6);
+  for (auto _ : state) {
+    auto X = base;
+    dense::trsm_right_upper(U.data(), b, b, X.data(), m, m);
+    benchmark::DoNotOptimize(X.data());
+  }
+  state.SetItemsProcessed(state.iterations() * m * b * b);
+}
+BENCHMARK(BM_TrsmRightUpper);
+
+void BM_Spmv(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(100, 100, 1.0, 0.5);
+  std::vector<double> x(static_cast<std::size_t>(A.ncols), 1.0);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    sparse::spmv<double>(A, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * A.nnz());
+}
+BENCHMARK(BM_Spmv);
+
+void BM_Equilibrate(benchmark::State& state) {
+  const auto A = sparse::chemical_like(60, 40, 8.0, 7);
+  for (auto _ : state) {
+    auto s = sparse::equilibrate(A);
+    benchmark::DoNotOptimize(s.row.data());
+  }
+}
+BENCHMARK(BM_Equilibrate);
+
+void BM_Mc64(benchmark::State& state) {
+  const auto A = sparse::with_zero_diagonal(
+      sparse::circuit_like(5000, 10, 30, 8), 0.2, 9);
+  for (auto _ : state) {
+    auto res = matching::mc64_product_matching(A);
+    benchmark::DoNotOptimize(res.row_of_col.data());
+  }
+}
+BENCHMARK(BM_Mc64);
+
+void BM_AmdOrdering(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  const auto P = ordering::ata_pattern(A);
+  for (auto _ : state) {
+    auto perm = ordering::amd_order(P);
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_AmdOrdering);
+
+void BM_SymbolicAnalyze(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  for (auto _ : state) {
+    auto S = symbolic::analyze(A, {});
+    benchmark::DoNotOptimize(S.nnz_L);
+  }
+}
+BENCHMARK(BM_SymbolicAnalyze);
+
+void BM_NumericFactor(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  for (auto _ : state) {
+    numeric::LUFactors<double> F(sym, A, {});
+    benchmark::DoNotOptimize(F.pivot_growth());
+  }
+  state.SetItemsProcessed(state.iterations() * sym->flops);
+}
+BENCHMARK(BM_NumericFactor);
+
+void BM_GeppFactor(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  for (auto _ : state) {
+    numeric::GeppLU<double> F(A);
+    benchmark::DoNotOptimize(F.pivot_growth());
+  }
+}
+BENCHMARK(BM_GeppFactor);
+
+void BM_TriangularSolve(benchmark::State& state) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  numeric::LUFactors<double> F(sym, A, {});
+  std::vector<double> x(static_cast<std::size_t>(A.ncols), 1.0);
+  for (auto _ : state) {
+    auto y = x;
+    F.solve(y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TriangularSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Table 1: "Test matrices and their disciplines."
+//
+// Prints the testbed inventory — name, application discipline, order,
+// nonzeros — plus the stability-relevant flags the paper's Section 2 cites
+// (22 matrices with zeros on the diagonal, 5 that create zeros during
+// elimination, the AV41092-class failure case).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "sparse/symmetry.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  std::printf("Table 1: test matrices and their disciplines (synthetic "
+              "stand-ins for the paper's 53-matrix collection)\n\n");
+  Table table({"Matrix", "Discipline", "Order", "Nonzeros", "StrSym",
+               "ZeroDiag", "CancelPiv", "Large"});
+  int zero_diag = 0, cancel = 0, large = 0;
+  for (const auto& e : bench::select_testbed(argc, argv)) {
+    const auto A = e.make();
+    const auto sym = sparse::symmetry_metrics(A);
+    table.add_row({e.name, e.discipline, Table::fmt_int(A.ncols),
+                   Table::fmt_int(A.nnz()), Table::fmt(sym.structural, 2),
+                   e.zero_diagonal ? "yes" : "", e.creates_zero ? "yes" : "",
+                   e.large ? "yes" : ""});
+    zero_diag += e.zero_diagonal;
+    cancel += e.creates_zero;
+    large += e.large;
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n%zu matrices; %d start with zeros on the diagonal, %d more create "
+      "zeros during elimination (paper: 22 and 5 of 53); %d large "
+      "(Table 2's eight).\n",
+      table.rows(), zero_diag, cancel, large);
+  return 0;
+}

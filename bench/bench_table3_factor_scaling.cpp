@@ -1,0 +1,57 @@
+// Table 3: "LU factorization time in seconds and Megaflop rate" on
+// P = 4..512 processors.
+//
+// The paper ran a 512-PE Cray T3E-900; here the *numeric* correctness of
+// the distributed algorithm is established separately (tests run it on real
+// concurrent ranks), and the timing columns come from the discrete-event
+// performance model replaying the exact static block schedule and
+// communication pattern against T3E-like machine parameters. The symbolic
+// analysis runs serially, like the paper's ("the time is independent of the
+// number of processors" — reported in the first column).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "dist/perfmodel.hpp"
+#include "symbolic/symbolic.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gesp;
+  const auto procs = bench::processor_counts(argc, argv);
+  std::printf(
+      "Table 3: simulated LU factorization time (s) and Mflop rate, "
+      "T3E-900-like machine model, 2-D process grids\n\n");
+  std::vector<std::string> header{"Matrix", "Symb(s)"};
+  for (int P : procs) header.push_back("P=" + std::to_string(P));
+  header.push_back("Mflops@Pmax");
+  Table table(header);
+
+  for (const auto& e : bench::select_large(argc, argv)) {
+    const auto A = e.make();
+    Timer t;
+    // The driver's transform is part of the serial symbolic prelude.
+    Solver<double> solver(A, {});
+    const auto& S = solver.factors().sym();
+    const double symb_time = t.seconds() - solver.stats().times.get("factor");
+
+    std::vector<std::string> row{e.name, Table::fmt(symb_time, 2)};
+    double last_mflops = 0;
+    for (int P : procs) {
+      const auto grid = dist::ProcessGrid::near_square(P);
+      const auto res = dist::simulate_factorization(S, grid, {}, {});
+      row.push_back(Table::fmt(res.time, 2));
+      last_mflops = res.mflops;
+    }
+    row.push_back(Table::fmt(last_mflops, 0));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nShape checks vs the paper: the big matrices keep speeding up "
+      "through P=512; the circuit matrix (twotone-s) scales worst; the "
+      "highest rate comes from the device matrix (paper: >8 Gflops on "
+      "ECL32 at P=512).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quantum chemistry: a complex unsymmetric system — the paper's flagship
+// application ("our preliminary software is being used in a quantum
+// chemistry application at Lawrence Berkeley National Laboratory, where a
+// complex unsymmetric system of order 200,000 has been solved within 2
+// minutes"). This example solves a scaled-down analogue: a dense-block
+// Hamiltonian-like structure with random phases, in complex arithmetic end
+// to end (matching and ordering work on magnitudes; factorization, solves
+// and refinement run in std::complex<double>).
+#include <complex>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/solver.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+int main() {
+  using namespace gesp;
+  // Coupled orbital blocks with long-range interaction terms.
+  const auto Areal = sparse::device_like(120, 24, 1200, 1998);
+  const auto A = sparse::randomize_phases(Areal, 1999);
+  const index_t n = A.ncols;
+  std::printf("complex unsymmetric system: n = %d, nnz = %lld\n", n,
+              static_cast<long long>(A.nnz()));
+
+  std::vector<Complex> x_true(n), b(n), x(n);
+  for (index_t i = 0; i < n; ++i)
+    x_true[i] = Complex(1.0, (i % 3) - 1.0);  // structured complex solution
+  sparse::spmv<Complex>(A, x_true, b);
+
+  Timer t;
+  Solver<Complex> solver(A, {});
+  const double factor_time = t.seconds();
+  t.reset();
+  solver.solve(b, x);
+  const double solve_time = t.seconds();
+
+  const SolveStats& s = solver.stats();
+  std::printf("analysis+factorization: %.3f s, solve+refine: %.3f s\n",
+              factor_time, solve_time);
+  std::printf("error = %.2e, berr = %.2e, refinement steps = %d\n",
+              sparse::relative_error_inf<Complex>(x_true, x), s.berr,
+              s.refine_iterations);
+  std::printf("nnz(L+U) = %lld, %.2f Gflop (complex)\n",
+              static_cast<long long>(s.nnz_l + s.nnz_u - n),
+              static_cast<double>(s.flops) / 1e9);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// 3-D transport: convection-dominated flow on a cube (the EX11/WANG4
+// problem class) solved three ways — GESP, GEPP (partial pivoting,
+// SuperLU's algorithm) and GENP (no pivoting) — reproducing in miniature
+// the paper's core comparison: GESP matches GEPP's accuracy while being
+// built entirely from static data structures.
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/solver.hpp"
+#include "numeric/gepp.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+int main() {
+  using namespace gesp;
+  const auto A = sparse::convdiff3d(16, 16, 16, 4.0, 2.0, 1.0);
+  const index_t n = A.ncols;
+  std::printf("3-D convection-diffusion: n = %d, nnz = %lld\n", n,
+              static_cast<long long>(A.nnz()));
+  std::vector<double> x_true(n, 1.0), b(n), x(n);
+  sparse::spmv<double>(A, x_true, b);
+
+  {  // --- GESP (static pivoting, the paper's method).
+    Timer t;
+    Solver<double> solver(A, {});
+    solver.solve(b, x);
+    std::printf("GESP: %.3f s  err %.2e  berr %.2e  growth %.1e  "
+                "(refine %d, replaced pivots %lld)\n",
+                t.seconds(), sparse::relative_error_inf<double>(x_true, x),
+                solver.stats().berr, solver.stats().pivot_growth,
+                solver.stats().refine_iterations,
+                static_cast<long long>(solver.stats().pivots_replaced));
+  }
+  {  // --- GEPP baseline (dynamic structure, partial pivoting).
+    Timer t;
+    numeric::GeppLU<double> lu(A);
+    lu.solve(b, x);
+    std::printf("GEPP: %.3f s  err %.2e  growth %.1e\n", t.seconds(),
+                sparse::relative_error_inf<double>(x_true, x),
+                lu.pivot_growth());
+  }
+  {  // --- GENP (no safeguards) for contrast.
+    SolverOptions genp;
+    genp.equilibrate = false;
+    genp.row_perm = RowPermOption::none;
+    genp.tiny_pivot = TinyPivotOption::fail;
+    genp.refine.max_iters = 0;
+    try {
+      Timer t;
+      Solver<double> solver(A, genp);
+      solver.solve(b, x);
+      std::printf("GENP: %.3f s  err %.2e  growth %.1e (no safeguards — "
+                  "diagonally dominant problems survive)\n",
+                  t.seconds(), sparse::relative_error_inf<double>(x_true, x),
+                  solver.stats().pivot_growth);
+    } catch (const Error& e) {
+      std::printf("GENP: failed — %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Regenerates every table/figure (paper-core experiments first, then the
+# ablations and microbenchmarks). Usage: ./run_benches.sh [> bench_output.txt]
+BENCHES="
+bench_table1_testbed
+bench_table2_large
+bench_fig2_characteristics
+bench_fig3_refinement
+bench_fig5_berr
+bench_fig4_error_scatter
+bench_fig6_step_fractions
+bench_table3_factor_scaling
+bench_table4_solve_scaling
+bench_table5_balance_comm
+bench_motivation_nopivot
+bench_ablation_pipeline
+bench_ablation_edag
+bench_ablation_options
+bench_ablation_solvelevels
+bench_ablation_densetail
+bench_smp_vs_dist
+bench_ablation_relax
+bench_ablation_blocksize
+bench_machine_epochs
+bench_kernels
+"
+for b in $BENCHES; do
+  echo "###############################################################"
+  echo "### $b"
+  echo "###############################################################"
+  "build/bench/$b" || echo "BENCH FAILED: $b"
+  echo
+done

@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+namespace gesp {
+
+const char* errc_name(Errc c) noexcept {
+  switch (c) {
+    case Errc::invalid_argument:
+      return "invalid_argument";
+    case Errc::io:
+      return "io_error";
+    case Errc::structurally_singular:
+      return "structurally_singular";
+    case Errc::numerically_singular:
+      return "numerically_singular";
+    case Errc::unstable:
+      return "unstable";
+    case Errc::internal:
+      return "internal_error";
+  }
+  return "unknown";
+}
+
+void throw_error(Errc code, const std::string& what) {
+  throw Error(code, what);
+}
+
+}  // namespace gesp

@@ -1,0 +1,40 @@
+// Deterministic random number generation for workload generators and tests.
+//
+// A thin wrapper over a fixed algorithm (splitmix64 seeding + xoshiro256**)
+// so that generated testbed matrices are bit-identical across platforms and
+// standard-library versions (std::mt19937 distributions are not portable).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace gesp {
+
+/// Portable deterministic RNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n), n > 0.
+  index_t next_index(index_t n);
+
+  /// Standard normal variate (Box–Muller, deterministic).
+  double normal();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace gesp

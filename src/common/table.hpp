@@ -1,0 +1,41 @@
+// Plain-text table printer for the benchmark harness. Produces the
+// fixed-width rows the paper's tables use, e.g.
+//
+//   Matrix      Order   Nonzeros   NumSym  StrSym
+//   BBMAT-like  38744   1771722    0.54    0.64
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gesp {
+
+/// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with two-space column gaps, right-aligning numeric-looking cells.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  // Cell formatting helpers.
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt_sci(double v, int precision = 2);
+  static std::string fmt_int(long long v);
+  static std::string fmt_pct(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gesp

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace gesp {
+
+ThreadPool::ThreadPool(int threads) {
+  const int extra = std::max(0, threads - 1);
+  workers_.reserve(static_cast<std::size_t>(extra));
+  for (int i = 0; i < extra; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    index_t n, const std::function<void(index_t, index_t, int)>& body) {
+  const int P = num_threads();
+  if (P == 1 || n <= 1) {
+    if (n > 0) body(0, n, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    total_ = n;
+    remaining_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The calling thread takes chunk 0.
+  const index_t chunk = (n + P - 1) / P;
+  body(0, std::min(chunk, n), 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  body_ = nullptr;
+}
+
+void ThreadPool::worker_loop(int id) {
+  long seen = 0;
+  while (true) {
+    const std::function<void(index_t, index_t, int)>* body = nullptr;
+    index_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      seen = generation_;
+      if (shutdown_) return;
+      body = body_;
+      n = total_;
+    }
+    if (body) {
+      const int P = num_threads();
+      const index_t chunk = (n + P - 1) / P;
+      const index_t begin = std::min<index_t>(n, chunk * id);
+      const index_t end = std::min<index_t>(n, begin + chunk);
+      if (begin < end) (*body)(begin, end, id);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gesp

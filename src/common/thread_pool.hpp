@@ -1,0 +1,48 @@
+// Minimal persistent fork-join thread pool for the shared-memory
+// factorization path (the SuperLU_MT-style execution the paper compares
+// against). parallel_for splits an index range into per-worker chunks and
+// joins before returning — the barrier semantics the block algorithm's
+// iteration structure needs for bitwise-reproducible results.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gesp {
+
+class ThreadPool {
+ public:
+  /// Spawns workers; `threads` <= 1 means run everything inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Run body(begin, end, worker_id) over [0, n) split into contiguous
+  /// chunks, one per worker (including the calling thread); returns after
+  /// all chunks complete.
+  void parallel_for(index_t n,
+                    const std::function<void(index_t, index_t, int)>& body);
+
+ private:
+  void worker_loop(int id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable start_cv_, done_cv_;
+  const std::function<void(index_t, index_t, int)>* body_ = nullptr;
+  index_t total_ = 0;
+  long generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gesp

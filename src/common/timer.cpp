@@ -1,0 +1,14 @@
+#include "common/timer.hpp"
+
+namespace gesp {
+
+void PhaseTimes::add(const std::string& name, double seconds) {
+  times_[name] += seconds;
+}
+
+double PhaseTimes::get(const std::string& name) const {
+  auto it = times_.find(name);
+  return it == times_.end() ? 0.0 : it->second;
+}
+
+}  // namespace gesp

@@ -1,0 +1,43 @@
+// Wall-clock timing helpers used by the driver and the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace gesp {
+
+/// Simple monotonic stopwatch; seconds as double.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates named phase timings (factor, solve, ...). Used by SolveStats.
+class PhaseTimes {
+ public:
+  /// Add `seconds` to phase `name`.
+  void add(const std::string& name, double seconds);
+
+  /// Total recorded for `name` (0 if never recorded).
+  double get(const std::string& name) const;
+
+  const std::map<std::string, double>& all() const { return times_; }
+
+ private:
+  std::map<std::string, double> times_;
+};
+
+}  // namespace gesp

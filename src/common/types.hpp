@@ -1,0 +1,35 @@
+// Fundamental aliases shared by every GESP module.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <type_traits>
+
+namespace gesp {
+
+/// Index type for matrix dimensions and nonzero positions. 32-bit signed is
+/// what the original SuperLU codes use; all testbed problems fit comfortably.
+using index_t = std::int32_t;
+
+/// Type used for flop counts and message/byte counters.
+using count_t = std::int64_t;
+
+using Complex = std::complex<double>;
+
+/// real_t<T>: the real scalar underlying T (double for both double and
+/// complex<double>).
+template <class T>
+struct real_type {
+  using type = T;
+};
+template <class T>
+struct real_type<std::complex<T>> {
+  using type = T;
+};
+template <class T>
+using real_t = typename real_type<T>::type;
+
+template <class T>
+inline constexpr bool is_complex_v = !std::is_same_v<T, real_t<T>>;
+
+}  // namespace gesp

@@ -1,0 +1,292 @@
+#include "core/solver.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "matching/matching.hpp"
+#include "ordering/amd.hpp"
+#include "ordering/nested_dissection.hpp"
+#include "ordering/patterns.hpp"
+#include "ordering/rcm.hpp"
+#include "refine/error_bounds.hpp"
+#include "sparse/ops.hpp"
+
+namespace gesp {
+
+template <class T>
+Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
+    : opt_(opt) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "GESP needs a square matrix");
+  n_ = A.ncols;
+  transform(A);
+  factor();
+}
+
+template <class T>
+void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
+  Timer t;
+  // --- step (1a): equilibration.
+  row_scale_.assign(static_cast<std::size_t>(n_), 1.0);
+  col_scale_.assign(static_cast<std::size_t>(n_), 1.0);
+  sparse::CscMatrix<T> As = A;
+  if (opt_.equilibrate) {
+    const sparse::Scaling s = sparse::equilibrate(A);
+    row_scale_ = s.row;
+    col_scale_ = s.col;
+    As = sparse::apply_scaling(A, row_scale_, col_scale_);
+  }
+  stats_.times.add("equilibrate", t.seconds());
+
+  // --- step (1b): permutation moving large entries onto the diagonal.
+  t.reset();
+  std::vector<index_t> pr;
+  switch (opt_.row_perm) {
+    case RowPermOption::none:
+      pr = ordering::natural_order(n_);
+      break;
+    case RowPermOption::mc21: {
+      const auto m = matching::max_transversal(As);
+      GESP_CHECK(m.size == n_, Errc::structurally_singular,
+                 "no zero-free diagonal exists");
+      pr = matching::matching_to_row_perm(m.row_of_col);
+      break;
+    }
+    case RowPermOption::mc64: {
+      const auto m = matching::mc64_product_matching(As);
+      if (opt_.mc64_scaling) {
+        for (index_t i = 0; i < n_; ++i) row_scale_[i] *= m.row_scale[i];
+        for (index_t j = 0; j < n_; ++j) col_scale_[j] *= m.col_scale[j];
+        As = sparse::apply_scaling(As, m.row_scale, m.col_scale);
+      }
+      pr = matching::matching_to_row_perm(m.row_of_col);
+      break;
+    }
+    case RowPermOption::bottleneck: {
+      const auto m = matching::bottleneck_matching(As);
+      pr = matching::matching_to_row_perm(m.row_of_col);
+      break;
+    }
+  }
+  sparse::CscMatrix<T> Ap = sparse::permute(As, pr, {});
+  stats_.times.add("rowperm", t.seconds());
+
+  // --- step (2): fill-reducing column ordering, applied symmetrically so
+  // the large diagonal stays on the diagonal.
+  t.reset();
+  std::vector<index_t> pc;
+  switch (opt_.col_order) {
+    case ColOrderOption::natural:
+      pc = ordering::natural_order(n_);
+      break;
+    case ColOrderOption::amd_ata:
+      pc = ordering::amd_order(ordering::ata_pattern(Ap));
+      break;
+    case ColOrderOption::amd_aplusat:
+      pc = ordering::amd_order(ordering::aplusat_pattern(Ap));
+      break;
+    case ColOrderOption::rcm:
+      pc = ordering::rcm_order(ordering::aplusat_pattern(Ap));
+      break;
+    case ColOrderOption::nested_dissection:
+      pc = ordering::nested_dissection_order(ordering::aplusat_pattern(Ap));
+      break;
+  }
+  sparse::CscMatrix<T> Ao = sparse::permute(Ap, pc, pc);
+  // Etree postorder refinement (fill-neutral, makes supernodes contiguous).
+  const std::vector<index_t> pe = symbolic::etree_postorder(Ao);
+  At_ = sparse::permute(Ao, pe, pe);
+  stats_.times.add("colorder", t.seconds());
+
+  // Combined new-from-old transforms.
+  row_perm_.resize(static_cast<std::size_t>(n_));
+  col_perm_.resize(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) row_perm_[i] = pe[pc[pr[i]]];
+  for (index_t j = 0; j < n_; ++j) col_perm_[j] = pe[pc[j]];
+}
+
+template <class T>
+void Solver<T>::factor() {
+  Timer t;
+  if (!sym_) {
+    sym_ = std::make_shared<const symbolic::SymbolicLU>(
+        symbolic::analyze(At_, opt_.symbolic));
+    stats_.times.add("symbolic", t.seconds());
+    stats_.nnz_l = sym_->nnz_L;
+    stats_.nnz_u = sym_->nnz_U;
+    stats_.stored_l = sym_->stored_L;
+    stats_.stored_u = sym_->stored_U;
+    stats_.flops = sym_->flops;
+    stats_.nsup = sym_->nsup;
+  }
+
+  numeric::NumericOptions nopt;
+  nopt.num_threads = opt_.num_threads;
+  if (opt_.tiny_pivot != TinyPivotOption::fail) {
+    nopt.tiny_threshold = std::sqrt(std::numeric_limits<double>::epsilon()) *
+                          sparse::norm_max(At_);
+  }
+  if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw) {
+    nopt.aggressive_replacement = true;
+    nopt.record_replacements = true;
+  }
+  t.reset();
+  smw_.reset();  // holds a reference into factors_: drop it first
+  factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
+  stats_.times.add("factor", t.seconds());
+  stats_.pivots_replaced = factors_->pivots_replaced();
+  stats_.pivot_growth = factors_->pivot_growth();
+  if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw &&
+      !factors_->replacements().empty())
+    smw_ = std::make_unique<refine::SmwSolver<T>>(*factors_);
+}
+
+template <class T>
+void Solver<T>::apply_solver(std::span<T> x) const {
+  if (smw_)
+    smw_->solve(x);
+  else
+    factors_->solve(x);
+}
+
+template <class T>
+void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
+  GESP_CHECK(b.size() == static_cast<std::size_t>(n_) && x.size() == b.size(),
+             Errc::invalid_argument, "solve dimension mismatch");
+  // Transform the right-hand side into the factored space.
+  std::vector<T> bhat(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) bhat[row_perm_[i]] = b[i] * T{row_scale_[i]};
+  std::vector<T> xhat = bhat;
+
+  Timer t;
+  apply_solver(xhat);
+  stats_.times.add("solve", t.seconds());
+
+  // Time one residual evaluation (reported separately in Figure 6).
+  t.reset();
+  {
+    std::vector<T> r(static_cast<std::size_t>(n_));
+    sparse::residual<T>(At_, xhat, bhat, r);
+  }
+  stats_.times.add("residual", t.seconds());
+
+  // --- step (4): iterative refinement.
+  t.reset();
+  const auto rres = refine::iterative_refinement<T>(
+      At_, bhat, xhat, [this](std::span<T> v) { apply_solver(v); },
+      opt_.refine);
+  stats_.times.add("refine", t.seconds());
+  stats_.refine_iterations = rres.iterations;
+  stats_.berr = rres.final_berr;
+  stats_.berr_history = rres.berr_history;
+
+  // Optional expensive diagnostics.
+  if (opt_.estimate_ferr || opt_.estimate_rcond) {
+    t.reset();
+    refine::SolveOps<T> ops;
+    ops.solve = [this](std::span<T> v) { apply_solver(v); };
+    ops.solve_transposed = [this](std::span<T> v) {
+      factors_->solve_transposed(v);
+    };
+    if (opt_.estimate_ferr) {
+      std::vector<T> r(static_cast<std::size_t>(n_));
+      sparse::residual<T>(At_, xhat, bhat, r);
+      stats_.ferr = refine::forward_error_bound<T>(At_, xhat, bhat, r, ops);
+    }
+    if (opt_.estimate_rcond)
+      stats_.rcond = refine::rcond_estimate<T>(At_, ops);
+    stats_.times.add("ferr", t.seconds());
+  }
+
+  // Back-transform.
+  for (index_t j = 0; j < n_; ++j)
+    x[j] = xhat[col_perm_[j]] * T{col_scale_[j]};
+
+  // The forward error bound above is relative to the SCALED solution x̂;
+  // the user's error lives in the original variables x = Dc·Pᵀ·x̂.
+  // Componentwise |δx_j| <= dc_j·|δx̂| <= max(dc)·‖δx̂‖∞, so convert the
+  // bound conservatively through the scalings (exact when Dc = I).
+  if (stats_.ferr >= 0.0) {
+    const double xhat_norm = sparse::vec_norm_inf<T>(xhat);
+    const double x_norm = sparse::vec_norm_inf<T>(std::span<const T>(x));
+    double dc_max = 0.0;
+    for (double d : col_scale_) dc_max = std::max(dc_max, d);
+    if (x_norm > 0.0)
+      stats_.ferr = stats_.ferr * xhat_norm * dc_max / x_norm;
+  }
+}
+
+template <class T>
+void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
+                            index_t nrhs) {
+  GESP_CHECK(nrhs >= 1 &&
+                 B.size() == static_cast<std::size_t>(n_) * nrhs &&
+                 X.size() == B.size(),
+             Errc::invalid_argument, "solve_multi dimension mismatch");
+  // Transform all right-hand sides into the factored space.
+  std::vector<T> Bhat(B.size());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const T* bc = B.data() + c * static_cast<std::size_t>(n_);
+    T* bh = Bhat.data() + c * static_cast<std::size_t>(n_);
+    for (index_t i = 0; i < n_; ++i)
+      bh[row_perm_[i]] = bc[i] * T{row_scale_[i]};
+  }
+  std::vector<T> Xhat = Bhat;
+  Timer t;
+  factors_->solve_multi(Xhat, nrhs);
+  stats_.times.add("solve", t.seconds());
+  // Per-column refinement (and the SMW correction path when active).
+  t.reset();
+  for (index_t c = 0; c < nrhs; ++c) {
+    std::span<T> xc(Xhat.data() + c * static_cast<std::size_t>(n_),
+                    static_cast<std::size_t>(n_));
+    std::span<const T> bc(Bhat.data() + c * static_cast<std::size_t>(n_),
+                          static_cast<std::size_t>(n_));
+    const auto rres = refine::iterative_refinement<T>(
+        At_, bc, xc, [this](std::span<T> v) { apply_solver(v); },
+        opt_.refine);
+    stats_.refine_iterations = rres.iterations;
+    stats_.berr = rres.final_berr;
+    stats_.berr_history = rres.berr_history;
+  }
+  stats_.times.add("refine", t.seconds());
+  for (index_t c = 0; c < nrhs; ++c) {
+    const T* xh = Xhat.data() + c * static_cast<std::size_t>(n_);
+    T* xc = X.data() + c * static_cast<std::size_t>(n_);
+    for (index_t j = 0; j < n_; ++j)
+      xc[j] = xh[col_perm_[j]] * T{col_scale_[j]};
+  }
+}
+
+template <class T>
+void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
+  GESP_CHECK(A_new.nrows == n_ && A_new.ncols == n_, Errc::invalid_argument,
+             "refactorize dimension mismatch");
+  // Reuse every static decision: scalings, permutations, symbolic structure.
+  sparse::CscMatrix<T> As =
+      sparse::apply_scaling(A_new, row_scale_, col_scale_);
+  At_ = sparse::permute(As, row_perm_, col_perm_);
+  factor();
+}
+
+template <class T>
+std::vector<T> solve(const sparse::CscMatrix<T>& A, std::span<const T> b,
+                     const SolverOptions& opt, SolveStats* stats_out) {
+  Solver<T> solver(A, opt);
+  std::vector<T> x(b.size());
+  solver.solve(b, x);
+  if (stats_out) *stats_out = solver.stats();
+  return x;
+}
+
+template class Solver<double>;
+template class Solver<Complex>;
+template std::vector<double> solve(const sparse::CscMatrix<double>&,
+                                   std::span<const double>,
+                                   const SolverOptions&, SolveStats*);
+template std::vector<Complex> solve(const sparse::CscMatrix<Complex>&,
+                                    std::span<const Complex>,
+                                    const SolverOptions&, SolveStats*);
+
+}  // namespace gesp

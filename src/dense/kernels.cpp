@@ -1,0 +1,218 @@
+#include "dense/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gesp::dense {
+namespace {
+
+/// Replace a tiny or zero pivot by the threshold, preserving its phase
+/// (sign for real, direction for complex); a zero pivot becomes +tau.
+template <class T>
+T replaced_pivot(T pivot, double tau) {
+  using std::abs;
+  const double mag = abs(pivot);
+  if (mag == 0.0) return T{tau};
+  return pivot * T{tau / mag};
+}
+
+}  // namespace
+
+template <class T>
+void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
+           PivotStats& stats, std::span<index_t> perm,
+           std::vector<PivotReplacement<T>>* replacements) {
+  using std::abs;
+  if (policy.pivot_in_block) {
+    GESP_CHECK(perm.size() == static_cast<std::size_t>(b),
+               Errc::invalid_argument,
+               "pivot_in_block requires a permutation output of size b");
+    for (index_t r = 0; r < b; ++r) perm[r] = r;
+  }
+  for (index_t k = 0; k < b; ++k) {
+    if (policy.pivot_in_block) {
+      // Partial pivoting restricted to the diagonal block.
+      index_t best = k;
+      double bestmag = abs(a[k + k * lda]);
+      for (index_t r = k + 1; r < b; ++r) {
+        const double m = abs(a[r + k * lda]);
+        if (m > bestmag) {
+          bestmag = m;
+          best = r;
+        }
+      }
+      if (best != k) {
+        for (index_t c = 0; c < b; ++c)
+          std::swap(a[k + c * lda], a[best + c * lda]);
+        std::swap(perm[k], perm[best]);
+        ++stats.swaps;
+      }
+    }
+    T pivot = a[k + k * lda];
+    if (abs(pivot) <= policy.tiny_threshold) {
+      GESP_CHECK(policy.tiny_threshold > 0.0 || abs(pivot) != 0.0,
+                 Errc::numerically_singular,
+                 "zero pivot at column " + std::to_string(k) +
+                     " with replacement disabled");
+      if (policy.tiny_threshold > 0.0) {
+        const T old = pivot;
+        double target = policy.tiny_threshold;
+        if (policy.aggressive) {
+          // Largest magnitude in the remaining block column.
+          for (index_t r = k; r < b; ++r)
+            target = std::max<double>(target, abs(a[r + k * lda]));
+        }
+        pivot = replaced_pivot(pivot, target);
+        a[k + k * lda] = pivot;
+        ++stats.replaced;
+        if (replacements) replacements->push_back({k, pivot - old});
+      }
+    }
+    const T inv = T{1} / pivot;
+    for (index_t r = k + 1; r < b; ++r) a[r + k * lda] *= inv;
+    for (index_t c = k + 1; c < b; ++c) {
+      const T ukc = a[k + c * lda];
+      if (ukc == T{}) continue;
+      T* col = a + c * lda;
+      const T* lk = a + k * lda;
+      for (index_t r = k + 1; r < b; ++r) col[r] -= lk[r] * ukc;
+    }
+  }
+}
+
+template <class T>
+void trsm_left_lower_unit(const T* l, index_t b, index_t lda, T* bmat,
+                          index_t ncols, index_t ldb) {
+  for (index_t c = 0; c < ncols; ++c) {
+    T* x = bmat + c * ldb;
+    for (index_t k = 0; k < b; ++k) {
+      const T xk = x[k];
+      if (xk == T{}) continue;
+      const T* lk = l + k * lda;
+      for (index_t r = k + 1; r < b; ++r) x[r] -= lk[r] * xk;
+    }
+  }
+}
+
+template <class T>
+void trsm_right_upper(const T* u, index_t b, index_t lda, T* bmat,
+                      index_t mrows, index_t ldb) {
+  // Solve X U = B column-block-wise: X(:,k) = (B(:,k) - sum_{c<k} X(:,c)
+  // U(c,k)) / U(k,k).
+  for (index_t k = 0; k < b; ++k) {
+    T* xk = bmat + k * ldb;
+    for (index_t c = 0; c < k; ++c) {
+      const T uck = u[c + k * lda];
+      if (uck == T{}) continue;
+      const T* xc = bmat + c * ldb;
+      for (index_t r = 0; r < mrows; ++r) xk[r] -= xc[r] * uck;
+    }
+    const T inv = T{1} / u[k + k * lda];
+    for (index_t r = 0; r < mrows; ++r) xk[r] *= inv;
+  }
+}
+
+template <class T>
+void gemm_minus(index_t m, index_t n, index_t k, const T* a, index_t lda,
+                const T* b, index_t ldb, T* c, index_t ldc) {
+  // jki order: stream down columns of C and A, which are contiguous.
+  for (index_t j = 0; j < n; ++j) {
+    T* cj = c + j * ldc;
+    for (index_t p = 0; p < k; ++p) {
+      const T bpj = b[p + j * ldb];
+      if (bpj == T{}) continue;
+      const T* ap = a + p * lda;
+      for (index_t i = 0; i < m; ++i) cj[i] -= ap[i] * bpj;
+    }
+  }
+}
+
+template <class T>
+void gemv_minus(index_t m, index_t n, const T* a, index_t lda, const T* x,
+                T* y) {
+  for (index_t j = 0; j < n; ++j) {
+    const T xj = x[j];
+    if (xj == T{}) continue;
+    const T* aj = a + j * lda;
+    for (index_t i = 0; i < m; ++i) y[i] -= aj[i] * xj;
+  }
+}
+
+template <class T>
+void trsv_lower_unit(const T* a, index_t b, index_t lda, T* x) {
+  for (index_t k = 0; k < b; ++k) {
+    const T xk = x[k];
+    if (xk == T{}) continue;
+    const T* col = a + k * lda;
+    for (index_t r = k + 1; r < b; ++r) x[r] -= col[r] * xk;
+  }
+}
+
+template <class T>
+void trsv_upper(const T* a, index_t b, index_t lda, T* x) {
+  for (index_t k = b - 1; k >= 0; --k) {
+    x[k] /= a[k + k * lda];
+    const T xk = x[k];
+    if (xk == T{}) continue;
+    const T* col = a + k * lda;
+    for (index_t r = 0; r < k; ++r) x[r] -= col[r] * xk;
+  }
+}
+
+template void getrf(double*, index_t, index_t, const PivotPolicy&,
+                    PivotStats&, std::span<index_t>,
+                    std::vector<PivotReplacement<double>>*);
+template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
+                    PivotStats&, std::span<index_t>,
+                    std::vector<PivotReplacement<Complex>>*);
+template void trsm_left_lower_unit(const double*, index_t, index_t, double*,
+                                   index_t, index_t);
+template void trsm_left_lower_unit(const Complex*, index_t, index_t, Complex*,
+                                   index_t, index_t);
+template void trsm_right_upper(const double*, index_t, index_t, double*,
+                               index_t, index_t);
+template void trsm_right_upper(const Complex*, index_t, index_t, Complex*,
+                               index_t, index_t);
+template void gemm_minus(index_t, index_t, index_t, const double*, index_t,
+                         const double*, index_t, double*, index_t);
+template void gemm_minus(index_t, index_t, index_t, const Complex*, index_t,
+                         const Complex*, index_t, Complex*, index_t);
+template void gemv_minus(index_t, index_t, const double*, index_t,
+                         const double*, double*);
+template void gemv_minus(index_t, index_t, const Complex*, index_t,
+                         const Complex*, Complex*);
+template void trsv_lower_unit(const double*, index_t, index_t, double*);
+template void trsv_lower_unit(const Complex*, index_t, index_t, Complex*);
+template <class T>
+void trsv_upper_trans(const T* a, index_t b, index_t lda, T* x) {
+  // Uᵀ is lower triangular; row k of Uᵀ is column k of U.
+  for (index_t k = 0; k < b; ++k) {
+    T sum = x[k];
+    const T* col = a + k * lda;
+    for (index_t r = 0; r < k; ++r) sum -= col[r] * x[r];
+    x[k] = sum / col[k];
+  }
+}
+
+template <class T>
+void trsv_lower_unit_trans(const T* a, index_t b, index_t lda, T* x) {
+  // Lᵀ is unit upper triangular; row k of Lᵀ is column k of L.
+  for (index_t k = b - 1; k >= 0; --k) {
+    T sum = x[k];
+    const T* col = a + k * lda;
+    for (index_t r = k + 1; r < b; ++r) sum -= col[r] * x[r];
+    x[k] = sum;
+  }
+}
+
+template void trsv_upper(const double*, index_t, index_t, double*);
+template void trsv_upper(const Complex*, index_t, index_t, Complex*);
+template void trsv_upper_trans(const double*, index_t, index_t, double*);
+template void trsv_upper_trans(const Complex*, index_t, index_t, Complex*);
+template void trsv_lower_unit_trans(const double*, index_t, index_t, double*);
+template void trsv_lower_unit_trans(const Complex*, index_t, index_t,
+                                    Complex*);
+
+}  // namespace gesp::dense

@@ -1,0 +1,770 @@
+#include "dist/dist_lu.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "dense/kernels.hpp"
+#include "sparse/coo.hpp"
+
+namespace gesp::dist {
+namespace {
+
+// Tag layout. Factorization: K*8 + type; solves and gather live above the
+// factorization range so a late message can never be mis-matched.
+constexpr int kTagDiag = 0;
+constexpr int kTagLIndex = 1;
+constexpr int kTagLValue = 2;
+constexpr int kTagUIndex = 3;
+constexpr int kTagUValue = 4;
+
+int fact_tag(index_t K, int type) { return static_cast<int>(K) * 8 + type; }
+
+struct SolveTags {
+  int x_base, sum_base, gather_base, bcast;
+};
+
+SolveTags lower_tags(index_t nsup) {
+  const int n = static_cast<int>(nsup);
+  return {n * 8, n * 9, n * 12, n * 16};
+}
+SolveTags upper_tags(index_t nsup) {
+  const int n = static_cast<int>(nsup);
+  return {n * 10, n * 11, n * 14, n * 16 + 1};
+}
+// Factor-gather tags (above everything else).
+int gather_l_tag(index_t nsup) { return static_cast<int>(nsup) * 16 + 2; }
+int gather_u_tag(index_t nsup) { return static_cast<int>(nsup) * 16 + 3; }
+
+/// Position of each element of `sub` inside sorted superset `full`.
+void subset_positions(std::span<const index_t> sub,
+                      std::span<const index_t> full,
+                      std::vector<index_t>& pos) {
+  pos.resize(sub.size());
+  std::size_t q = 0;
+  for (std::size_t p = 0; p < sub.size(); ++p) {
+    while (q < full.size() && full[q] < sub[p]) ++q;
+    GESP_ASSERT(q < full.size() && full[q] == sub[p],
+                "block structure not closed under updates");
+    pos[p] = static_cast<index_t>(q);
+  }
+}
+
+}  // namespace
+
+template <class T>
+DistributedLU<T>::DistributedLU(minimpi::Comm& comm, const ProcessGrid& grid,
+                                std::shared_ptr<const symbolic::SymbolicLU> sym,
+                                const sparse::CscMatrix<T>& A,
+                                const DistOptions& opt)
+    : grid_(grid), sym_(std::move(sym)) {
+  GESP_CHECK(grid_.nprocs() == comm.size(), Errc::invalid_argument,
+             "process grid does not match communicator size");
+  myrow_ = grid_.rank_row(comm.rank());
+  mycol_ = grid_.rank_col(comm.rank());
+  scatter_initial(A);
+  factorize(comm, opt);
+  comm.barrier();
+}
+
+template <class T>
+void DistributedLU<T>::scatter_initial(const sparse::CscMatrix<T>& A) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  diag_.resize(static_cast<std::size_t>(N));
+  lblocks_.resize(static_cast<std::size_t>(N));
+  ublocks_.resize(static_cast<std::size_t>(N));
+  for (index_t K = 0; K < N; ++K) {
+    const std::size_t b = static_cast<std::size_t>(S.block_cols(K));
+    if (grid_.prow_of(K) == myrow_ && grid_.pcol_of(K) == mycol_)
+      diag_[K].assign(b * b, T{});
+    lblocks_[K].resize(S.L[K].size());
+    if (grid_.pcol_of(K) == mycol_) {
+      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi)
+        if (grid_.prow_of(S.L[K][bi].I) == myrow_)
+          lblocks_[K][bi].assign(S.L[K][bi].rows.size() * b, T{});
+    }
+    ublocks_[K].resize(S.U[K].size());
+    if (grid_.prow_of(K) == myrow_) {
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj)
+        if (grid_.pcol_of(S.U[K][uj].J) == mycol_)
+          ublocks_[K][uj].assign(b * S.U[K][uj].cols.size(), T{});
+    }
+  }
+  // Scatter owned entries of A (the matrix is replicated on entry, as the
+  // paper's pre-parallel-symbolic implementation does).
+  for (index_t j = 0; j < S.n; ++j) {
+    const index_t J = S.col_to_sn[j];
+    const index_t cj = j - S.sn_start[J];
+    const index_t bj = S.block_cols(J);
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const index_t i = A.rowind[p];
+      const index_t I = S.col_to_sn[i];
+      if (grid_.owner(I, J) != grid_.rank_of(myrow_, mycol_)) continue;
+      const T v = A.values[p];
+      if (I == J) {
+        diag_[J][(i - S.sn_start[J]) + cj * bj] = v;
+      } else if (I > J) {
+        // L block: locate block and row position.
+        for (std::size_t bi = 0; bi < S.L[J].size(); ++bi) {
+          if (S.L[J][bi].I != I) continue;
+          const auto& rows = S.L[J][bi].rows;
+          const auto it = std::lower_bound(rows.begin(), rows.end(), i);
+          lblocks_[J][bi][(it - rows.begin()) +
+                          cj * static_cast<index_t>(rows.size())] = v;
+          break;
+        }
+      } else {
+        for (std::size_t uj = 0; uj < S.U[I].size(); ++uj) {
+          if (S.U[I][uj].J != J) continue;
+          const auto& cols = S.U[I][uj].cols;
+          const auto it = std::lower_bound(cols.begin(), cols.end(), j);
+          ublocks_[I][uj][(i - S.sn_start[I]) +
+                          (it - cols.begin()) * S.block_cols(I)] = v;
+          break;
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = opt.tiny_threshold;
+  dense::PivotStats stats;
+
+  // Static predicates — every rank evaluates these identically, which is
+  // why no handshaking is ever needed.
+  auto row_has_l = [&](index_t K, int r) {
+    for (const auto& blk : S.L[K])
+      if (grid_.prow_of(blk.I) == r) return true;
+    return false;
+  };
+  auto col_has_u = [&](index_t K, int c) {
+    for (const auto& blk : S.U[K])
+      if (grid_.pcol_of(blk.J) == c) return true;
+    return false;
+  };
+
+  std::vector<T> scratch, lrecv, urecv, diag_buf;
+  std::vector<index_t> rpos, cpos, idx;
+
+  for (index_t K = 0; K < N; ++K) {
+    const index_t b = S.block_cols(K);
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    const bool own_diag = (myrow_ == kr && mycol_ == kc);
+    const bool in_kcol = (mycol_ == kc) && row_has_l(K, myrow_);
+    const bool in_krow = (myrow_ == kr) && col_has_u(K, mycol_);
+
+    // ---- step (1): factor the panel.
+    if (own_diag) {
+      dense::getrf(diag_[K].data(), b, b, policy, stats);
+      // Ship the factored diagonal block to the column / row peers that
+      // hold L / U blocks of this panel.
+      for (int r = 0; r < grid_.pr; ++r)
+        if (r != kr && row_has_l(K, r))
+          comm.send_vec(grid_.rank_of(r, kc), fact_tag(K, kTagDiag),
+                        diag_[K]);
+      for (int c = 0; c < grid_.pc; ++c)
+        if (c != kc && col_has_u(K, c))
+          comm.send_vec(grid_.rank_of(kr, c), fact_tag(K, kTagDiag),
+                        diag_[K]);
+    }
+    const std::vector<T>* diag_ptr = nullptr;
+    if (own_diag) {
+      diag_ptr = &diag_[K];
+    } else if (in_kcol || in_krow) {
+      diag_buf = comm.recv(grid_.rank_of(kr, kc), fact_tag(K, kTagDiag))
+                     .template as<T>();
+      diag_ptr = &diag_buf;
+    }
+    if (in_kcol) {
+      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+        if (lblocks_[K][bi].empty()) continue;
+        const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
+        dense::trsm_right_upper(diag_ptr->data(), b, b,
+                                lblocks_[K][bi].data(), m, m);
+      }
+    }
+    // ---- step (2): triangular solves for the U row.
+    if (in_krow) {
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+        if (ublocks_[K][uj].empty()) continue;
+        const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+        dense::trsm_left_lower_unit(diag_ptr->data(), b, b,
+                                    ublocks_[K][uj].data(), c, b);
+      }
+    }
+
+    // ---- communicate the panel: L across the process row, U down the
+    // process column, pruned to the processes that own affected blocks.
+    auto l_needed_by_col = [&](int c) {
+      return opt.edag_pruning ? col_has_u(K, c) : true;
+    };
+    auto u_needed_by_row = [&](int r) {
+      return opt.edag_pruning ? row_has_l(K, r) : true;
+    };
+    if (in_kcol) {
+      // Pack my L blocks of column K (they are conceptually contiguous;
+      // index[] and nzval[] travel as the paper's two messages).
+      idx.clear();
+      std::size_t total = 0;
+      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+        if (lblocks_[K][bi].empty()) continue;
+        idx.push_back(S.L[K][bi].I);
+        idx.push_back(static_cast<index_t>(S.L[K][bi].rows.size()));
+        total += lblocks_[K][bi].size();
+      }
+      std::vector<T> packed;
+      packed.reserve(total);
+      for (const auto& blk : lblocks_[K])
+        packed.insert(packed.end(), blk.begin(), blk.end());
+      for (int c = 0; c < grid_.pc; ++c) {
+        if (c == kc || !l_needed_by_col(c)) continue;
+        comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLIndex), idx);
+        comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLValue),
+                      packed);
+      }
+    }
+    if (in_krow) {
+      idx.clear();
+      std::size_t total = 0;
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+        if (ublocks_[K][uj].empty()) continue;
+        idx.push_back(S.U[K][uj].J);
+        idx.push_back(static_cast<index_t>(S.U[K][uj].cols.size()));
+        total += ublocks_[K][uj].size();
+      }
+      std::vector<T> packed;
+      packed.reserve(total);
+      for (const auto& blk : ublocks_[K])
+        packed.insert(packed.end(), blk.begin(), blk.end());
+      for (int r = 0; r < grid_.pr; ++r) {
+        if (r == kr || !u_needed_by_row(r)) continue;
+        comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUIndex), idx);
+        comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUValue),
+                      packed);
+      }
+    }
+
+    // ---- receive the panel pieces this rank needs.
+    const bool recv_l = (mycol_ != kc) && row_has_l(K, myrow_) &&
+                        l_needed_by_col(mycol_);
+    const bool recv_u = (myrow_ != kr) && col_has_u(K, mycol_) &&
+                        u_needed_by_row(myrow_);
+    std::vector<const T*> lptr(S.L[K].size(), nullptr);
+    std::vector<const T*> uptr(S.U[K].size(), nullptr);
+    if (mycol_ == kc) {
+      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi)
+        if (!lblocks_[K][bi].empty()) lptr[bi] = lblocks_[K][bi].data();
+    } else if (recv_l) {
+      (void)comm.recv(grid_.rank_of(myrow_, kc), fact_tag(K, kTagLIndex));
+      lrecv = comm.recv(grid_.rank_of(myrow_, kc), fact_tag(K, kTagLValue))
+                  .template as<T>();
+      std::size_t off = 0;
+      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+        if (grid_.prow_of(S.L[K][bi].I) != myrow_) continue;
+        lptr[bi] = lrecv.data() + off;
+        off += S.L[K][bi].rows.size() * static_cast<std::size_t>(b);
+      }
+    }
+    if (myrow_ == kr) {
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj)
+        if (!ublocks_[K][uj].empty()) uptr[uj] = ublocks_[K][uj].data();
+    } else if (recv_u) {
+      (void)comm.recv(grid_.rank_of(kr, mycol_), fact_tag(K, kTagUIndex));
+      urecv = comm.recv(grid_.rank_of(kr, mycol_), fact_tag(K, kTagUValue))
+                  .template as<T>();
+      std::size_t off = 0;
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+        if (grid_.pcol_of(S.U[K][uj].J) != mycol_) continue;
+        uptr[uj] = urecv.data() + off;
+        off += S.U[K][uj].cols.size() * static_cast<std::size_t>(b);
+      }
+    }
+
+    // ---- step (3): rank-b update of the owned trailing blocks.
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      const index_t I = S.L[K][bi].I;
+      if (grid_.prow_of(I) != myrow_ || lptr[bi] == nullptr) continue;
+      const auto& src_rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(src_rows.size());
+      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+        const index_t J = S.U[K][uj].J;
+        if (grid_.pcol_of(J) != mycol_ || uptr[uj] == nullptr) continue;
+        const auto& src_cols = S.U[K][uj].cols;
+        const index_t c = static_cast<index_t>(src_cols.size());
+        scratch.assign(static_cast<std::size_t>(m) * c, T{});
+        dense::gemm_minus(m, c, b, lptr[bi], m, uptr[uj], b, scratch.data(),
+                          m);
+        if (I == J) {
+          T* dst = diag_[I].data();
+          const index_t bI = S.block_cols(I);
+          const index_t base = S.sn_start[I];
+          for (index_t cc = 0; cc < c; ++cc)
+            for (index_t rr = 0; rr < m; ++rr)
+              dst[(src_rows[rr] - base) + (src_cols[cc] - base) * bI] +=
+                  scratch[rr + cc * m];
+        } else if (I > J) {
+          // destination L block (I, J).
+          std::size_t dbi = 0;
+          while (S.L[J][dbi].I != I) ++dbi;
+          const auto& dst_rows = S.L[J][dbi].rows;
+          subset_positions(src_rows, dst_rows, rpos);
+          T* dst = lblocks_[J][dbi].data();
+          const index_t ldd = static_cast<index_t>(dst_rows.size());
+          const index_t base = S.sn_start[J];
+          for (index_t cc = 0; cc < c; ++cc) {
+            T* dcol = dst + (src_cols[cc] - base) * ldd;
+            for (index_t rr = 0; rr < m; ++rr)
+              dcol[rpos[rr]] += scratch[rr + cc * m];
+          }
+        } else {
+          std::size_t dbj = 0;
+          while (S.U[I][dbj].J != J) ++dbj;
+          const auto& dst_cols = S.U[I][dbj].cols;
+          subset_positions(src_cols, dst_cols, cpos);
+          T* dst = ublocks_[I][dbj].data();
+          const index_t bI = S.block_cols(I);
+          const index_t base = S.sn_start[I];
+          for (index_t cc = 0; cc < c; ++cc) {
+            T* dcol = dst + cpos[cc] * bI;
+            for (index_t rr = 0; rr < m; ++rr)
+              dcol[src_rows[rr] - base] += scratch[rr + cc * m];
+          }
+        }
+      }
+    }
+  }
+}
+
+template <class T>
+std::vector<T> DistributedLU<T>::solve(minimpi::Comm& comm,
+                                       const std::vector<T>& b) {
+  std::vector<T> y = solve_lower(comm, b);
+  comm.barrier();
+  std::vector<T> x = solve_upper(comm, y);
+  comm.barrier();
+  return x;
+}
+
+template <class T>
+std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
+                                             const std::vector<T>& b) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  const SolveTags tags = lower_tags(N);
+  const int me = comm.rank();
+
+  // Static counters (Fig 9): fmod[I] = my block modifications feeding
+  // x(I); pending[K] = messages (plus my own flush) the diag owner of K
+  // waits for before x(K) can be solved.
+  std::vector<index_t> fmod(static_cast<std::size_t>(N), 0);
+  std::vector<index_t> pending(static_cast<std::size_t>(N), 0);
+  std::vector<std::set<int>> contributors(static_cast<std::size_t>(N));
+  count_t my_blocks = 0;
+  for (index_t K = 0; K < N; ++K) {
+    for (const auto& blk : S.L[K]) {
+      const int owner = grid_.owner(blk.I, K);
+      contributors[blk.I].insert(owner);
+      if (owner == me) {
+        fmod[blk.I]++;
+        my_blocks++;
+      }
+    }
+  }
+  index_t my_diags = 0;
+  for (index_t K = 0; K < N; ++K) {
+    if (grid_.owner(K, K) != me) continue;
+    my_diags++;
+    // One decrement per contributing rank: remote ranks send an lsum
+    // message, my own contribution flushes locally.
+    pending[K] = static_cast<index_t>(contributors[K].size());
+  }
+
+  // Solution slices for diag-owned blocks, initialized with b.
+  std::vector<std::vector<T>> xsol(static_cast<std::size_t>(N));
+  std::vector<std::vector<T>> lsum(static_cast<std::size_t>(N));
+  for (index_t K = 0; K < N; ++K) {
+    if (grid_.owner(K, K) == me)
+      xsol[K].assign(b.begin() + S.sn_start[K], b.begin() + S.sn_start[K + 1]);
+    if (fmod[K] > 0)
+      lsum[K].assign(static_cast<std::size_t>(S.block_cols(K)), T{});
+  }
+
+  index_t solved = 0;
+  count_t processed = 0;
+
+  // Forward declarations of the event handlers (they recurse).
+  std::function<void(index_t, const std::vector<T>&)> process_x;
+  std::function<void(index_t)> try_solve;
+
+  auto flush = [&](index_t I) {
+    const int owner = grid_.owner(I, I);
+    if (owner == me) {
+      for (std::size_t r = 0; r < lsum[I].size(); ++r)
+        xsol[I][r] += lsum[I][r];
+      pending[I]--;
+      try_solve(I);
+    } else {
+      comm.send_vec(owner, tags.sum_base + static_cast<int>(I), lsum[I]);
+    }
+  };
+
+  process_x = [&](index_t K, const std::vector<T>& xk) {
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      if (grid_.owner(S.L[K][bi].I, K) != me) continue;
+      const auto& blk = S.L[K][bi];
+      const auto& rows = blk.rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      const index_t bw = S.block_cols(K);
+      const T* vals = lblocks_[K][bi].data();
+      const index_t base = S.sn_start[blk.I];
+      for (index_t c = 0; c < bw; ++c) {
+        const T xc = xk[c];
+        if (xc == T{}) continue;
+        const T* col = vals + c * m;
+        for (index_t r = 0; r < m; ++r)
+          lsum[blk.I][rows[r] - base] -= col[r] * xc;
+      }
+      processed++;
+      if (--fmod[blk.I] == 0) flush(blk.I);
+    }
+  };
+
+  try_solve = [&](index_t K) {
+    if (pending[K] != 0 || xsol[K].empty()) return;
+    pending[K] = -1;  // mark solved
+    dense::trsv_lower_unit(diag_[K].data(), S.block_cols(K),
+                           S.block_cols(K), xsol[K].data());
+    solved++;
+    // Ship x(K) to the process rows that own blocks (I, K).
+    std::set<int> dests;
+    for (const auto& blk : S.L[K]) {
+      const int owner = grid_.owner(blk.I, K);
+      if (owner != me) dests.insert(owner);
+    }
+    for (int d : dests)
+      comm.send_vec(d, tags.x_base + static_cast<int>(K), xsol[K]);
+    process_x(K, xsol[K]);
+  };
+
+  for (index_t K = 0; K < N; ++K)
+    if (grid_.owner(K, K) == me) try_solve(K);
+
+  // Message-driven main loop (line (*) of Fig 9): act on whichever message
+  // type arrives. Gather messages from ranks that finished early are
+  // stashed for the gather phase below.
+  std::vector<minimpi::Message> stash;
+  while (processed < my_blocks || solved < my_diags) {
+    minimpi::Message msg = comm.recv();
+    if (msg.tag >= tags.gather_base) {
+      stash.push_back(std::move(msg));
+    } else if (msg.tag >= tags.sum_base) {
+      const index_t K = static_cast<index_t>(msg.tag - tags.sum_base);
+      const auto vals = msg.template as<T>();
+      for (std::size_t r = 0; r < vals.size(); ++r) xsol[K][r] += vals[r];
+      pending[K]--;
+      try_solve(K);
+    } else {
+      const index_t K = static_cast<index_t>(msg.tag - tags.x_base);
+      process_x(K, msg.template as<T>());
+    }
+  }
+
+  // Gather the block solutions on rank 0, then replicate everywhere.
+  std::vector<T> full(b.size(), T{});
+  if (me == 0) {
+    index_t expect = 0;
+    for (index_t K = 0; K < N; ++K) {
+      if (grid_.owner(K, K) == me)
+        std::copy(xsol[K].begin(), xsol[K].end(),
+                  full.begin() + S.sn_start[K]);
+      else
+        expect++;
+    }
+    auto place = [&](const minimpi::Message& msg) {
+      const index_t K = static_cast<index_t>(msg.tag - tags.gather_base);
+      const auto vals = msg.template as<T>();
+      std::copy(vals.begin(), vals.end(), full.begin() + S.sn_start[K]);
+    };
+    for (const auto& msg : stash) place(msg);
+    for (index_t k = static_cast<index_t>(stash.size()); k < expect; ++k)
+      place(comm.recv(minimpi::kAnySource, minimpi::kAnyTag));
+    for (int r = 1; r < comm.size(); ++r)
+      comm.send_vec(r, tags.bcast, full);
+  } else {
+    GESP_ASSERT(stash.empty(), "unexpected stashed message on non-root");
+    for (index_t K = 0; K < N; ++K)
+      if (grid_.owner(K, K) == me)
+        comm.send_vec(0, tags.gather_base + static_cast<int>(K), xsol[K]);
+    full = comm.recv(0, tags.bcast).template as<T>();
+  }
+  return full;
+}
+
+template <class T>
+std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
+                                             const std::vector<T>& y) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  const SolveTags tags = upper_tags(N);
+  const int me = comm.rank();
+
+  // The paper's "two vertical linked lists": per block column J, the list
+  // of my U blocks (K, J) — U is stored by block rows, so column-wise
+  // access needs this auxiliary indexing.
+  std::vector<std::vector<std::pair<index_t, index_t>>> by_col(
+      static_cast<std::size_t>(N));  // J -> [(K, uj index)]
+  std::vector<index_t> bmod(static_cast<std::size_t>(N), 0);  // per K
+  std::vector<index_t> pending(static_cast<std::size_t>(N), 0);
+  std::vector<std::set<int>> contributors(static_cast<std::size_t>(N));
+  // xdest[J]: ranks owning some block (K, J) — the broadcast targets of
+  // x(J) down process column pcol(J).
+  std::vector<std::set<int>> xdest(static_cast<std::size_t>(N));
+  count_t my_blocks = 0;
+  for (index_t K = 0; K < N; ++K) {
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      const index_t J = S.U[K][uj].J;
+      const int owner = grid_.owner(K, J);
+      contributors[K].insert(owner);
+      xdest[J].insert(owner);
+      if (owner == me) {
+        by_col[J].emplace_back(K, static_cast<index_t>(uj));
+        bmod[K]++;
+        my_blocks++;
+      }
+    }
+  }
+  index_t my_diags = 0;
+  for (index_t K = 0; K < N; ++K) {
+    if (grid_.owner(K, K) != me) continue;
+    my_diags++;
+    pending[K] = static_cast<index_t>(contributors[K].size());
+  }
+
+  std::vector<std::vector<T>> xsol(static_cast<std::size_t>(N));
+  std::vector<std::vector<T>> usum(static_cast<std::size_t>(N));
+  for (index_t K = 0; K < N; ++K) {
+    if (grid_.owner(K, K) == me)
+      xsol[K].assign(y.begin() + S.sn_start[K], y.begin() + S.sn_start[K + 1]);
+    if (bmod[K] > 0)
+      usum[K].assign(static_cast<std::size_t>(S.block_cols(K)), T{});
+  }
+
+  index_t solved = 0;
+  count_t processed = 0;
+  std::function<void(index_t, const std::vector<T>&)> process_x;
+  std::function<void(index_t)> try_solve;
+
+  auto flush = [&](index_t K) {
+    const int owner = grid_.owner(K, K);
+    if (owner == me) {
+      for (std::size_t r = 0; r < usum[K].size(); ++r)
+        xsol[K][r] += usum[K][r];
+      pending[K]--;
+      try_solve(K);
+    } else {
+      comm.send_vec(owner, tags.sum_base + static_cast<int>(K), usum[K]);
+    }
+  };
+
+  // Back substitution runs from the roots of the etree toward the leaves:
+  // once x(J) is known, every block (K, J) subtracts U(K,J)·x(J).
+  process_x = [&](index_t J, const std::vector<T>& xj) {
+    const index_t baseJ = S.sn_start[J];
+    for (const auto& [K, uj] : by_col[J]) {
+      const auto& cols = S.U[K][uj].cols;
+      const index_t bK = S.block_cols(K);
+      const T* vals = ublocks_[K][uj].data();
+      for (std::size_t cc = 0; cc < cols.size(); ++cc) {
+        const T xc = xj[cols[cc] - baseJ];
+        if (xc == T{}) continue;
+        const T* col = vals + cc * static_cast<std::size_t>(bK);
+        for (index_t r = 0; r < bK; ++r) usum[K][r] -= col[r] * xc;
+      }
+      processed++;
+      if (--bmod[K] == 0) flush(K);
+    }
+  };
+
+  try_solve = [&](index_t K) {
+    if (pending[K] != 0 || xsol[K].empty()) return;
+    pending[K] = -1;
+    dense::trsv_upper(diag_[K].data(), S.block_cols(K), S.block_cols(K),
+                      xsol[K].data());
+    solved++;
+    for (int d : xdest[K])
+      if (d != me) comm.send_vec(d, tags.x_base + static_cast<int>(K),
+                                 xsol[K]);
+    process_x(K, xsol[K]);
+  };
+
+  for (index_t K = N - 1; K >= 0; --K)
+    if (grid_.owner(K, K) == me) try_solve(K);
+
+  std::vector<minimpi::Message> stash;
+  while (processed < my_blocks || solved < my_diags) {
+    minimpi::Message msg = comm.recv();
+    if (msg.tag >= tags.gather_base) {
+      stash.push_back(std::move(msg));
+    } else if (msg.tag >= tags.sum_base) {
+      const index_t K = static_cast<index_t>(msg.tag - tags.sum_base);
+      const auto vals = msg.template as<T>();
+      for (std::size_t r = 0; r < vals.size(); ++r) xsol[K][r] += vals[r];
+      pending[K]--;
+      try_solve(K);
+    } else {
+      const index_t K = static_cast<index_t>(msg.tag - tags.x_base);
+      process_x(K, msg.template as<T>());
+    }
+  }
+
+  std::vector<T> full(y.size(), T{});
+  if (me == 0) {
+    index_t expect = 0;
+    for (index_t K = 0; K < N; ++K) {
+      if (grid_.owner(K, K) == me)
+        std::copy(xsol[K].begin(), xsol[K].end(),
+                  full.begin() + S.sn_start[K]);
+      else
+        expect++;
+    }
+    auto place = [&](const minimpi::Message& msg) {
+      const index_t K = static_cast<index_t>(msg.tag - tags.gather_base);
+      const auto vals = msg.template as<T>();
+      std::copy(vals.begin(), vals.end(), full.begin() + S.sn_start[K]);
+    };
+    for (const auto& msg : stash) place(msg);
+    for (index_t k = static_cast<index_t>(stash.size()); k < expect; ++k)
+      place(comm.recv(minimpi::kAnySource, minimpi::kAnyTag));
+    for (int r = 1; r < comm.size(); ++r)
+      comm.send_vec(r, tags.bcast, full);
+  } else {
+    GESP_ASSERT(stash.empty(), "unexpected stashed message on non-root");
+    for (index_t K = 0; K < N; ++K)
+      if (grid_.owner(K, K) == me)
+        comm.send_vec(0, tags.gather_base + static_cast<int>(K), xsol[K]);
+    full = comm.recv(0, tags.bcast).template as<T>();
+  }
+  return full;
+}
+
+template <class T>
+sparse::CscMatrix<T> DistributedLU<T>::gather_l(minimpi::Comm& comm) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  // Serialize owned L entries as (i, j, value) triplets toward rank 0.
+  std::vector<T> vals;
+  std::vector<index_t> ij;
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    if (!diag_[K].empty()) {
+      for (index_t c = 0; c < b; ++c)
+        for (index_t r = c + 1; r < b; ++r) {
+          const T v = diag_[K][r + c * b];
+          if (v == T{}) continue;
+          ij.push_back(base + r);
+          ij.push_back(base + c);
+          vals.push_back(v);
+        }
+    }
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      if (lblocks_[K][bi].empty()) continue;
+      const auto& rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      for (index_t c = 0; c < b; ++c)
+        for (index_t r = 0; r < m; ++r) {
+          const T v = lblocks_[K][bi][r + c * m];
+          if (v == T{}) continue;
+          ij.push_back(rows[r]);
+          ij.push_back(base + c);
+          vals.push_back(v);
+        }
+    }
+  }
+  const int tag = gather_l_tag(S.nsup);
+  if (comm.rank() != 0) {
+    comm.send_vec(0, tag, ij);
+    comm.send_vec(0, tag, vals);
+    comm.barrier();
+    return {};
+  }
+  sparse::CooMatrix<T> L(S.n, S.n);
+  for (index_t d = 0; d < S.n; ++d) L.add(d, d, T{1});
+  auto absorb = [&](const std::vector<index_t>& ij2,
+                    const std::vector<T>& v2) {
+    for (std::size_t k = 0; k < v2.size(); ++k)
+      L.add(ij2[2 * k], ij2[2 * k + 1], v2[k]);
+  };
+  absorb(ij, vals);
+  for (int r = 1; r < comm.size(); ++r) {
+    const auto ij2 = comm.recv(r, tag).template as<index_t>();
+    const auto v2 = comm.recv(r, tag).template as<T>();
+    absorb(ij2, v2);
+  }
+  comm.barrier();
+  return L.to_csc();
+}
+
+template <class T>
+sparse::CscMatrix<T> DistributedLU<T>::gather_u(minimpi::Comm& comm) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  std::vector<T> vals;
+  std::vector<index_t> ij;
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    if (!diag_[K].empty()) {
+      for (index_t c = 0; c < b; ++c)
+        for (index_t r = 0; r <= c; ++r) {
+          const T v = diag_[K][r + c * b];
+          if (v == T{} && r != c) continue;
+          ij.push_back(base + r);
+          ij.push_back(base + c);
+          vals.push_back(v);
+        }
+    }
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      if (ublocks_[K][uj].empty()) continue;
+      const auto& cols = S.U[K][uj].cols;
+      for (std::size_t cc = 0; cc < cols.size(); ++cc)
+        for (index_t r = 0; r < b; ++r) {
+          const T v = ublocks_[K][uj][r + cc * static_cast<std::size_t>(b)];
+          if (v == T{}) continue;
+          ij.push_back(base + r);
+          ij.push_back(cols[cc]);
+          vals.push_back(v);
+        }
+    }
+  }
+  const int tag = gather_u_tag(S.nsup);
+  if (comm.rank() != 0) {
+    comm.send_vec(0, tag, ij);
+    comm.send_vec(0, tag, vals);
+    comm.barrier();
+    return {};
+  }
+  sparse::CooMatrix<T> U(S.n, S.n);
+  auto absorb = [&](const std::vector<index_t>& ij2,
+                    const std::vector<T>& v2) {
+    for (std::size_t k = 0; k < v2.size(); ++k)
+      U.add(ij2[2 * k], ij2[2 * k + 1], v2[k]);
+  };
+  absorb(ij, vals);
+  for (int r = 1; r < comm.size(); ++r) {
+    const auto ij2 = comm.recv(r, tag).template as<index_t>();
+    const auto v2 = comm.recv(r, tag).template as<T>();
+    absorb(ij2, v2);
+  }
+  comm.barrier();
+  return U.to_csc();
+}
+
+template class DistributedLU<double>;
+template class DistributedLU<Complex>;
+
+}  // namespace gesp::dist

@@ -1,0 +1,37 @@
+// 2-D process grid and the block-cyclic block→process map of Figure 7:
+// block (I,J) lives on the process at grid coordinate (I mod Pr, J mod Pc).
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace gesp::dist {
+
+struct ProcessGrid {
+  int pr = 1;  ///< process rows
+  int pc = 1;  ///< process columns
+
+  int nprocs() const { return pr * pc; }
+  int prow_of(index_t I) const { return static_cast<int>(I % pr); }
+  int pcol_of(index_t J) const { return static_cast<int>(J % pc); }
+  /// Linear rank of the owner of block (I, J); row-major rank layout.
+  int owner(index_t I, index_t J) const {
+    return prow_of(I) * pc + pcol_of(J);
+  }
+  int rank_row(int rank) const { return rank / pc; }
+  int rank_col(int rank) const { return rank % pc; }
+  int rank_of(int row, int col) const { return row * pc + col; }
+
+  /// The most square grid with pr <= pc for P processes (paper's layouts:
+  /// 2x2, 2x4, 4x4, 4x8, 8x8, 8x16, 16x16, 16x32 for P = 4..512).
+  static ProcessGrid near_square(int P) {
+    GESP_CHECK(P > 0, Errc::invalid_argument, "need at least one process");
+    int pr = static_cast<int>(std::sqrt(static_cast<double>(P)));
+    while (pr > 1 && P % pr != 0) --pr;
+    return ProcessGrid{pr, P / pr};
+  }
+};
+
+}  // namespace gesp::dist

@@ -1,0 +1,123 @@
+#include "dist/minimpi.hpp"
+
+#include <exception>
+#include <memory>
+#include <thread>
+
+namespace gesp::minimpi {
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
+  GESP_CHECK(dst >= 0 && dst < size(), Errc::invalid_argument,
+             "send to invalid rank " + std::to_string(dst));
+  Message msg;
+  msg.src = rank_;
+  msg.tag = tag;
+  msg.data.resize(bytes);
+  if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
+  stats_.messages_sent++;
+  stats_.bytes_sent += static_cast<count_t>(bytes);
+  world_->deliver(dst, std::move(msg));
+}
+
+Message Comm::recv(int src, int tag) {
+  auto& box = *world_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mu);
+  auto match = [&](const Message& m) {
+    return (src == kAnySource || m.src == src) &&
+           (tag == kAnyTag || m.tag == tag);
+  };
+  while (true) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (match(*it)) {
+        Message m = std::move(*it);
+        box.queue.erase(it);
+        stats_.messages_received++;
+        stats_.bytes_received += static_cast<count_t>(m.data.size());
+        return m;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::probe(int src, int tag) const {
+  auto& box = *world_->mailboxes_[rank_];
+  std::unique_lock<std::mutex> lock(box.mu);
+  for (const auto& m : box.queue) {
+    if ((src == kAnySource || m.src == src) &&
+        (tag == kAnyTag || m.tag == tag))
+      return true;
+  }
+  return false;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+  const long gen = world_->barrier_generation_;
+  if (++world_->barrier_count_ == world_->size()) {
+    world_->barrier_count_ = 0;
+    world_->barrier_generation_++;
+    world_->barrier_cv_.notify_all();
+  } else {
+    world_->barrier_cv_.wait(
+        lock, [&] { return world_->barrier_generation_ != gen; });
+  }
+}
+
+double Comm::reduce_sum(int root, int tag, double value) {
+  if (rank_ == root) {
+    double sum = value;
+    for (int r = 0; r < size() - 1; ++r) {
+      const Message m = recv(kAnySource, tag);
+      double v = 0;
+      std::memcpy(&v, m.data.data(), sizeof(double));
+      sum += v;
+    }
+    return sum;
+  }
+  send_value(root, tag, value);
+  return value;
+}
+
+World::World(int nprocs) {
+  GESP_CHECK(nprocs > 0, Errc::invalid_argument, "need at least one rank");
+  mailboxes_.reserve(static_cast<std::size_t>(nprocs));
+  for (int r = 0; r < nprocs; ++r)
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::deliver(int dst, Message msg) {
+  auto& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_one();
+}
+
+std::vector<CommStats> World::run(const std::function<void(Comm&)>& body) {
+  const int P = size();
+  std::vector<CommStats> stats(static_cast<std::size_t>(P));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(*this, r);
+      try {
+        body(comm);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+      stats[r] = comm.stats();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+  return stats;
+}
+
+}  // namespace gesp::minimpi

@@ -1,0 +1,139 @@
+// MiniMPI — an in-process message-passing substrate.
+//
+// The paper's implementation uses MPI on a Cray T3E. This container has no
+// MPI installation and one core, so we build the substrate ourselves: each
+// rank is a std::thread with a mailbox; sends are buffered (copy + enqueue,
+// never blocking — the transport cannot deadlock the pipelined
+// factorization); receives block with (source, tag) matching including
+// wildcards, exactly the subset of MPI-1 the paper's algorithms need
+// (point-to-point, barrier, broadcast, reduce). Every rank keeps message
+// and byte counters so the communication statistics the paper reports via
+// Apprentice fall out of the run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace gesp::minimpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+/// A received message: envelope plus payload bytes.
+struct Message {
+  int src = -1;
+  int tag = -1;
+  std::vector<std::byte> data;
+
+  /// Reinterpret the payload as a vector of T.
+  template <class T>
+  std::vector<T> as() const {
+    GESP_CHECK(data.size() % sizeof(T) == 0, Errc::internal,
+               "message size is not a multiple of the element size");
+    std::vector<T> out(data.size() / sizeof(T));
+    std::memcpy(out.data(), data.data(), data.size());
+    return out;
+  }
+};
+
+/// Per-rank communication counters.
+struct CommStats {
+  count_t messages_sent = 0;
+  count_t bytes_sent = 0;
+  count_t messages_received = 0;
+  count_t bytes_received = 0;
+};
+
+class World;
+
+/// Per-rank communicator handle (valid for the duration of World::run).
+class Comm {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Buffered send: copies the payload and returns immediately.
+  void send(int dst, int tag, const void* data, std::size_t bytes);
+
+  template <class T>
+  void send_vec(int dst, int tag, const std::vector<T>& v) {
+    send(dst, tag, v.data(), v.size() * sizeof(T));
+  }
+
+  /// Send a single POD value.
+  template <class T>
+  void send_value(int dst, int tag, const T& v) {
+    send(dst, tag, &v, sizeof(T));
+  }
+
+  /// Blocking receive with (src, tag) matching; kAnySource / kAnyTag wild.
+  Message recv(int src = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking: true if a matching message is queued.
+  bool probe(int src = kAnySource, int tag = kAnyTag) const;
+
+  /// Synchronize all ranks.
+  void barrier();
+
+  /// Flat binomial-free broadcast (root sends to everyone else; the static
+  /// schedules of the factorization prune destinations themselves).
+  template <class T>
+  std::vector<T> bcast(int root, int tag, const std::vector<T>& v) {
+    if (rank_ == root) {
+      for (int r = 0; r < size(); ++r)
+        if (r != root) send_vec(r, tag, v);
+      return v;
+    }
+    return recv(root, tag).as<T>();
+  }
+
+  /// Sum-reduce a double across ranks onto root.
+  double reduce_sum(int root, int tag, double value);
+
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class World;
+  Comm(World& world, int rank) : world_(&world), rank_(rank) {}
+  World* world_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// The collection of mailboxes; World::run spawns one thread per rank.
+class World {
+ public:
+  explicit World(int nprocs);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  /// Execute `body(comm)` on every rank concurrently; rethrows the first
+  /// rank exception after joining. Returns per-rank comm statistics.
+  std::vector<CommStats> run(const std::function<void(Comm&)>& body);
+
+ private:
+  friend class Comm;
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+  void deliver(int dst, Message msg);
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // Central barrier.
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  long barrier_generation_ = 0;
+};
+
+}  // namespace gesp::minimpi

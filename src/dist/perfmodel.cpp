@@ -1,0 +1,786 @@
+#include "dist/perfmodel.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gesp::dist {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One schedulable unit on one process. A task releases when its
+/// `pending_deps` reaches zero and may then start at or after `dep_time`.
+struct SimTask {
+  int proc = 0;
+  double dur = 0.0;
+  double flops = 0.0;
+  long prog_key = 0;  ///< program order within the proc (strict mode)
+  long prio_key = 0;  ///< scheduling priority (pipelined; lower first)
+  int pending_deps = 0;
+  double dep_time = 0.0;
+  std::function<void(double start, double end)> on_complete;
+};
+
+/// List-scheduling discrete-event engine over P process timelines.
+class Engine {
+ public:
+  explicit Engine(int nprocs)
+      : free_time_(static_cast<std::size_t>(nprocs), 0.0),
+        busy_(static_cast<std::size_t>(nprocs), 0.0),
+        flops_(static_cast<std::size_t>(nprocs), 0.0),
+        released_(static_cast<std::size_t>(nprocs)),
+        running_(static_cast<std::size_t>(nprocs), 0) {}
+
+  int add_task(SimTask t) {
+    tasks_.push_back(std::move(t));
+    return static_cast<int>(tasks_.size()) - 1;
+  }
+
+  /// Satisfy one dependency at time t.
+  void satisfy(int id, double t) {
+    SimTask& tk = tasks_[id];
+    tk.dep_time = std::max(tk.dep_time, t);
+    GESP_ASSERT(tk.pending_deps > 0, "over-satisfied task dependency");
+    if (--tk.pending_deps == 0) {
+      released_[tk.proc].push_back(id);
+      wake_.push_back(tk.proc);
+    }
+  }
+
+  /// Push a proc's clock forward (message-injection overhead etc.). Safe to
+  /// call from completion effects.
+  void charge_overhead(int proc, double seconds) {
+    free_time_[proc] += seconds;
+  }
+
+  void run(bool pipelined) {
+    pipelined_ = pipelined;
+    if (!pipelined_) {
+      program_.assign(free_time_.size(), {});
+      for (int id = 0; id < static_cast<int>(tasks_.size()); ++id)
+        program_[tasks_[id].proc].push_back(id);
+      for (auto& v : program_)
+        std::sort(v.begin(), v.end(), [&](int a, int b) {
+          return tasks_[a].prog_key < tasks_[b].prog_key;
+        });
+      prog_ptr_.assign(free_time_.size(), 0);
+    }
+    // Seed: release all zero-dep tasks.
+    for (int id = 0; id < static_cast<int>(tasks_.size()); ++id)
+      if (tasks_[id].pending_deps == 0) released_[tasks_[id].proc].push_back(id);
+    for (std::size_t p = 0; p < free_time_.size(); ++p)
+      try_start(static_cast<int>(p), 0.0);
+    std::size_t done = 0;
+    while (!events_.empty()) {
+      const auto [t, id] = events_.top();
+      events_.pop();
+      const SimTask& tk = tasks_[id];
+      running_[tk.proc] = 0;
+      makespan_ = std::max(makespan_, t);
+      if (tk.on_complete) tk.on_complete(t - tk.dur, t);
+      ++done;
+      try_start(tk.proc, t);
+      while (!wake_.empty()) {
+        const int wp = wake_.back();
+        wake_.pop_back();
+        try_start(wp, t);
+      }
+    }
+    GESP_CHECK(done == tasks_.size(), Errc::internal,
+               "simulation deadlock: unreleased tasks remain");
+  }
+
+  double makespan() const { return makespan_; }
+  double total_busy() const {
+    double s = 0;
+    for (double b : busy_) s += b;
+    return s;
+  }
+  double load_balance() const {
+    double sum = 0, mx = 0;
+    for (double f : flops_) {
+      sum += f;
+      mx = std::max(mx, f);
+    }
+    return mx == 0 ? 1.0 : sum / (static_cast<double>(flops_.size()) * mx);
+  }
+  double total_flops() const {
+    double s = 0;
+    for (double f : flops_) s += f;
+    return s;
+  }
+  const std::vector<double>& proc_flops() const { return flops_; }
+
+  void set_effect(int id, std::function<void(double, double)> fn) {
+    tasks_[id].on_complete = std::move(fn);
+  }
+
+ private:
+  void try_start(int proc, double now) {
+    if (running_[proc]) return;
+    auto& rel = released_[proc];
+    if (rel.empty() && pipelined_) return;
+    int chosen = -1;
+    if (pipelined_) {
+      double best_start = kInf;
+      std::size_t best_pos = 0;
+      for (std::size_t i = 0; i < rel.size(); ++i) {
+        const SimTask& tk = tasks_[rel[i]];
+        const double s = std::max(free_time_[proc], tk.dep_time);
+        if (s < best_start - 1e-18 ||
+            (s <= best_start + 1e-18 &&
+             (chosen == -1 || tk.prio_key < tasks_[chosen].prio_key))) {
+          best_start = s;
+          chosen = rel[i];
+          best_pos = i;
+        }
+      }
+      if (chosen != -1) {
+        rel[best_pos] = rel.back();
+        rel.pop_back();
+      }
+    } else {
+      auto& ptr = prog_ptr_[proc];
+      if (ptr < program_[proc].size()) {
+        const int next = program_[proc][ptr];
+        if (tasks_[next].pending_deps == 0) {
+          chosen = next;
+          ++ptr;
+          for (std::size_t i = 0; i < rel.size(); ++i)
+            if (rel[i] == chosen) {
+              rel[i] = rel.back();
+              rel.pop_back();
+              break;
+            }
+        }
+      }
+    }
+    if (chosen == -1) return;
+    SimTask& tk = tasks_[chosen];
+    const double start = std::max({now, free_time_[proc], tk.dep_time});
+    const double end = start + tk.dur;
+    busy_[proc] += tk.dur;
+    flops_[proc] += tk.flops;
+    free_time_[proc] = end;
+    running_[proc] = 1;
+    tk.dur = end - start;  // keep so on_complete can recover the start
+    events_.emplace(end, chosen);
+  }
+
+  std::vector<SimTask> tasks_;
+  std::vector<double> free_time_, busy_, flops_;
+  std::vector<std::vector<int>> released_;
+  std::vector<char> running_;
+  std::vector<std::vector<int>> program_;
+  std::vector<std::size_t> prog_ptr_;
+  std::vector<int> wake_;
+  bool pipelined_ = true;
+  double makespan_ = 0.0;
+  using Ev = std::pair<double, int>;
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<>> events_;
+};
+
+}  // namespace
+
+PerfResult simulate_factorization(const symbolic::SymbolicLU& S,
+                                  const ProcessGrid& grid,
+                                  const MachineModel& machine,
+                                  const PerfOptions& opt) {
+  const index_t N = S.nsup;
+  const int P = grid.nprocs();
+  Engine eng(P);
+  count_t messages = 0;
+  count_t bytes = 0;
+
+  // ---- gate counters: pending trailing updates per target panel/diag.
+  std::vector<int> diag_gate(static_cast<std::size_t>(N), 0);
+  std::vector<std::vector<int>> panelL_gate(static_cast<std::size_t>(N));
+  std::vector<std::vector<int>> panelU_gate(static_cast<std::size_t>(N));
+  for (index_t K = 0; K < N; ++K) {
+    panelL_gate[K].assign(static_cast<std::size_t>(grid.pr), 0);
+    panelU_gate[K].assign(static_cast<std::size_t>(grid.pc), 0);
+  }
+  for (index_t K = 0; K < N; ++K)
+    for (const auto& lb : S.L[K])
+      for (const auto& ub : S.U[K]) {
+        if (lb.I == ub.J)
+          diag_gate[lb.I]++;
+        else if (lb.I > ub.J)
+          panelL_gate[ub.J][grid.prow_of(lb.I)]++;
+        else
+          panelU_gate[lb.I][grid.pcol_of(ub.J)]++;
+      }
+
+  // ---- pass 1: create every task so effects can reference ids.
+  std::vector<int> diag_task(static_cast<std::size_t>(N), -1);
+  std::vector<std::vector<int>> panelL_task(static_cast<std::size_t>(N));
+  std::vector<std::vector<int>> panelU_task(static_cast<std::size_t>(N));
+  std::vector<std::vector<int>> upd_next(static_cast<std::size_t>(N));
+  std::vector<std::vector<int>> upd_rest(static_cast<std::size_t>(N));
+
+  struct Checkpoint {
+    double offset;  ///< within the update task
+    index_t X;      ///< target supernode
+    int kind;       ///< 0 diag, 1 panelL, 2 panelU
+    int rc;         ///< proc row / col of the target panel
+  };
+  // Checkpoint lists per task are captured by the effect closures.
+
+  for (index_t K = 0; K < N; ++K) {
+    const double b = static_cast<double>(S.block_cols(K));
+    const double rate = machine.rate(b);
+    const int kr = grid.prow_of(K), kc = grid.pcol_of(K);
+
+    // Which proc rows/cols hold pieces of this panel, and their work.
+    std::vector<double> lwork(static_cast<std::size_t>(grid.pr), 0.0);
+    std::vector<double> lvals(static_cast<std::size_t>(grid.pr), 0.0);
+    for (const auto& lb : S.L[K]) {
+      const int r = grid.prow_of(lb.I);
+      lwork[r] += static_cast<double>(lb.rows.size()) * b * b;
+      lvals[r] += static_cast<double>(lb.rows.size()) * b;
+    }
+    std::vector<double> uwork(static_cast<std::size_t>(grid.pc), 0.0);
+    std::vector<double> uvals(static_cast<std::size_t>(grid.pc), 0.0);
+    for (const auto& ub : S.U[K]) {
+      const int c = grid.pcol_of(ub.J);
+      uwork[c] += b * b * static_cast<double>(ub.cols.size());
+      uvals[c] += b * static_cast<double>(ub.cols.size());
+    }
+
+    // Diagonal factorization.
+    {
+      SimTask t;
+      t.proc = grid.rank_of(kr, kc);
+      t.flops = 2.0 / 3.0 * b * b * b;
+      t.dur = t.flops / rate;
+      t.prog_key = static_cast<long>(K) * 8 + 0;
+      t.prio_key = t.prog_key;
+      t.pending_deps = diag_gate[K] > 0 ? 1 : 0;
+      diag_task[K] = eng.add_task(std::move(t));
+    }
+    // Panels.
+    panelL_task[K].assign(static_cast<std::size_t>(grid.pr), -1);
+    for (int r = 0; r < grid.pr; ++r) {
+      if (lwork[r] == 0.0) continue;
+      SimTask t;
+      t.proc = grid.rank_of(r, kc);
+      t.flops = lwork[r];
+      t.dur = t.flops / rate;
+      t.prog_key = static_cast<long>(K) * 8 + 1;
+      t.prio_key = t.prog_key;
+      t.pending_deps = 1 + (panelL_gate[K][r] > 0 ? 1 : 0);
+      panelL_task[K][r] = eng.add_task(std::move(t));
+    }
+    panelU_task[K].assign(static_cast<std::size_t>(grid.pc), -1);
+    for (int c = 0; c < grid.pc; ++c) {
+      if (uwork[c] == 0.0) continue;
+      SimTask t;
+      t.proc = grid.rank_of(kr, c);
+      t.flops = uwork[c];
+      t.dur = t.flops / rate;
+      t.prog_key = static_cast<long>(K) * 8 + 2;
+      t.prio_key = t.prog_key;
+      t.pending_deps = 1 + (panelU_gate[K][c] > 0 ? 1 : 0);
+      panelU_task[K][c] = eng.add_task(std::move(t));
+    }
+    // Updates (grouped per proc; split next-panel-column vs rest).
+    upd_next[K].assign(static_cast<std::size_t>(P), -1);
+    upd_rest[K].assign(static_cast<std::size_t>(P), -1);
+    std::vector<double> dur_next(static_cast<std::size_t>(P), 0.0);
+    std::vector<double> dur_rest(static_cast<std::size_t>(P), 0.0);
+    std::vector<std::vector<Checkpoint>> cp_next(static_cast<std::size_t>(P));
+    std::vector<std::vector<Checkpoint>> cp_rest(static_cast<std::size_t>(P));
+    for (const auto& lb : S.L[K]) {
+      const double m = static_cast<double>(lb.rows.size());
+      const int r = grid.prow_of(lb.I);
+      for (const auto& ub : S.U[K]) {
+        const double c = static_cast<double>(ub.cols.size());
+        const int p = grid.rank_of(r, grid.pcol_of(ub.J));
+        const double d = 2.0 * m * b * c / rate;
+        Checkpoint cp;
+        if (lb.I == ub.J) {
+          cp = {0, lb.I, 0, 0};
+        } else if (lb.I > ub.J) {
+          cp = {0, ub.J, 1, grid.prow_of(lb.I)};
+        } else {
+          cp = {0, lb.I, 2, grid.pcol_of(ub.J)};
+        }
+        const bool next = (ub.J == K + 1) || (lb.I == K + 1);
+        if (next) {
+          dur_next[p] += d;
+          cp.offset = dur_next[p];
+          cp_next[p].push_back(cp);
+        } else {
+          dur_rest[p] += d;
+          cp.offset = dur_rest[p];
+          cp_rest[p].push_back(cp);
+        }
+      }
+    }
+    auto make_update_effect = [&eng, &diag_gate, &panelL_gate, &panelU_gate,
+                               &diag_task, &panelL_task, &panelU_task](
+                                  std::vector<Checkpoint> cps) {
+      return [cps = std::move(cps), &eng, &diag_gate, &panelL_gate,
+              &panelU_gate, &diag_task, &panelL_task,
+              &panelU_task](double start, double /*end*/) {
+        for (const Checkpoint& cp : cps) {
+          const double t = start + cp.offset;
+          if (cp.kind == 0) {
+            if (--diag_gate[cp.X] == 0) eng.satisfy(diag_task[cp.X], t);
+          } else if (cp.kind == 1) {
+            if (--panelL_gate[cp.X][cp.rc] == 0)
+              eng.satisfy(panelL_task[cp.X][cp.rc], t);
+          } else {
+            if (--panelU_gate[cp.X][cp.rc] == 0)
+              eng.satisfy(panelU_task[cp.X][cp.rc], t);
+          }
+        }
+      };
+    };
+    for (int p = 0; p < P; ++p) {
+      if (dur_next[p] > 0.0) {
+        SimTask t;
+        t.proc = p;
+        t.dur = dur_next[p];
+        t.flops = dur_next[p] * rate;
+        t.prog_key = static_cast<long>(K) * 8 + 3;
+        t.prio_key = t.prog_key;
+        t.pending_deps = 2;  // L panel arrival + U panel arrival
+        t.on_complete = make_update_effect(std::move(cp_next[p]));
+        upd_next[K][p] = eng.add_task(std::move(t));
+      }
+      if (dur_rest[p] > 0.0) {
+        SimTask t;
+        t.proc = p;
+        t.dur = dur_rest[p];
+        t.flops = dur_rest[p] * rate;
+        t.prog_key = static_cast<long>(K) * 8 + 4;
+        // Pipelining: trailing updates yield to the next iteration's
+        // panel work.
+        t.prio_key = static_cast<long>(K + 1) * 8 + 7;
+        t.pending_deps = 2;
+        t.on_complete = make_update_effect(std::move(cp_rest[p]));
+        upd_rest[K][p] = eng.add_task(std::move(t));
+      }
+    }
+  }
+
+  // ---- pass 2: wire completions to broadcasts and downstream releases.
+  for (index_t K = 0; K < N; ++K) {
+    const double b = static_cast<double>(S.block_cols(K));
+    const int kr = grid.prow_of(K), kc = grid.pcol_of(K);
+    const int dproc = grid.rank_of(kr, kc);
+    const double diag_bytes = b * b * machine.word_bytes;
+
+    std::vector<char> col_needs(static_cast<std::size_t>(grid.pc), 0);
+    std::vector<char> row_needs(static_cast<std::size_t>(grid.pr), 0);
+    std::vector<double> lbytes(static_cast<std::size_t>(grid.pr), 0.0);
+    std::vector<double> ubytes(static_cast<std::size_t>(grid.pc), 0.0);
+    for (const auto& ub : S.U[K]) col_needs[grid.pcol_of(ub.J)] = 1;
+    for (const auto& lb : S.L[K]) row_needs[grid.prow_of(lb.I)] = 1;
+    for (const auto& lb : S.L[K])
+      lbytes[grid.prow_of(lb.I)] +=
+          static_cast<double>(lb.rows.size()) * b * machine.word_bytes;
+    for (const auto& ub : S.U[K])
+      ubytes[grid.pcol_of(ub.J)] +=
+          b * static_cast<double>(ub.cols.size()) * machine.word_bytes;
+    std::vector<char> send_cols = col_needs, send_rows = row_needs;
+    if (!opt.edag_pruning) {
+      std::fill(send_cols.begin(), send_cols.end(), 1);
+      std::fill(send_rows.begin(), send_rows.end(), 1);
+    }
+
+    // --- diagonal completion: ship U(K,K) to the panel holders.
+    {
+      struct Dest {
+        int task;
+        bool remote;
+      };
+      std::vector<Dest> dests;
+      for (int r = 0; r < grid.pr; ++r)
+        if (panelL_task[K][r] != -1)
+          dests.push_back({panelL_task[K][r], r != kr});
+      for (int c = 0; c < grid.pc; ++c)
+        if (panelU_task[K][c] != -1)
+          dests.push_back({panelU_task[K][c], c != kc});
+      eng.set_effect(
+          diag_task[K],
+          [dests, dproc, diag_bytes, &eng, &machine, &messages, &bytes](
+              double /*start*/, double end) {
+            int sent = 0;
+            for (const Dest& d : dests) {
+              if (!d.remote) {
+                eng.satisfy(d.task, end);
+                continue;
+              }
+              ++sent;
+              messages += 1;
+              bytes += static_cast<count_t>(diag_bytes);
+              const double arrival = end + sent * machine.latency +
+                                     diag_bytes / machine.bandwidth;
+              eng.satisfy(d.task, arrival);
+            }
+            eng.charge_overhead(dproc, sent * machine.latency);
+          });
+    }
+
+    // --- L panel completion on (r, kc): ship across the process row.
+    for (int r = 0; r < grid.pr; ++r) {
+      const int tid = panelL_task[K][r];
+      if (tid == -1) continue;
+      struct Send {
+        int next_task;  // -1 if absent
+        int rest_task;
+        bool remote;
+      };
+      std::vector<Send> sends;
+      for (int c = 0; c < grid.pc; ++c) {
+        if (c != kc && !send_cols[c]) continue;
+        const int p = grid.rank_of(r, c);
+        const int tn = upd_next[K][p], tr = upd_rest[K][p];
+        if (c != kc || tn != -1 || tr != -1)
+          sends.push_back({tn, tr, c != kc});
+      }
+      const int sproc = grid.rank_of(r, kc);
+      const double payload = lbytes[r];
+      eng.set_effect(
+          tid, [sends, sproc, payload, &eng, &machine, &messages, &bytes](
+                   double /*start*/, double end) {
+            int sent = 0;
+            for (const Send& s : sends) {
+              double at = end;
+              if (s.remote) {
+                ++sent;
+                messages += 2;  // index[] + nzval[]
+                bytes += static_cast<count_t>(payload);
+                at = end + sent * 2 * machine.latency +
+                     payload / machine.bandwidth;
+              }
+              if (s.next_task != -1) eng.satisfy(s.next_task, at);
+              if (s.rest_task != -1) eng.satisfy(s.rest_task, at);
+            }
+            eng.charge_overhead(sproc, sent * 2 * machine.latency);
+          });
+    }
+
+    // --- U panel completion on (kr, c): ship down the process column.
+    for (int c = 0; c < grid.pc; ++c) {
+      const int tid = panelU_task[K][c];
+      if (tid == -1) continue;
+      struct Send {
+        int next_task;
+        int rest_task;
+        bool remote;
+      };
+      std::vector<Send> sends;
+      for (int r = 0; r < grid.pr; ++r) {
+        if (r != kr && !send_rows[r]) continue;
+        const int p = grid.rank_of(r, c);
+        const int tn = upd_next[K][p], tr = upd_rest[K][p];
+        if (r != kr || tn != -1 || tr != -1)
+          sends.push_back({tn, tr, r != kr});
+      }
+      const int sproc = grid.rank_of(kr, c);
+      const double payload = ubytes[c];
+      eng.set_effect(
+          tid, [sends, sproc, payload, &eng, &machine, &messages, &bytes](
+                   double /*start*/, double end) {
+            int sent = 0;
+            for (const Send& s : sends) {
+              double at = end;
+              if (s.remote) {
+                ++sent;
+                messages += 2;
+                bytes += static_cast<count_t>(payload);
+                at = end + sent * 2 * machine.latency +
+                     payload / machine.bandwidth;
+              }
+              if (s.next_task != -1) eng.satisfy(s.next_task, at);
+              if (s.rest_task != -1) eng.satisfy(s.rest_task, at);
+            }
+            eng.charge_overhead(sproc, sent * 2 * machine.latency);
+          });
+    }
+  }
+
+  eng.run(opt.pipelined);
+
+  PerfResult res;
+  res.time = eng.makespan();
+  res.total_flops = static_cast<count_t>(eng.total_flops());
+  res.mflops = res.time > 0 ? eng.total_flops() / res.time / 1e6 : 0.0;
+  res.load_balance = eng.load_balance();
+  res.comm_fraction =
+      res.time > 0 ? 1.0 - eng.total_busy() / (P * res.time) : 0.0;
+  res.total_messages = messages;
+  res.total_bytes = bytes;
+  return res;
+}
+
+namespace {
+
+/// Shared engine setup for one triangular-solve direction.
+/// `lower` selects the forward (L) or backward (U) substitution pattern.
+struct SolvePhase {
+  double time = 0.0;
+  double busy = 0.0;
+  std::vector<double> flops;
+  count_t messages = 0;
+  count_t bytes = 0;
+};
+
+SolvePhase simulate_solve_phase(const symbolic::SymbolicLU& S,
+                                const ProcessGrid& grid,
+                                const MachineModel& machine, bool lower) {
+  const index_t N = S.nsup;
+  const int P = grid.nprocs();
+  Engine eng(P);
+  count_t messages = 0;
+  count_t bytes = 0;
+  // Memory-bound vector kernels: model with the small-block rate.
+  const double rate = machine.rate(2.0);
+
+  // Block lists per "pivot" supernode K: the off-diagonal blocks whose
+  // x(K) feeds, with their owner and update size.
+  // lower: blocks (I, K) of L (I > K), contribution into x(I).
+  // upper: blocks (K', K) of U (K' < K), contribution into x(K').
+  struct Blk {
+    index_t target;  ///< block whose solution this update feeds
+    int proc;
+    double flops;
+  };
+  std::vector<std::vector<Blk>> feeds(static_cast<std::size_t>(N));
+  if (lower) {
+    for (index_t K = 0; K < N; ++K) {
+      const double b = static_cast<double>(S.block_cols(K));
+      for (const auto& lb : S.L[K])
+        feeds[K].push_back({lb.I, grid.owner(lb.I, K),
+                            2.0 * static_cast<double>(lb.rows.size()) * b});
+    }
+  } else {
+    for (index_t Kp = 0; Kp < N; ++Kp) {
+      for (const auto& ub : S.U[Kp]) {
+        const double bk = static_cast<double>(S.block_cols(Kp));
+        feeds[ub.J].push_back({Kp, grid.owner(Kp, ub.J),
+                               2.0 * bk *
+                                   static_cast<double>(ub.cols.size())});
+      }
+    }
+  }
+
+  // fmod[p][T]: my remaining updates into x(T); contributing ranks per T.
+  std::vector<std::vector<int>> fmod(static_cast<std::size_t>(P));
+  for (auto& v : fmod) v.assign(static_cast<std::size_t>(N), 0);
+  std::vector<int> contributors(static_cast<std::size_t>(N), 0);
+  std::vector<std::vector<char>> contrib_mark(static_cast<std::size_t>(P));
+  for (auto& v : contrib_mark) v.assign(static_cast<std::size_t>(N), 0);
+  for (index_t K = 0; K < N; ++K)
+    for (const Blk& blk : feeds[K]) {
+      fmod[blk.proc][blk.target]++;
+      if (!contrib_mark[blk.proc][blk.target]) {
+        contrib_mark[blk.proc][blk.target] = 1;
+        contributors[blk.target]++;
+      }
+    }
+
+  // Tasks: DSOLVE(T) on owner(T,T); XPROC(p, K) aggregating p's updates
+  // fed by x(K).
+  std::vector<int> dsolve(static_cast<std::size_t>(N), -1);
+  std::vector<std::vector<std::pair<int, int>>> xproc(
+      static_cast<std::size_t>(N));  // K -> [(proc, task id)]
+  for (index_t T = 0; T < N; ++T) {
+    const double b = static_cast<double>(S.block_cols(T));
+    SimTask t;
+    t.proc = grid.owner(T, T);
+    t.flops = b * b;
+    t.dur = t.flops / rate;
+    t.prog_key = t.prio_key = lower ? T : (N - 1 - T);
+    t.pending_deps = contributors[T];
+    dsolve[T] = eng.add_task(std::move(t));
+  }
+  struct Checkpoint {
+    double offset;
+    index_t target;
+  };
+  for (index_t K = 0; K < N; ++K) {
+    // Group the feeds of K by proc.
+    std::map<int, std::pair<double, std::vector<Checkpoint>>> by_proc;
+    for (const Blk& blk : feeds[K]) {
+      auto& [dur, cps] = by_proc[blk.proc];
+      dur += blk.flops / rate;
+      cps.push_back({dur, blk.target});
+    }
+    for (auto& entry : by_proc) {
+      const int p = entry.first;
+      const double dur = entry.second.first;
+      std::vector<Checkpoint> cps = std::move(entry.second.second);
+      SimTask t;
+      t.proc = p;
+      t.dur = dur;
+      t.flops = dur * rate;
+      t.prog_key = t.prio_key = lower ? K : (N - 1 - K);
+      t.pending_deps = 1;  // x(K) arrival
+      const int proc = p;
+      t.on_complete = [cps = std::move(cps), proc, &fmod, &grid, &S, &eng,
+                       &dsolve, &machine, &messages,
+                       &bytes](double start, double /*end*/) {
+        for (const Checkpoint& cp : cps) {
+          const double t = start + cp.offset;
+          if (--fmod[proc][cp.target] == 0) {
+            const int downer = grid.owner(cp.target, cp.target);
+            if (downer == proc) {
+              eng.satisfy(dsolve[cp.target], t);
+            } else {
+              const double payload_bytes =
+                  S.block_cols(cp.target) * machine.word_bytes;
+              messages += 1;
+              bytes += static_cast<count_t>(payload_bytes);
+              eng.charge_overhead(proc, machine.latency);
+              eng.satisfy(dsolve[cp.target],
+                          t + machine.latency +
+                              payload_bytes / machine.bandwidth);
+            }
+          }
+        }
+      };
+      const int tid = eng.add_task(std::move(t));
+      xproc[K].emplace_back(p, tid);
+    }
+  }
+  // DSOLVE completion broadcasts x(T) to the procs that consume it.
+  for (index_t T = 0; T < N; ++T) {
+    const int downer = grid.owner(T, T);
+    struct Dest {
+      int task;
+      bool remote;
+    };
+    std::vector<Dest> dests;
+    for (const auto& [p, tid] : xproc[T]) dests.push_back({tid, p != downer});
+    const double payload_bytes = S.block_cols(T) * machine.word_bytes;
+    eng.set_effect(dsolve[T], [dests, downer, payload_bytes, &eng, &machine,
+                               &messages, &bytes](double /*s*/, double end) {
+      int sent = 0;
+      for (const Dest& d : dests) {
+        if (!d.remote) {
+          eng.satisfy(d.task, end);
+          continue;
+        }
+        ++sent;
+        messages += 1;
+        bytes += static_cast<count_t>(payload_bytes);
+        eng.satisfy(d.task, end + sent * machine.latency +
+                                payload_bytes / machine.bandwidth);
+      }
+      eng.charge_overhead(downer, sent * machine.latency);
+    });
+  }
+
+  eng.run(/*pipelined=*/true);
+  SolvePhase out;
+  out.time = eng.makespan();
+  out.busy = eng.total_busy();
+  out.flops = eng.proc_flops();
+  out.messages = messages;
+  out.bytes = bytes;
+  return out;
+}
+
+}  // namespace
+
+PerfResult simulate_solve(const symbolic::SymbolicLU& S,
+                          const ProcessGrid& grid,
+                          const MachineModel& machine) {
+  const SolvePhase lo = simulate_solve_phase(S, grid, machine, true);
+  const SolvePhase up = simulate_solve_phase(S, grid, machine, false);
+  PerfResult res;
+  res.time = lo.time + up.time;
+  double total = 0, mx = 0;
+  for (std::size_t p = 0; p < lo.flops.size(); ++p) {
+    const double f = lo.flops[p] + up.flops[p];
+    total += f;
+    mx = std::max(mx, f);
+  }
+  res.total_flops = static_cast<count_t>(total);
+  res.mflops = res.time > 0 ? total / res.time / 1e6 : 0.0;
+  res.load_balance =
+      mx == 0 ? 1.0 : total / (static_cast<double>(grid.nprocs()) * mx);
+  res.comm_fraction =
+      res.time > 0
+          ? 1.0 - (lo.busy + up.busy) / (grid.nprocs() * res.time)
+          : 0.0;
+  res.total_messages = lo.messages + up.messages;
+  res.total_bytes = lo.bytes + up.bytes;
+  return res;
+}
+
+CommCounts count_factorization_comm(const symbolic::SymbolicLU& S,
+                                    const ProcessGrid& grid,
+                                    bool edag_pruning, double word_bytes) {
+  CommCounts cc;
+  const index_t N = S.nsup;
+  for (index_t K = 0; K < N; ++K) {
+    const double b = static_cast<double>(S.block_cols(K));
+    const int kr = grid.prow_of(K), kc = grid.pcol_of(K);
+    std::vector<char> row_has_l(static_cast<std::size_t>(grid.pr), 0);
+    std::vector<char> col_has_u(static_cast<std::size_t>(grid.pc), 0);
+    std::vector<double> lvals(static_cast<std::size_t>(grid.pr), 0.0);
+    std::vector<double> uvals(static_cast<std::size_t>(grid.pc), 0.0);
+    std::vector<double> lidx(static_cast<std::size_t>(grid.pr), 0.0);
+    std::vector<double> uidx(static_cast<std::size_t>(grid.pc), 0.0);
+    for (const auto& lb : S.L[K]) {
+      const int r = grid.prow_of(lb.I);
+      row_has_l[r] = 1;
+      lvals[r] += static_cast<double>(lb.rows.size()) * b;
+      lidx[r] += 2;
+    }
+    for (const auto& ub : S.U[K]) {
+      const int c = grid.pcol_of(ub.J);
+      col_has_u[c] = 1;
+      uvals[c] += b * static_cast<double>(ub.cols.size());
+      uidx[c] += 2;
+    }
+    // Diagonal block to panel holders.
+    for (int r = 0; r < grid.pr; ++r)
+      if (r != kr && row_has_l[r]) {
+        cc.messages += 1;
+        cc.bytes += static_cast<count_t>(b * b * word_bytes);
+      }
+    for (int c = 0; c < grid.pc; ++c)
+      if (c != kc && col_has_u[c]) {
+        cc.messages += 1;
+        cc.bytes += static_cast<count_t>(b * b * word_bytes);
+      }
+    // L panel row-wise: from (r, kc) to process columns; two messages
+    // (index[] + nzval[]) per destination, as in Figure 7's data structure.
+    for (int r = 0; r < grid.pr; ++r) {
+      if (!row_has_l[r]) continue;
+      for (int c = 0; c < grid.pc; ++c) {
+        if (c == kc) continue;
+        if (edag_pruning && !col_has_u[c]) continue;
+        cc.messages += 2;
+        cc.bytes += static_cast<count_t>(lvals[r] * word_bytes +
+                                         lidx[r] * sizeof(index_t));
+      }
+    }
+    // U panel column-wise.
+    for (int c = 0; c < grid.pc; ++c) {
+      if (!col_has_u[c]) continue;
+      for (int r = 0; r < grid.pr; ++r) {
+        if (r == kr) continue;
+        if (edag_pruning && !row_has_l[r]) continue;
+        cc.messages += 2;
+        cc.bytes += static_cast<count_t>(uvals[c] * word_bytes +
+                                         uidx[c] * sizeof(index_t));
+      }
+    }
+  }
+  return cc;
+}
+
+}  // namespace gesp::dist

@@ -1,0 +1,49 @@
+#include "dist/solve_levels.hpp"
+
+#include <algorithm>
+
+namespace gesp::dist {
+namespace {
+
+LevelSchedule finish(const symbolic::SymbolicLU& S,
+                     std::vector<index_t> level) {
+  LevelSchedule out;
+  out.level = std::move(level);
+  for (index_t l : out.level) out.num_levels = std::max(out.num_levels, l + 1);
+  std::vector<index_t> width(static_cast<std::size_t>(out.num_levels), 0);
+  std::vector<count_t> cost(static_cast<std::size_t>(out.num_levels), 0);
+  for (index_t K = 0; K < S.nsup; ++K) {
+    width[out.level[K]]++;
+    const count_t b = S.block_cols(K);
+    cost[out.level[K]] = std::max(cost[out.level[K]], b * b);
+  }
+  for (index_t w : width) out.max_width = std::max(out.max_width, w);
+  out.avg_width = out.num_levels > 0
+                      ? static_cast<double>(S.nsup) / out.num_levels
+                      : 0.0;
+  for (count_t c : cost) out.critical_path_flops += c;
+  return out;
+}
+
+}  // namespace
+
+LevelSchedule lower_solve_levels(const symbolic::SymbolicLU& S) {
+  // Edge K -> I for every L block (I, K): x(I) waits on x(K).
+  std::vector<index_t> level(static_cast<std::size_t>(S.nsup), 0);
+  for (index_t K = 0; K < S.nsup; ++K)
+    for (const auto& blk : S.L[K])
+      level[blk.I] = std::max(level[blk.I], level[K] + 1);
+  return finish(S, std::move(level));
+}
+
+LevelSchedule upper_solve_levels(const symbolic::SymbolicLU& S) {
+  // Edge J -> K for every U block (K, J): x(K) waits on x(J); process in
+  // reverse so dependencies are final when read.
+  std::vector<index_t> level(static_cast<std::size_t>(S.nsup), 0);
+  for (index_t K = S.nsup - 1; K >= 0; --K)
+    for (const auto& blk : S.U[K])
+      level[K] = std::max(level[K], level[blk.J] + 1);
+  return finish(S, std::move(level));
+}
+
+}  // namespace gesp::dist

@@ -1,0 +1,36 @@
+// Level scheduling for the sparse triangular solves — the paper's §4
+// improvement path: "To speed up the sparse triangular solve, we may apply
+// some graph coloring heuristic to reduce the number of parallel steps."
+//
+// The solve's dependency DAG over supernodes has an edge K' -> K whenever
+// block (K, K') of L (forward) or (K', K) of U (backward) is nonzero. A
+// level assignment (greedy "coloring" along the DAG) groups supernodes
+// that can be solved simultaneously; the number of levels is the critical
+// path — the lower bound on parallel solve steps, versus N fully
+// sequential steps.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace gesp::dist {
+
+struct LevelSchedule {
+  std::vector<index_t> level;  ///< level[K] per supernode, 0-based
+  index_t num_levels = 0;
+  double avg_width = 0.0;   ///< supernodes per level (parallelism)
+  index_t max_width = 0;
+  /// Weighted critical path: sum over levels of the largest diagonal-block
+  /// solve cost in that level (a machine-independent time lower bound).
+  count_t critical_path_flops = 0;
+};
+
+/// Forward (L) solve schedule.
+LevelSchedule lower_solve_levels(const symbolic::SymbolicLU& S);
+
+/// Backward (U) solve schedule.
+LevelSchedule upper_solve_levels(const symbolic::SymbolicLU& S);
+
+}  // namespace gesp::dist

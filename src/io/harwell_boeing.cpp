@@ -1,0 +1,263 @@
+#include "io/harwell_boeing.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace gesp::io {
+namespace detail {
+
+FortranFormat parse_fortran_format(const std::string& spec) {
+  // Grammar (subset): '(' [scale 'P' [',']] [repeat] TYPE width ['.' dec]
+  //                   ['E' expwidth] ')'
+  std::string s;
+  for (char c : spec)
+    if (!std::isspace(static_cast<unsigned char>(c)))
+      s += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  GESP_CHECK(!s.empty() && s.front() == '(' && s.back() == ')', Errc::io,
+             "bad Fortran format: " + spec);
+  s = s.substr(1, s.size() - 2);
+  std::size_t pos = 0;
+  auto read_int = [&]() {
+    std::size_t start = pos;
+    while (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+      ++pos;
+    GESP_CHECK(pos > start, Errc::io, "bad Fortran format: " + spec);
+    return std::atoi(s.substr(start, pos - start).c_str());
+  };
+  FortranFormat f;
+  // Optional scale factor "nP" or "nP,".
+  if (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos]))) {
+    const std::size_t save = pos;
+    const int first = read_int();
+    if (pos < s.size() && s[pos] == 'P') {
+      ++pos;  // scale factor only affects *writing*; ignore on read
+      if (pos < s.size() && s[pos] == ',') ++pos;
+    } else {
+      pos = save;  // it was the repeat count
+    }
+    (void)first;
+  }
+  if (pos < s.size() && std::isdigit(static_cast<unsigned char>(s[pos])))
+    f.repeat = read_int();
+  GESP_CHECK(pos < s.size(), Errc::io, "bad Fortran format: " + spec);
+  f.type = s[pos++];
+  GESP_CHECK(f.type == 'I' || f.type == 'E' || f.type == 'D' ||
+                 f.type == 'F' || f.type == 'G',
+             Errc::io, "unsupported Fortran edit type in: " + spec);
+  f.width = read_int();
+  // Trailing ".d" and exponent width are irrelevant for fixed-width reads.
+  return f;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::FortranFormat;
+using detail::parse_fortran_format;
+
+std::string get_line(std::istream& in, const char* what) {
+  std::string line;
+  GESP_CHECK(static_cast<bool>(std::getline(in, line)), Errc::io,
+             std::string("truncated HB file: missing ") + what);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+/// Fixed-column substring, tolerant of short lines.
+std::string field(const std::string& line, std::size_t pos, std::size_t len) {
+  if (pos >= line.size()) return {};
+  return line.substr(pos, len);
+}
+
+long long to_ll(const std::string& s, const char* what) {
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  GESP_CHECK(end != s.c_str(), Errc::io,
+             std::string("bad integer in HB ") + what + ": '" + s + "'");
+  return v;
+}
+
+/// Read `n` fixed-width integer fields laid out per `fmt`.
+std::vector<long long> read_int_block(std::istream& in, count_t n,
+                                      const FortranFormat& fmt,
+                                      const char* what) {
+  GESP_CHECK(fmt.type == 'I', Errc::io,
+             std::string("expected integer format for ") + what);
+  std::vector<long long> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<count_t>(out.size()) < n) {
+    const std::string line = get_line(in, what);
+    for (int k = 0; k < fmt.repeat && static_cast<count_t>(out.size()) < n;
+         ++k) {
+      const std::string f =
+          field(line, static_cast<std::size_t>(k) * fmt.width,
+                static_cast<std::size_t>(fmt.width));
+      if (f.find_first_not_of(' ') == std::string::npos)
+        throw Error(Errc::io, std::string("short line in HB ") + what);
+      out.push_back(to_ll(f, what));
+    }
+  }
+  return out;
+}
+
+/// Read `n` fixed-width real fields; 'D' exponents are normalized to 'E'.
+std::vector<double> read_real_block(std::istream& in, count_t n,
+                                    const FortranFormat& fmt,
+                                    const char* what) {
+  GESP_CHECK(fmt.type != 'I', Errc::io,
+             std::string("expected real format for ") + what);
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  while (static_cast<count_t>(out.size()) < n) {
+    const std::string line = get_line(in, what);
+    for (int k = 0; k < fmt.repeat && static_cast<count_t>(out.size()) < n;
+         ++k) {
+      std::string f = field(line, static_cast<std::size_t>(k) * fmt.width,
+                            static_cast<std::size_t>(fmt.width));
+      if (f.find_first_not_of(' ') == std::string::npos)
+        throw Error(Errc::io, std::string("short line in HB ") + what);
+      std::replace(f.begin(), f.end(), 'D', 'E');
+      std::replace(f.begin(), f.end(), 'd', 'e');
+      char* end = nullptr;
+      const double v = std::strtod(f.c_str(), &end);
+      GESP_CHECK(end != f.c_str(), Errc::io,
+                 std::string("bad real in HB ") + what + ": '" + f + "'");
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+sparse::CscMatrix<double> read_harwell_boeing(const std::string& path) {
+  std::ifstream f(path);
+  GESP_CHECK(f.good(), Errc::io, "cannot open " + path);
+  return read_harwell_boeing(f);
+}
+
+sparse::CscMatrix<double> read_harwell_boeing(std::istream& in) {
+  // Header line 1: title + key — informational only.
+  (void)get_line(in, "title line");
+  // Line 2: card counts.
+  const std::string l2 = get_line(in, "card-count line");
+  const long long rhscrd = to_ll(field(l2, 56, 14), "RHSCRD");
+  // Line 3: type + dimensions.
+  const std::string l3 = get_line(in, "type line");
+  std::string mxtype = field(l3, 0, 3);
+  std::transform(mxtype.begin(), mxtype.end(), mxtype.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  GESP_CHECK(mxtype.size() == 3, Errc::io, "bad MXTYPE");
+  const char vtype = mxtype[0], stype = mxtype[1], atype = mxtype[2];
+  GESP_CHECK(vtype == 'R' || vtype == 'P', Errc::io,
+             "only real or pattern HB matrices are supported");
+  GESP_CHECK(atype == 'A', Errc::io,
+             "only assembled HB matrices are supported");
+  const index_t nrow = static_cast<index_t>(to_ll(field(l3, 14, 14), "NROW"));
+  const index_t ncol = static_cast<index_t>(to_ll(field(l3, 28, 14), "NCOL"));
+  const count_t nnz = to_ll(field(l3, 42, 14), "NNZERO");
+  GESP_CHECK(nrow > 0 && ncol > 0 && nnz >= 0, Errc::io,
+             "bad HB dimensions");
+  // Line 4: formats.
+  const std::string l4 = get_line(in, "format line");
+  const FortranFormat ptrfmt = parse_fortran_format(field(l4, 0, 16));
+  const FortranFormat indfmt = parse_fortran_format(field(l4, 16, 16));
+  FortranFormat valfmt{};
+  if (vtype == 'R') valfmt = parse_fortran_format(field(l4, 32, 20));
+  // Optional line 5 (right-hand-side descriptor) — skip.
+  if (rhscrd > 0) (void)get_line(in, "rhs format line");
+
+  const auto colptr = read_int_block(in, ncol + 1, ptrfmt, "column pointers");
+  const auto rowind = read_int_block(in, nnz, indfmt, "row indices");
+  std::vector<double> values;
+  if (vtype == 'R')
+    values = read_real_block(in, nnz, valfmt, "values");
+  else
+    values.assign(static_cast<std::size_t>(nnz), 1.0);
+
+  sparse::CooMatrix<double> coo(nrow, ncol);
+  coo.reserve(static_cast<std::size_t>(stype == 'U' ? nnz : 2 * nnz));
+  for (index_t j = 0; j < ncol; ++j) {
+    GESP_CHECK(colptr[j] >= 1 && colptr[j] <= colptr[j + 1] &&
+                   colptr[j + 1] <= nnz + 1,
+               Errc::io, "bad HB column pointer");
+    for (long long p = colptr[j] - 1; p < colptr[j + 1] - 1; ++p) {
+      const index_t i = static_cast<index_t>(rowind[p] - 1);
+      GESP_CHECK(i >= 0 && i < nrow, Errc::io, "HB row index out of range");
+      const double v = values[static_cast<std::size_t>(p)];
+      coo.add(i, j, v);
+      if (i != j) {
+        if (stype == 'S')
+          coo.add(j, i, v);
+        else if (stype == 'Z')
+          coo.add(j, i, -v);
+        else
+          GESP_CHECK(stype == 'U' || stype == 'R', Errc::io,
+                     "unsupported HB symmetry type");
+      }
+    }
+  }
+  return coo.to_csc();
+}
+
+void write_harwell_boeing(const std::string& path,
+                          const sparse::CscMatrix<double>& A,
+                          const std::string& title, const std::string& key) {
+  std::ofstream f(path);
+  GESP_CHECK(f.good(), Errc::io, "cannot open " + path + " for writing");
+  write_harwell_boeing(f, A, title, key);
+}
+
+void write_harwell_boeing(std::ostream& out,
+                          const sparse::CscMatrix<double>& A,
+                          const std::string& title, const std::string& key) {
+  const count_t nnz = A.nnz();
+  const auto lines = [](count_t items, int per_line) {
+    return (items + per_line - 1) / per_line;
+  };
+  const count_t ptrcrd = lines(A.ncols + 1, 10);
+  const count_t indcrd = lines(nnz, 10);
+  const count_t valcrd = lines(nnz, 3);
+  const count_t totcrd = ptrcrd + indcrd + valcrd;
+  char buf[128];
+  std::string t = title;
+  t.resize(72, ' ');
+  std::string k = key;
+  k.resize(8, ' ');
+  out << t << k << '\n';
+  std::snprintf(buf, sizeof buf, "%14lld%14lld%14lld%14lld%14d\n",
+                static_cast<long long>(totcrd), static_cast<long long>(ptrcrd),
+                static_cast<long long>(indcrd), static_cast<long long>(valcrd),
+                0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "RUA%11s%14d%14d%14lld%14d\n", "", A.nrows,
+                A.ncols, static_cast<long long>(nnz), 0);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "%-16s%-16s%-20s%-20s\n", "(10I8)", "(10I8)",
+                "(3E25.16)", "");
+  out << buf;
+  auto write_ints = [&](auto begin, count_t n, count_t offset) {
+    for (count_t i = 0; i < n; ++i) {
+      std::snprintf(buf, sizeof buf, "%8lld",
+                    static_cast<long long>(begin[i]) + offset);
+      out << buf;
+      if ((i + 1) % 10 == 0 || i + 1 == n) out << '\n';
+    }
+  };
+  write_ints(A.colptr.begin(), A.ncols + 1, 1);
+  write_ints(A.rowind.begin(), nnz, 1);
+  for (count_t i = 0; i < nnz; ++i) {
+    std::snprintf(buf, sizeof buf, "%25.16E", A.values[i]);
+    out << buf;
+    if ((i + 1) % 3 == 0 || i + 1 == nnz) out << '\n';
+  }
+}
+
+}  // namespace gesp::io

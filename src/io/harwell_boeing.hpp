@@ -1,0 +1,44 @@
+// Harwell-Boeing (HB) format reader/writer — the format of the collection
+// the paper's testbed comes from [14]. Handles RUA/RSA/PUA-style headers
+// (real / pattern, unsymmetric / symmetric assembled matrices) and the
+// fixed-width Fortran edit descriptors used for the pointer/index/value
+// blocks ((16I5), (3E26.16), 1P scale factors, D exponents, ...).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::io {
+
+/// Read an assembled real or pattern HB matrix; symmetric/skew storage is
+/// expanded to general. Elemental (**E) and complex (C**) types are
+/// rejected with Errc::io.
+sparse::CscMatrix<double> read_harwell_boeing(const std::string& path);
+sparse::CscMatrix<double> read_harwell_boeing(std::istream& in);
+
+/// Write as an assembled real unsymmetric (RUA) matrix with formats
+/// (10I8) / (3E25.16).
+void write_harwell_boeing(const std::string& path,
+                          const sparse::CscMatrix<double>& A,
+                          const std::string& title = "GESP matrix",
+                          const std::string& key = "GESP0001");
+void write_harwell_boeing(std::ostream& out,
+                          const sparse::CscMatrix<double>& A,
+                          const std::string& title = "GESP matrix",
+                          const std::string& key = "GESP0001");
+
+namespace detail {
+/// Parsed Fortran edit descriptor, e.g. "(16I5)" or "(1P,3E25.16E3)".
+struct FortranFormat {
+  int repeat = 1;   ///< fields per line
+  char type = 'I';  ///< I, E, D, F or G
+  int width = 0;    ///< field width in characters
+};
+/// Parse the descriptor; throws Errc::io on unsupported syntax.
+FortranFormat parse_fortran_format(const std::string& spec);
+}  // namespace detail
+
+}  // namespace gesp::io

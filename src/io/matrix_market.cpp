@@ -1,0 +1,220 @@
+#include "io/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+
+namespace gesp::io {
+namespace {
+
+struct MmHeader {
+  enum class Field { real, complex_, integer, pattern } field;
+  enum class Symmetry { general, symmetric, skew, hermitian } symmetry;
+};
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+MmHeader parse_header(std::istream& in) {
+  std::string line;
+  GESP_CHECK(std::getline(in, line), Errc::io, "empty MatrixMarket stream");
+  std::istringstream hs(line);
+  std::string banner, object, format, field, symmetry;
+  hs >> banner >> object >> format >> field >> symmetry;
+  GESP_CHECK(banner == "%%MatrixMarket", Errc::io,
+             "missing %%MatrixMarket banner");
+  GESP_CHECK(lower(object) == "matrix", Errc::io,
+             "only 'matrix' objects are supported");
+  GESP_CHECK(lower(format) == "coordinate", Errc::io,
+             "only coordinate format is supported (no dense arrays)");
+  MmHeader h;
+  const std::string f = lower(field);
+  if (f == "real")
+    h.field = MmHeader::Field::real;
+  else if (f == "complex")
+    h.field = MmHeader::Field::complex_;
+  else if (f == "integer")
+    h.field = MmHeader::Field::integer;
+  else if (f == "pattern")
+    h.field = MmHeader::Field::pattern;
+  else
+    throw Error(Errc::io, "unknown MatrixMarket field: " + field);
+  const std::string s = lower(symmetry);
+  if (s == "general")
+    h.symmetry = MmHeader::Symmetry::general;
+  else if (s == "symmetric")
+    h.symmetry = MmHeader::Symmetry::symmetric;
+  else if (s == "skew-symmetric")
+    h.symmetry = MmHeader::Symmetry::skew;
+  else if (s == "hermitian")
+    h.symmetry = MmHeader::Symmetry::hermitian;
+  else
+    throw Error(Errc::io, "unknown MatrixMarket symmetry: " + symmetry);
+  return h;
+}
+
+void read_size_line(std::istream& in, index_t& nrows, index_t& ncols,
+                    count_t& nnz) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long r = 0, c = 0, z = 0;
+    GESP_CHECK(static_cast<bool>(ls >> r >> c >> z), Errc::io,
+               "malformed size line: " + line);
+    nrows = static_cast<index_t>(r);
+    ncols = static_cast<index_t>(c);
+    nnz = z;
+    return;
+  }
+  throw Error(Errc::io, "missing size line");
+}
+
+template <class T>
+sparse::CscMatrix<T> read_body(std::istream& in, const MmHeader& h) {
+  index_t nrows = 0, ncols = 0;
+  count_t nnz = 0;
+  read_size_line(in, nrows, ncols, nnz);
+  sparse::CooMatrix<T> coo(nrows, ncols);
+  coo.reserve(static_cast<std::size_t>(
+      h.symmetry == MmHeader::Symmetry::general ? nnz : 2 * nnz));
+  std::string line;
+  count_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream ls(line);
+    long long i = 0, j = 0;
+    GESP_CHECK(static_cast<bool>(ls >> i >> j), Errc::io,
+               "malformed entry line: " + line);
+    T v;
+    if (h.field == MmHeader::Field::pattern) {
+      v = T{1};
+    } else if (h.field == MmHeader::Field::complex_) {
+      double re = 0, im = 0;
+      GESP_CHECK(static_cast<bool>(ls >> re >> im), Errc::io,
+                 "malformed complex entry: " + line);
+      if constexpr (is_complex_v<T>)
+        v = T(re, im);
+      else
+        throw Error(Errc::io,
+                    "complex file read through the real-valued reader");
+    } else {
+      double re = 0;
+      GESP_CHECK(static_cast<bool>(ls >> re), Errc::io,
+                 "malformed entry value: " + line);
+      v = T{re};
+    }
+    const index_t ii = static_cast<index_t>(i - 1);
+    const index_t jj = static_cast<index_t>(j - 1);
+    GESP_CHECK(ii >= 0 && ii < nrows && jj >= 0 && jj < ncols, Errc::io,
+               "entry index out of range: " + line);
+    coo.add(ii, jj, v);
+    if (ii != jj) {
+      switch (h.symmetry) {
+        case MmHeader::Symmetry::general:
+          break;
+        case MmHeader::Symmetry::symmetric:
+          coo.add(jj, ii, v);
+          break;
+        case MmHeader::Symmetry::skew:
+          coo.add(jj, ii, -v);
+          break;
+        case MmHeader::Symmetry::hermitian:
+          if constexpr (is_complex_v<T>)
+            coo.add(jj, ii, std::conj(v));
+          else
+            coo.add(jj, ii, v);
+          break;
+      }
+    }
+    ++seen;
+  }
+  GESP_CHECK(seen == nnz, Errc::io, "truncated MatrixMarket body");
+  return coo.to_csc();
+}
+
+template <class T>
+void write_body(std::ostream& out, const sparse::CscMatrix<T>& A) {
+  out << "%%MatrixMarket matrix coordinate "
+      << (is_complex_v<T> ? "complex" : "real") << " general\n";
+  out << A.nrows << ' ' << A.ncols << ' ' << A.nnz() << '\n';
+  char buf[128];
+  for (index_t j = 0; j < A.ncols; ++j) {
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      if constexpr (is_complex_v<T>) {
+        std::snprintf(buf, sizeof buf, "%d %d %.17g %.17g\n",
+                      A.rowind[p] + 1, j + 1, A.values[p].real(),
+                      A.values[p].imag());
+      } else {
+        std::snprintf(buf, sizeof buf, "%d %d %.17g\n", A.rowind[p] + 1,
+                      j + 1, static_cast<double>(A.values[p]));
+      }
+      out << buf;
+    }
+  }
+}
+
+std::ifstream open_file(const std::string& path) {
+  std::ifstream f(path);
+  GESP_CHECK(f.good(), Errc::io, "cannot open " + path);
+  return f;
+}
+
+}  // namespace
+
+sparse::CscMatrix<double> read_matrix_market(const std::string& path) {
+  auto f = open_file(path);
+  return read_matrix_market(f);
+}
+
+sparse::CscMatrix<double> read_matrix_market(std::istream& in) {
+  const MmHeader h = parse_header(in);
+  GESP_CHECK(h.field != MmHeader::Field::complex_, Errc::io,
+             "complex file: use read_matrix_market_complex");
+  return read_body<double>(in, h);
+}
+
+sparse::CscMatrix<Complex> read_matrix_market_complex(
+    const std::string& path) {
+  auto f = open_file(path);
+  return read_matrix_market_complex(f);
+}
+
+sparse::CscMatrix<Complex> read_matrix_market_complex(std::istream& in) {
+  const MmHeader h = parse_header(in);
+  return read_body<Complex>(in, h);
+}
+
+void write_matrix_market(const std::string& path,
+                         const sparse::CscMatrix<double>& A) {
+  std::ofstream f(path);
+  GESP_CHECK(f.good(), Errc::io, "cannot open " + path + " for writing");
+  write_matrix_market(f, A);
+}
+
+void write_matrix_market(std::ostream& out,
+                         const sparse::CscMatrix<double>& A) {
+  write_body(out, A);
+}
+
+void write_matrix_market(const std::string& path,
+                         const sparse::CscMatrix<Complex>& A) {
+  std::ofstream f(path);
+  GESP_CHECK(f.good(), Errc::io, "cannot open " + path + " for writing");
+  write_matrix_market(f, A);
+}
+
+void write_matrix_market(std::ostream& out,
+                         const sparse::CscMatrix<Complex>& A) {
+  write_body(out, A);
+}
+
+}  // namespace gesp::io

@@ -1,0 +1,36 @@
+// MatrixMarket coordinate-format reader/writer.
+//
+// Supports the fields the collections the paper draws from actually use:
+// real / complex / integer / pattern values and general / symmetric /
+// skew-symmetric / hermitian storage. Symmetric variants are expanded to
+// full storage on read (the library always works on general matrices).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::io {
+
+/// Read a real MatrixMarket file. Complex files are rejected — use
+/// read_matrix_market_complex.
+sparse::CscMatrix<double> read_matrix_market(const std::string& path);
+sparse::CscMatrix<double> read_matrix_market(std::istream& in);
+
+/// Read a complex (or real, promoted) MatrixMarket file.
+sparse::CscMatrix<Complex> read_matrix_market_complex(const std::string& path);
+sparse::CscMatrix<Complex> read_matrix_market_complex(std::istream& in);
+
+/// Write in general coordinate format with full precision (%.17g).
+void write_matrix_market(const std::string& path,
+                         const sparse::CscMatrix<double>& A);
+void write_matrix_market(std::ostream& out,
+                         const sparse::CscMatrix<double>& A);
+void write_matrix_market(const std::string& path,
+                         const sparse::CscMatrix<Complex>& A);
+void write_matrix_market(std::ostream& out,
+                         const sparse::CscMatrix<Complex>& A);
+
+}  // namespace gesp::io

@@ -1,0 +1,333 @@
+#include "matching/matching.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace gesp::matching {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// MC21-style maximum transversal over an adjacency restricted by `keep`
+/// (keep == nullptr means use every stored entry). Implements the cheap
+/// assignment pass followed by depth-first augmenting paths with the
+/// look-ahead trick (try unmatched rows of a column before recursing).
+template <class T>
+MatchingResult transversal_impl(const sparse::CscMatrix<T>& A,
+                                const std::vector<char>* keep) {
+  const index_t n_cols = A.ncols;
+  const index_t n_rows = A.nrows;
+  MatchingResult res;
+  res.row_of_col.assign(static_cast<std::size_t>(n_cols), -1);
+  std::vector<index_t> col_of_row(static_cast<std::size_t>(n_rows), -1);
+
+  auto usable = [&](index_t p) { return keep == nullptr || (*keep)[p]; };
+
+  // Cheap assignment: first free row in each column.
+  for (index_t j = 0; j < n_cols; ++j) {
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const index_t i = A.rowind[p];
+      if (usable(p) && col_of_row[i] == -1) {
+        col_of_row[i] = j;
+        res.row_of_col[j] = i;
+        ++res.size;
+        break;
+      }
+    }
+  }
+
+  // Augmenting DFS for the remaining columns (iterative, with per-column
+  // visited stamps to stay O(nnz) per augmentation).
+  std::vector<index_t> visited(static_cast<std::size_t>(n_cols), -1);
+  std::vector<index_t> stack, pos, row_taken;
+  stack.reserve(64);
+  for (index_t j0 = 0; j0 < n_cols; ++j0) {
+    if (res.row_of_col[j0] != -1) continue;
+    stack.assign(1, j0);
+    pos.assign(1, A.colptr[j0]);
+    row_taken.assign(1, -1);
+    visited[j0] = j0;
+    bool augmented = false;
+    while (!stack.empty()) {
+      const std::size_t lvl = stack.size() - 1;
+      const index_t j = stack[lvl];
+      index_t advance_row = -1;
+      // Look-ahead: a free row ends the search immediately.
+      for (index_t q = A.colptr[j]; q < A.colptr[j + 1]; ++q) {
+        if (usable(q) && col_of_row[A.rowind[q]] == -1) {
+          advance_row = A.rowind[q];
+          break;
+        }
+      }
+      if (advance_row != -1) {
+        row_taken.back() = advance_row;
+        // Unwind the alternating path, flipping matches.
+        for (std::size_t k = stack.size(); k-- > 0;) {
+          const index_t jj = stack[k];
+          const index_t ii = row_taken[k];
+          const index_t old = res.row_of_col[jj];
+          res.row_of_col[jj] = ii;
+          col_of_row[ii] = jj;
+          (void)old;
+        }
+        ++res.size;
+        augmented = true;
+        break;
+      }
+      // Recurse into the column matched to the next unvisited row.
+      // (Indexed access throughout: push_back below may reallocate pos.)
+      bool descended = false;
+      index_t p = pos[lvl];
+      for (; p < A.colptr[j + 1]; ++p) {
+        if (!usable(p)) continue;
+        const index_t i = A.rowind[p];
+        const index_t jm = col_of_row[i];
+        GESP_ASSERT(jm != -1, "free row should have been caught above");
+        if (visited[jm] == j0) continue;
+        visited[jm] = j0;
+        row_taken[lvl] = i;
+        pos[lvl] = p + 1;
+        stack.push_back(jm);
+        pos.push_back(A.colptr[jm]);
+        row_taken.push_back(-1);
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+      stack.pop_back();
+      pos.pop_back();
+      row_taken.pop_back();
+      if (!stack.empty()) row_taken.back() = -1;
+    }
+    (void)augmented;
+  }
+  return res;
+}
+
+}  // namespace
+
+template <class T>
+MatchingResult max_transversal(const sparse::CscMatrix<T>& A) {
+  return transversal_impl(A, nullptr);
+}
+
+template <class T>
+Mc64Result mc64_product_matching(const sparse::CscMatrix<T>& A) {
+  using std::abs;
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "mc64 needs a square matrix");
+  const index_t n = A.ncols;
+  const count_t nnz = A.nnz();
+
+  // Cost of using entry (i,j): c_ij = log(colmax_j / |a_ij|) >= 0.
+  // Minimizing the assignment cost maximizes prod |a(p(j), j)|.
+  std::vector<double> cost(static_cast<std::size_t>(nnz));
+  std::vector<double> logcolmax(static_cast<std::size_t>(n));
+  for (index_t j = 0; j < n; ++j) {
+    double cmax = 0.0;
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      cmax = std::max<double>(cmax, abs(A.values[p]));
+    GESP_CHECK(cmax > 0.0, Errc::structurally_singular,
+               "column " + std::to_string(j) + " is numerically empty");
+    logcolmax[j] = std::log(cmax);
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const double a = abs(A.values[p]);
+      cost[p] = (a > 0.0) ? logcolmax[j] - std::log(a) : kInf;
+    }
+  }
+
+  std::vector<double> u(static_cast<std::size_t>(n), 0.0);  // row duals
+  std::vector<double> v(static_cast<std::size_t>(n), 0.0);  // column duals
+  std::vector<index_t> row_of_col(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> col_of_row(static_cast<std::size_t>(n), -1);
+
+  // Column reduction (JV-style initialization): v_j = min_i c_ij, then
+  // greedily take tight arcs whose row is still free. Typically matches
+  // the vast majority of columns before any Dijkstra runs.
+  for (index_t j = 0; j < n; ++j) {
+    double cmin = kInf;
+    index_t imin = -1;
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      if (cost[p] < cmin) {
+        cmin = cost[p];
+        imin = A.rowind[p];
+      }
+    v[j] = cmin;
+    if (imin != -1 && col_of_row[imin] == -1) {
+      col_of_row[imin] = j;
+      row_of_col[j] = imin;
+    }
+  }
+
+  // Shortest augmenting path (Dijkstra with potentials) per free column.
+  // Epoch stamps avoid O(n) re-initialization per augmentation, and the
+  // explicit finalized-row / tree-column lists keep the dual updates
+  // proportional to the size of the alternating tree actually explored.
+  std::vector<double> dist(static_cast<std::size_t>(n));
+  std::vector<index_t> pred(static_cast<std::size_t>(n));
+  std::vector<index_t> stamp(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> final_stamp(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> finalized_rows, tree_cols;
+  using HeapItem = std::pair<double, index_t>;  // (dist, row)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+
+  for (index_t j0 = 0; j0 < n; ++j0) {
+    if (row_of_col[j0] != -1) continue;
+    while (!heap.empty()) heap.pop();
+    finalized_rows.clear();
+    tree_cols.assign(1, j0);
+
+    index_t j = j0;
+    double lsp = 0.0;      // shortest path length to column j's tree node
+    index_t isap = -1;     // endpoint row of the best augmenting path
+    double lsap = kInf;
+
+    auto dist_of = [&](index_t i) {
+      return stamp[i] == j0 ? dist[i] : kInf;
+    };
+
+    while (true) {
+      for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+        const index_t i = A.rowind[p];
+        if (final_stamp[i] == j0 || cost[p] == kInf) continue;
+        const double d = lsp + cost[p] - u[i] - v[j];
+        if (d < dist_of(i)) {
+          dist[i] = d;
+          stamp[i] = j0;
+          pred[i] = j;
+          heap.emplace(d, i);
+        }
+      }
+      // Pop the closest non-finalized row.
+      index_t inext = -1;
+      double dnext = kInf;
+      while (!heap.empty()) {
+        auto [d, i] = heap.top();
+        heap.pop();
+        if (final_stamp[i] == j0 || d > dist_of(i)) continue;  // stale
+        inext = i;
+        dnext = d;
+        break;
+      }
+      if (inext == -1) break;  // nothing reachable
+      if (col_of_row[inext] == -1) {
+        isap = inext;
+        lsap = dnext;
+        break;  // Dijkstra order: first free row popped is optimal
+      }
+      final_stamp[inext] = j0;
+      finalized_rows.push_back(inext);
+      lsp = dnext;
+      j = col_of_row[inext];
+      tree_cols.push_back(j);
+    }
+
+    GESP_CHECK(isap != -1, Errc::structurally_singular,
+               "no perfect matching: column " + std::to_string(j0) +
+                   " cannot be matched");
+
+    // Dual updates keep reduced costs >= 0 and tight on matched arcs.
+    for (index_t i : finalized_rows) u[i] += dist[i] - lsap;
+    // Augment along the predecessor chain.
+    index_t i = isap;
+    while (true) {
+      const index_t jp = pred[i];
+      const index_t inextcol = row_of_col[jp];
+      row_of_col[jp] = i;
+      col_of_row[i] = jp;
+      if (jp == j0) break;
+      i = inextcol;
+    }
+    // Restore tightness of column duals along matched arcs in the tree.
+    for (index_t jj : tree_cols) {
+      const index_t im = row_of_col[jj];
+      GESP_ASSERT(im != -1, "tree column left unmatched after augmentation");
+      for (index_t p = A.colptr[jj]; p < A.colptr[jj + 1]; ++p) {
+        if (A.rowind[p] == im) {
+          v[jj] = cost[p] - u[im];
+          break;
+        }
+      }
+    }
+  }
+
+  Mc64Result res;
+  res.row_of_col = std::move(row_of_col);
+  res.row_scale.resize(static_cast<std::size_t>(n));
+  res.col_scale.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) res.row_scale[i] = std::exp(u[i]);
+  for (index_t j = 0; j < n; ++j)
+    res.col_scale[j] = std::exp(v[j] - logcolmax[j]);
+  return res;
+}
+
+template <class T>
+MatchingResult bottleneck_matching(const sparse::CscMatrix<T>& A,
+                                   double* achieved_min) {
+  using std::abs;
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "bottleneck matching needs a square matrix");
+  // Candidate thresholds: the distinct entry magnitudes.
+  std::vector<double> mags;
+  mags.reserve(A.values.size());
+  for (const T& x : A.values) {
+    const double a = abs(x);
+    if (a > 0.0) mags.push_back(a);
+  }
+  std::sort(mags.begin(), mags.end());
+  mags.erase(std::unique(mags.begin(), mags.end()), mags.end());
+  GESP_CHECK(!mags.empty(), Errc::structurally_singular, "matrix is zero");
+
+  auto feasible = [&](double tau, MatchingResult* out) {
+    std::vector<char> keep(A.values.size());
+    for (std::size_t p = 0; p < A.values.size(); ++p)
+      keep[p] = abs(A.values[p]) >= tau;
+    MatchingResult m = transversal_impl(A, &keep);
+    const bool ok = m.size == A.ncols;
+    if (ok && out) *out = std::move(m);
+    return ok;
+  };
+
+  MatchingResult best;
+  GESP_CHECK(feasible(mags.front(), &best), Errc::structurally_singular,
+             "no perfect matching exists");
+  std::size_t lo = 0, hi = mags.size() - 1;  // mags[lo] feasible
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo + 1) / 2;
+    if (feasible(mags[mid], &best))
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  if (achieved_min) *achieved_min = mags[lo];
+  return best;
+}
+
+std::vector<index_t> matching_to_row_perm(
+    std::span<const index_t> row_of_col) {
+  std::vector<index_t> perm(row_of_col.size(), -1);
+  for (std::size_t j = 0; j < row_of_col.size(); ++j) {
+    const index_t i = row_of_col[j];
+    GESP_CHECK(i >= 0 && static_cast<std::size_t>(i) < perm.size(),
+               Errc::invalid_argument, "matching is not perfect");
+    GESP_CHECK(perm[i] == -1, Errc::invalid_argument,
+               "matching maps two columns to one row");
+    perm[i] = static_cast<index_t>(j);
+  }
+  return perm;
+}
+
+template MatchingResult max_transversal(const sparse::CscMatrix<double>&);
+template MatchingResult max_transversal(const sparse::CscMatrix<Complex>&);
+template Mc64Result mc64_product_matching(const sparse::CscMatrix<double>&);
+template Mc64Result mc64_product_matching(const sparse::CscMatrix<Complex>&);
+template MatchingResult bottleneck_matching(const sparse::CscMatrix<double>&,
+                                            double*);
+template MatchingResult bottleneck_matching(const sparse::CscMatrix<Complex>&,
+                                            double*);
+
+}  // namespace gesp::matching

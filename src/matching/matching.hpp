@@ -1,0 +1,71 @@
+// Bipartite matchings on the nonzero structure — GESP step (1).
+//
+// The paper pre-pivots large entries onto the diagonal by solving a weighted
+// bipartite matching problem (Duff–Koster, reference [13]; Harwell MC64) and
+// derives row/column scalings from the dual variables so that the permuted,
+// scaled matrix has |diagonal| = 1 and all off-diagonals ≤ 1 in magnitude.
+// This file provides:
+//   * max_transversal      — structural maximum matching (MC21, Duff [11,12])
+//   * mc64_product_matching — maximize the product of matched magnitudes via
+//                             shortest augmenting paths with potentials
+//                             (job 5 of MC64), plus the dual scalings
+//   * bottleneck_matching  — maximize the smallest matched magnitude
+//                             (another option discussed in [13])
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::matching {
+
+/// Result of a structural matching.
+struct MatchingResult {
+  /// row_of_col[j] = row matched to column j, or -1 if the column is
+  /// unmatched. A perfect matching has size == n and no -1 entries.
+  std::vector<index_t> row_of_col;
+  index_t size = 0;
+};
+
+/// Maximum transversal on the pattern of A (values ignored). Never throws
+/// on structurally singular input — inspect `size`.
+template <class T>
+MatchingResult max_transversal(const sparse::CscMatrix<T>& A);
+
+/// Result of the weighted matching: permutation plus scalings.
+struct Mc64Result {
+  std::vector<index_t> row_of_col;  ///< perfect matching, row per column
+  std::vector<double> row_scale;    ///< Dr = exp(u_i)
+  std::vector<double> col_scale;    ///< Dc = exp(v_j)/max_i|a_ij|
+};
+
+/// Duff–Koster product matching (MC64 job 5): finds the permutation
+/// maximizing prod_j |a(p(j), j)| and scalings such that the scaled permuted
+/// matrix has unit diagonal magnitudes and off-diagonals at most 1.
+/// Throws Errc::structurally_singular when no perfect matching exists.
+template <class T>
+Mc64Result mc64_product_matching(const sparse::CscMatrix<T>& A);
+
+/// Bottleneck matching: maximize min_j |a(p(j), j)| by bisection over entry
+/// magnitudes with max_transversal feasibility tests. On success
+/// *achieved_min (if non-null) receives the bottleneck value.
+/// Throws Errc::structurally_singular when no perfect matching exists.
+template <class T>
+MatchingResult bottleneck_matching(const sparse::CscMatrix<T>& A,
+                                   double* achieved_min = nullptr);
+
+/// Convert a perfect matching into the new-from-old row permutation that
+/// moves matched entries onto the diagonal: perm[row_of_col[j]] = j, so
+/// B = permute(A, perm, {}) has B(j,j) = A(row_of_col[j], j).
+std::vector<index_t> matching_to_row_perm(std::span<const index_t> row_of_col);
+
+extern template MatchingResult max_transversal(const sparse::CscMatrix<double>&);
+extern template MatchingResult max_transversal(const sparse::CscMatrix<Complex>&);
+extern template Mc64Result mc64_product_matching(const sparse::CscMatrix<double>&);
+extern template Mc64Result mc64_product_matching(const sparse::CscMatrix<Complex>&);
+extern template MatchingResult bottleneck_matching(const sparse::CscMatrix<double>&, double*);
+extern template MatchingResult bottleneck_matching(const sparse::CscMatrix<Complex>&, double*);
+
+}  // namespace gesp::matching

@@ -1,0 +1,188 @@
+#include "numeric/gepp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sparse/ops.hpp"
+
+namespace gesp::numeric {
+
+template <class T>
+GeppLU<T>::GeppLU(const sparse::CscMatrix<T>& A, const GeppOptions& opt) {
+  using std::abs;
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "GEPP needs a square matrix");
+  GESP_CHECK(opt.diag_threshold > 0.0 && opt.diag_threshold <= 1.0,
+             Errc::invalid_argument, "diag_threshold must be in (0, 1]");
+  n_ = A.ncols;
+  lcols_.resize(static_cast<std::size_t>(n_));
+  ucols_.resize(static_cast<std::size_t>(n_));
+  udiag_.resize(static_cast<std::size_t>(n_));
+  perm_r_.assign(static_cast<std::size_t>(n_), -1);
+
+  const double amax = sparse::norm_max(A);
+  double umax = amax;
+
+  // Dense work vector over original row indices, plus DFS scratch.
+  std::vector<T> work(static_cast<std::size_t>(n_), T{});
+  std::vector<index_t> visited(static_cast<std::size_t>(n_), -1);
+  std::vector<index_t> topo;      // pivot positions in reverse topo order
+  std::vector<index_t> lpattern;  // original row ids of the L part
+  std::vector<index_t> stack, pos;
+
+  for (index_t j = 0; j < n_; ++j) {
+    topo.clear();
+    lpattern.clear();
+
+    // --- symbolic: reach of struct(A(:,j)) through the current L graph.
+    auto dfs = [&](index_t k0) {
+      stack.assign(1, k0);
+      pos.assign(1, 0);
+      while (!stack.empty()) {
+        const std::size_t lvl = stack.size() - 1;
+        const index_t k = stack[lvl];
+        bool descended = false;
+        // Indexed access: push_back below may reallocate pos.
+        index_t q = pos[lvl];
+        while (q < static_cast<index_t>(lcols_[k].size())) {
+          const index_t r = lcols_[k][q].first;  // original row id
+          ++q;
+          if (visited[r] == j) continue;
+          visited[r] = j;
+          const index_t kk = perm_r_[r];
+          if (kk == -1) {
+            lpattern.push_back(r);
+          } else {
+            pos[lvl] = q;
+            stack.push_back(kk);
+            pos.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          topo.push_back(k);
+          stack.pop_back();
+          pos.pop_back();
+        }
+      }
+    };
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const index_t r = A.rowind[p];
+      if (visited[r] == j) continue;
+      visited[r] = j;
+      const index_t k = perm_r_[r];
+      if (k == -1)
+        lpattern.push_back(r);
+      else
+        dfs(k);
+    }
+
+    // --- numeric: sparse lower triangular solve in topological order.
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      work[A.rowind[p]] = A.values[p];
+    // topo was appended in DFS postorder; process in reverse (dependencies
+    // first).
+    for (std::size_t t = topo.size(); t-- > 0;) {
+      const index_t k = topo[t];
+      // Row holding pivot k: the row r with perm_r_[r] == k. We saved it
+      // as the last element convention: find via pivot row cache.
+      const index_t prow = pivot_row_[k];
+      const T ukj = work[prow];
+      if (ukj == T{}) continue;
+      for (const auto& [r, v] : lcols_[k]) work[r] -= v * ukj;
+    }
+
+    // --- pivot selection among rows not yet pivotal.
+    index_t prow = -1;
+    double pmag = 0.0;
+    T diag_val{};
+    bool have_diag = false;
+    for (index_t r : lpattern) {
+      const double m = abs(work[r]);
+      if (m > pmag) {
+        pmag = m;
+        prow = r;
+      }
+      if (r == j) {
+        diag_val = work[r];
+        have_diag = true;
+      }
+    }
+    GESP_CHECK(prow != -1 && pmag > 0.0, Errc::numerically_singular,
+               "GEPP: column " + std::to_string(j) + " is numerically zero");
+    // Threshold pivoting: prefer the diagonal when it is large enough.
+    if (have_diag && abs(diag_val) >= opt.diag_threshold * pmag &&
+        abs(diag_val) > 0.0)
+      prow = j;
+    perm_r_[prow] = j;
+    pivot_row_.push_back(prow);
+    const T pivot = work[prow];
+    udiag_[j] = pivot;
+    umax = std::max(umax, abs(pivot));
+
+    // --- store column j of U (pivotal rows) and L (the rest, scaled).
+    for (std::size_t t = topo.size(); t-- > 0;) {
+      const index_t k = topo[t];
+      const T v = work[pivot_row_[k]];
+      if (v != T{}) {
+        ucols_[j].emplace_back(k, v);
+        umax = std::max(umax, abs(v));
+      }
+      work[pivot_row_[k]] = T{};
+    }
+    const T inv = T{1} / pivot;
+    for (index_t r : lpattern) {
+      if (r == prow) {
+        work[r] = T{};
+        continue;
+      }
+      const T v = work[r];
+      if (v != T{}) lcols_[j].emplace_back(r, v * inv);
+      work[r] = T{};
+    }
+    work[prow] = T{};
+  }
+  growth_ = amax > 0.0 ? umax / amax : 0.0;
+}
+
+template <class T>
+void GeppLU<T>::solve(std::span<const T> b, std::span<T> x) const {
+  GESP_CHECK(b.size() == static_cast<std::size_t>(n_) && x.size() == b.size(),
+             Errc::invalid_argument, "solve dimension mismatch");
+  // y (in pivot order) from L·y = P·b.
+  std::vector<T> y(static_cast<std::size_t>(n_));
+  for (index_t r = 0; r < n_; ++r) y[perm_r_[r]] = b[r];
+  for (index_t k = 0; k < n_; ++k) {
+    const T yk = y[k];
+    if (yk == T{}) continue;
+    for (const auto& [r, v] : lcols_[k]) y[perm_r_[r]] -= v * yk;
+  }
+  // Back substitution U·x = y; U columns hold pivot positions.
+  for (index_t k = n_ - 1; k >= 0; --k) {
+    const T xk = y[k] / udiag_[k];
+    x[k] = xk;
+    if (xk == T{}) continue;
+    for (const auto& [kk, v] : ucols_[k]) y[kk] -= v * xk;
+  }
+}
+
+template <class T>
+count_t GeppLU<T>::nnz_l() const {
+  count_t s = n_;  // unit diagonal
+  for (const auto& c : lcols_) s += static_cast<count_t>(c.size());
+  return s;
+}
+
+template <class T>
+count_t GeppLU<T>::nnz_u() const {
+  count_t s = n_;  // diagonal
+  for (const auto& c : ucols_) s += static_cast<count_t>(c.size());
+  return s;
+}
+
+template class GeppLU<double>;
+template class GeppLU<Complex>;
+
+}  // namespace gesp::numeric

@@ -1,0 +1,64 @@
+// GEPP baseline: left-looking sparse LU with partial pivoting
+// (Gilbert–Peierls, the algorithm inside SuperLU, non-supernodal form).
+//
+// This is the comparison point of the paper's Figure 4: for each matrix the
+// GESP error is plotted against the GEPP error. Everything here is dynamic
+// — the structure of each column is discovered by a depth-first search at
+// numeric time and the pivot row is chosen by magnitude — which is exactly
+// the behaviour static pivoting exists to avoid on distributed machines.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::numeric {
+
+struct GeppOptions {
+  /// Threshold pivoting: accept the diagonal entry when it is at least
+  /// `diag_threshold` times the column maximum (1.0 = classic partial
+  /// pivoting, smaller values bias toward the diagonal).
+  double diag_threshold = 1.0;
+};
+
+template <class T>
+class GeppLU {
+ public:
+  /// Factorize P·A = L·U with partial pivoting.
+  /// Throws Errc::numerically_singular when a column is exactly zero.
+  explicit GeppLU(const sparse::CscMatrix<T>& A, const GeppOptions& opt = {});
+
+  index_t n() const { return n_; }
+
+  /// Solve A·x = b (applies the row permutation internally).
+  void solve(std::span<const T> b, std::span<T> x) const;
+
+  /// Row permutation chosen by pivoting: perm_r[original_row] = pivot
+  /// position (new-from-old).
+  const std::vector<index_t>& row_perm() const { return perm_r_; }
+
+  count_t nnz_l() const;
+  count_t nnz_u() const;
+
+  /// Pivot growth max|u_ij| / max|a_ij|.
+  double pivot_growth() const { return growth_; }
+
+ private:
+  index_t n_ = 0;
+  // L columns: (original row id, value), unit diagonal implicit; the pivot
+  // row of column j is the row with perm_r_[row] == j.
+  std::vector<std::vector<std::pair<index_t, T>>> lcols_;
+  // U columns: (pivot position k < j, value) plus the diagonal entry last.
+  std::vector<std::vector<std::pair<index_t, T>>> ucols_;
+  std::vector<T> udiag_;
+  std::vector<index_t> perm_r_;     ///< new-from-old row permutation
+  std::vector<index_t> pivot_row_;  ///< pivot_row_[k] = original row of pivot k
+  double growth_ = 0.0;
+};
+
+extern template class GeppLU<double>;
+extern template class GeppLU<Complex>;
+
+}  // namespace gesp::numeric

@@ -1,0 +1,460 @@
+#include "numeric/lu_factors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "sparse/coo.hpp"
+
+namespace gesp::numeric {
+namespace {
+
+/// Binary search a block list for block index `I`; returns position or -1.
+template <class Block>
+index_t find_block(const std::vector<Block>& blocks, index_t I) {
+  index_t lo = 0, hi = static_cast<index_t>(blocks.size());
+  while (lo < hi) {
+    const index_t mid = lo + (hi - lo) / 2;
+    const index_t key = [&] {
+      if constexpr (requires { blocks[mid].I; })
+        return blocks[mid].I;
+      else
+        return blocks[mid].J;
+    }();
+    if (key < I)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  if (lo < static_cast<index_t>(blocks.size())) {
+    if constexpr (requires { blocks[lo].I; }) {
+      if (blocks[lo].I == I) return lo;
+    } else {
+      if (blocks[lo].J == I) return lo;
+    }
+  }
+  return -1;
+}
+
+/// Position of each element of `sub` inside the sorted superset `full`.
+void subset_positions(std::span<const index_t> sub,
+                      std::span<const index_t> full,
+                      std::vector<index_t>& pos) {
+  pos.resize(sub.size());
+  std::size_t q = 0;
+  for (std::size_t p = 0; p < sub.size(); ++p) {
+    while (q < full.size() && full[q] < sub[p]) ++q;
+    GESP_ASSERT(q < full.size() && full[q] == sub[p],
+                "symbolic structure is not closed under updates");
+    pos[p] = static_cast<index_t>(q);
+  }
+}
+
+}  // namespace
+
+template <class T>
+LUFactors<T>::LUFactors(std::shared_ptr<const symbolic::SymbolicLU> sym,
+                        const sparse::CscMatrix<T>& A,
+                        const NumericOptions& opt)
+    : sym_(std::move(sym)) {
+  GESP_CHECK(sym_ != nullptr, Errc::invalid_argument, "null symbolic handle");
+  GESP_CHECK(A.ncols == sym_->n && A.nrows == sym_->n, Errc::invalid_argument,
+             "matrix does not match the symbolic structure");
+  scatter_initial(A);
+  eliminate(opt);
+}
+
+template <class T>
+void LUFactors<T>::scatter_initial(const sparse::CscMatrix<T>& A) {
+  using std::abs;
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  lnz_.resize(static_cast<std::size_t>(N));
+  unz_.resize(static_cast<std::size_t>(N));
+  l_off_.resize(static_cast<std::size_t>(N));
+  u_off_.resize(static_cast<std::size_t>(N));
+  for (index_t K = 0; K < N; ++K) {
+    const std::size_t b = static_cast<std::size_t>(S.block_cols(K));
+    std::size_t sz = b * b;
+    l_off_[K].reserve(S.L[K].size());
+    for (const auto& blk : S.L[K]) {
+      l_off_[K].push_back(sz);
+      sz += blk.rows.size() * b;
+    }
+    lnz_[K].assign(sz, T{});
+    sz = 0;
+    u_off_[K].reserve(S.U[K].size());
+    for (const auto& blk : S.U[K]) {
+      u_off_[K].push_back(sz);
+      sz += b * blk.cols.size();
+    }
+    unz_[K].assign(sz, T{});
+  }
+  // Scatter A.
+  amax_ = 0.0;
+  for (index_t j = 0; j < S.n; ++j) {
+    const index_t J = S.col_to_sn[j];
+    const index_t cj = j - S.sn_start[J];
+    const index_t bj = S.block_cols(J);
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const index_t i = A.rowind[p];
+      const T v = A.values[p];
+      amax_ = std::max<double>(amax_, abs(v));
+      const index_t I = S.col_to_sn[i];
+      if (I == J) {
+        lnz_[J][(i - S.sn_start[J]) + cj * bj] = v;
+      } else if (I > J) {
+        const index_t bi = find_block(S.L[J], I);
+        GESP_ASSERT(bi >= 0, "A entry outside symbolic L structure");
+        const auto& rows = S.L[J][bi].rows;
+        const auto rit = std::lower_bound(rows.begin(), rows.end(), i);
+        GESP_ASSERT(rit != rows.end() && *rit == i,
+                    "A row missing from symbolic L block");
+        const index_t r = static_cast<index_t>(rit - rows.begin());
+        lnz_[J][l_off_[J][bi] + r + cj * static_cast<index_t>(rows.size())] =
+            v;
+      } else {
+        const index_t bI = S.block_cols(I);
+        const index_t bj2 = find_block(S.U[I], J);
+        GESP_ASSERT(bj2 >= 0, "A entry outside symbolic U structure");
+        const auto& cols = S.U[I][bj2].cols;
+        const auto cit = std::lower_bound(cols.begin(), cols.end(), j);
+        GESP_ASSERT(cit != cols.end() && *cit == j,
+                    "A column missing from symbolic U block");
+        const index_t c = static_cast<index_t>(cit - cols.begin());
+        unz_[I][u_off_[I][bj2] + (i - S.sn_start[I]) + c * bI] = v;
+      }
+    }
+  }
+}
+
+template <class T>
+void LUFactors<T>::eliminate(const NumericOptions& opt) {
+  using std::abs;
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = opt.tiny_threshold;
+  policy.aggressive = opt.aggressive_replacement;
+
+  ThreadPool pool(opt.num_threads);
+  const int W = pool.num_threads();
+  // Per-worker scratch so the update pairs can run concurrently.
+  std::vector<std::vector<T>> scratch_w(static_cast<std::size_t>(W));
+  std::vector<std::vector<index_t>> rpos_w(static_cast<std::size_t>(W));
+  std::vector<std::vector<index_t>> cpos_w(static_cast<std::size_t>(W));
+  std::vector<dense::PivotReplacement<T>> block_repl;
+
+  for (index_t K = 0; K < N; ++K) {
+    const index_t b = S.block_cols(K);
+    T* diag = lnz_[K].data();
+    // (1) factor the diagonal block (static pivots, tiny replacement).
+    block_repl.clear();
+    dense::getrf(diag, b, b, policy, stats_, {},
+                 opt.record_replacements ? &block_repl : nullptr);
+    for (const auto& r : block_repl)
+      replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
+    // (2) panel: L(I,K) <- A(I,K) · U(K,K)^{-1}, block rows in parallel.
+    pool.parallel_for(
+        static_cast<index_t>(S.L[K].size()),
+        [&](index_t lo, index_t hi, int) {
+          for (index_t bi = lo; bi < hi; ++bi) {
+            const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
+            dense::trsm_right_upper(diag, b, b,
+                                    lnz_[K].data() + l_off_[K][bi], m, m);
+          }
+        });
+    // (2') row: U(K,J) <- L(K,K)^{-1} · A(K,J), block columns in parallel.
+    pool.parallel_for(
+        static_cast<index_t>(S.U[K].size()),
+        [&](index_t lo, index_t hi, int) {
+          for (index_t uj = lo; uj < hi; ++uj) {
+            const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+            dense::trsm_left_lower_unit(
+                diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
+          }
+        });
+    // (3) rank-b update of the trailing matrix: each (I,J) pair writes a
+    // distinct destination block, so pairs fork across threads freely.
+    const index_t npairs = static_cast<index_t>(S.L[K].size()) *
+                           static_cast<index_t>(S.U[K].size());
+    pool.parallel_for(npairs, [&](index_t lo, index_t hi, int w) {
+      std::vector<T>& scratch = scratch_w[w];
+      std::vector<index_t>& rpos = rpos_w[w];
+      std::vector<index_t>& cpos = cpos_w[w];
+      for (index_t pair = lo; pair < hi; ++pair) {
+        const std::size_t bi = pair / S.U[K].size();
+        const std::size_t uj = pair % S.U[K].size();
+        const index_t I = S.L[K][bi].I;
+        const auto& src_rows = S.L[K][bi].rows;
+        const index_t m = static_cast<index_t>(src_rows.size());
+        const T* lik = lnz_[K].data() + l_off_[K][bi];
+        const index_t J = S.U[K][uj].J;
+        const auto& src_cols = S.U[K][uj].cols;
+        const index_t c = static_cast<index_t>(src_cols.size());
+        const T* ukj = unz_[K].data() + u_off_[K][uj];
+        // tmp = -(L(I,K) · U(K,J)), m-by-c.
+        scratch.assign(static_cast<std::size_t>(m) * c, T{});
+        dense::gemm_minus(m, c, b, lik, m, ukj, b, scratch.data(), m);
+        // Scatter-add into the destination block.
+        if (I == J) {
+          // Diagonal block of supernode I (full storage).
+          T* dst = lnz_[I].data();
+          const index_t bI = S.block_cols(I);
+          const index_t base = S.sn_start[I];
+          for (index_t cc = 0; cc < c; ++cc) {
+            const index_t dc = src_cols[cc] - base;
+            for (index_t rr = 0; rr < m; ++rr)
+              dst[(src_rows[rr] - base) + dc * bI] +=
+                  scratch[rr + cc * static_cast<index_t>(m)];
+          }
+        } else if (I > J) {
+          // L block (I, J): rows are a subset, columns are full width.
+          const index_t dbi = find_block(S.L[J], I);
+          GESP_ASSERT(dbi >= 0, "missing destination L block");
+          const auto& dst_rows = S.L[J][dbi].rows;
+          subset_positions(src_rows, dst_rows, rpos);
+          T* dst = lnz_[J].data() + l_off_[J][dbi];
+          const index_t ldd = static_cast<index_t>(dst_rows.size());
+          const index_t base = S.sn_start[J];
+          for (index_t cc = 0; cc < c; ++cc) {
+            const index_t dc = src_cols[cc] - base;
+            T* dcol = dst + dc * ldd;
+            for (index_t rr = 0; rr < m; ++rr)
+              dcol[rpos[rr]] += scratch[rr + cc * static_cast<index_t>(m)];
+          }
+        } else {
+          // U block (I, J): columns are a subset, rows are full height.
+          const index_t dbj = find_block(S.U[I], J);
+          GESP_ASSERT(dbj >= 0, "missing destination U block");
+          const auto& dst_cols = S.U[I][dbj].cols;
+          subset_positions(src_cols, dst_cols, cpos);
+          T* dst = unz_[I].data() + u_off_[I][dbj];
+          const index_t bI = S.block_cols(I);
+          const index_t base = S.sn_start[I];
+          for (index_t cc = 0; cc < c; ++cc) {
+            T* dcol = dst + cpos[cc] * bI;
+            for (index_t rr = 0; rr < m; ++rr)
+              dcol[src_rows[rr] - base] +=
+                  scratch[rr + cc * static_cast<index_t>(m)];
+          }
+        }
+      }
+    });
+  }
+
+  // Pivot growth from the final U (diagonal blocks' upper triangles plus
+  // the off-diagonal U blocks).
+  double umax = 0.0;
+  for (index_t K = 0; K < N; ++K) {
+    const index_t b = S.block_cols(K);
+    for (index_t c = 0; c < b; ++c)
+      for (index_t r = 0; r <= c; ++r)
+        umax = std::max<double>(umax, abs(lnz_[K][r + c * b]));
+    for (const T& v : unz_[K]) umax = std::max<double>(umax, abs(v));
+  }
+  growth_ = amax_ > 0.0 ? umax / amax_ : 0.0;
+}
+
+template <class T>
+void LUFactors<T>::solve_lower(std::span<T> x) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  GESP_CHECK(x.size() == static_cast<std::size_t>(S.n),
+             Errc::invalid_argument, "solve vector size mismatch");
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    T* xk = x.data() + S.sn_start[K];
+    dense::trsv_lower_unit(lnz_[K].data(), b, b, xk);
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      const auto& rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      const T* blk = lnz_[K].data() + l_off_[K][bi];
+      for (index_t c = 0; c < b; ++c) {
+        const T xc = xk[c];
+        if (xc == T{}) continue;
+        const T* col = blk + c * m;
+        for (index_t r = 0; r < m; ++r) x[rows[r]] -= col[r] * xc;
+      }
+    }
+  }
+}
+
+template <class T>
+void LUFactors<T>::solve_upper(std::span<T> x) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  GESP_CHECK(x.size() == static_cast<std::size_t>(S.n),
+             Errc::invalid_argument, "solve vector size mismatch");
+  for (index_t K = S.nsup - 1; K >= 0; --K) {
+    const index_t b = S.block_cols(K);
+    T* xk = x.data() + S.sn_start[K];
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      const auto& cols = S.U[K][uj].cols;
+      const T* blk = unz_[K].data() + u_off_[K][uj];
+      for (std::size_t cc = 0; cc < cols.size(); ++cc) {
+        const T xc = x[cols[cc]];
+        if (xc == T{}) continue;
+        const T* col = blk + cc * static_cast<std::size_t>(b);
+        for (index_t r = 0; r < b; ++r) xk[r] -= col[r] * xc;
+      }
+    }
+    dense::trsv_upper(lnz_[K].data(), b, b, xk);
+  }
+}
+
+template <class T>
+void LUFactors<T>::solve(std::span<T> x) const {
+  solve_lower(x);
+  solve_upper(x);
+}
+
+template <class T>
+void LUFactors<T>::solve_multi(std::span<T> X, index_t nrhs) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  GESP_CHECK(nrhs >= 1 &&
+                 X.size() == static_cast<std::size_t>(S.n) * nrhs,
+             Errc::invalid_argument, "solve_multi dimension mismatch");
+  const index_t n = S.n;
+  std::vector<T> seg;  // gathered block-row segment, b-by-nrhs
+  // Forward substitution, all right-hand sides at once.
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    dense::trsm_left_lower_unit(lnz_[K].data(), b, b, X.data() + base, nrhs,
+                                n);
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      const auto& rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      const T* blk = lnz_[K].data() + l_off_[K][bi];
+      // seg = -(L(I,K) · X(K,:)), then scatter-add into the target rows.
+      seg.assign(static_cast<std::size_t>(m) * nrhs, T{});
+      dense::gemm_minus(m, nrhs, b, blk, m, X.data() + base, n, seg.data(),
+                        m);
+      for (index_t c = 0; c < nrhs; ++c)
+        for (index_t r = 0; r < m; ++r)
+          X[rows[r] + c * static_cast<std::size_t>(n)] += seg[r + c * m];
+    }
+  }
+  // Backward substitution.
+  std::vector<T> gath;
+  for (index_t K = S.nsup - 1; K >= 0; --K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      const auto& cols = S.U[K][uj].cols;
+      const index_t m = static_cast<index_t>(cols.size());
+      const T* blk = unz_[K].data() + u_off_[K][uj];
+      // Gather X(cols,:) into a dense m-by-nrhs block, multiply, subtract.
+      gath.resize(static_cast<std::size_t>(m) * nrhs);
+      for (index_t c = 0; c < nrhs; ++c)
+        for (index_t r = 0; r < m; ++r)
+          gath[r + c * static_cast<std::size_t>(m)] =
+              X[cols[r] + c * static_cast<std::size_t>(n)];
+      dense::gemm_minus(b, nrhs, m, blk, b, gath.data(), m, X.data() + base,
+                        n);
+    }
+    for (index_t c = 0; c < nrhs; ++c)
+      dense::trsv_upper(lnz_[K].data(), b, b,
+                        X.data() + base + c * static_cast<std::size_t>(n));
+  }
+}
+
+template <class T>
+void LUFactors<T>::solve_transposed(std::span<T> x) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  GESP_CHECK(x.size() == static_cast<std::size_t>(S.n),
+             Errc::invalid_argument, "solve vector size mismatch");
+  // Aᵀ = Uᵀ·Lᵀ. Forward pass with Uᵀ (lower triangular): after x(J) is
+  // solved, push its contributions through the transposed U blocks.
+  for (index_t J = 0; J < S.nsup; ++J) {
+    const index_t b = S.block_cols(J);
+    T* xj = x.data() + S.sn_start[J];
+    dense::trsv_upper_trans(lnz_[J].data(), b, b, xj);
+    for (std::size_t uj = 0; uj < S.U[J].size(); ++uj) {
+      const auto& cols = S.U[J][uj].cols;
+      const T* blk = unz_[J].data() + u_off_[J][uj];
+      for (std::size_t cc = 0; cc < cols.size(); ++cc) {
+        T sum{};
+        const T* col = blk + cc * static_cast<std::size_t>(b);
+        for (index_t r = 0; r < b; ++r) sum += col[r] * xj[r];
+        x[cols[cc]] -= sum;
+      }
+    }
+  }
+  // Backward pass with Lᵀ (unit upper triangular): gather contributions
+  // from the rows below before solving the diagonal block.
+  for (index_t K = S.nsup - 1; K >= 0; --K) {
+    const index_t b = S.block_cols(K);
+    T* xk = x.data() + S.sn_start[K];
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      const auto& rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      const T* blk = lnz_[K].data() + l_off_[K][bi];
+      for (index_t c = 0; c < b; ++c) {
+        T sum{};
+        const T* col = blk + c * m;
+        for (index_t r = 0; r < m; ++r) sum += col[r] * x[rows[r]];
+        xk[c] -= sum;
+      }
+    }
+    dense::trsv_lower_unit_trans(lnz_[K].data(), b, b, xk);
+  }
+}
+
+template <class T>
+sparse::CscMatrix<T> LUFactors<T>::l_matrix() const {
+  const symbolic::SymbolicLU& S = *sym_;
+  sparse::CooMatrix<T> L(S.n, S.n);
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    for (index_t c = 0; c < b; ++c) {
+      L.add(base + c, base + c, T{1});
+      for (index_t r = c + 1; r < b; ++r) {
+        const T v = lnz_[K][r + c * b];
+        if (v != T{}) L.add(base + r, base + c, v);
+      }
+    }
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      const auto& rows = S.L[K][bi].rows;
+      const index_t m = static_cast<index_t>(rows.size());
+      const T* blk = lnz_[K].data() + l_off_[K][bi];
+      for (index_t c = 0; c < b; ++c)
+        for (index_t r = 0; r < m; ++r) {
+          const T v = blk[r + c * m];
+          if (v != T{}) L.add(rows[r], base + c, v);
+        }
+    }
+  }
+  return L.to_csc();
+}
+
+template <class T>
+sparse::CscMatrix<T> LUFactors<T>::u_matrix() const {
+  const symbolic::SymbolicLU& S = *sym_;
+  sparse::CooMatrix<T> U(S.n, S.n);
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t base = S.sn_start[K];
+    for (index_t c = 0; c < b; ++c)
+      for (index_t r = 0; r <= c; ++r) {
+        const T v = lnz_[K][r + c * b];
+        if (v != T{} || r == c) U.add(base + r, base + c, v);
+      }
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      const auto& cols = S.U[K][uj].cols;
+      const T* blk = unz_[K].data() + u_off_[K][uj];
+      for (std::size_t cc = 0; cc < cols.size(); ++cc)
+        for (index_t r = 0; r < b; ++r) {
+          const T v = blk[r + cc * static_cast<std::size_t>(b)];
+          if (v != T{}) U.add(base + r, cols[cc], v);
+        }
+    }
+  }
+  return U.to_csc();
+}
+
+template class LUFactors<double>;
+template class LUFactors<Complex>;
+
+}  // namespace gesp::numeric

@@ -1,0 +1,154 @@
+#include "ordering/etree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gesp::ordering {
+namespace {
+
+/// Union-find with path halving, as used by the etree algorithms.
+class DisjointSets {
+ public:
+  explicit DisjointSets(index_t n) : parent_(static_cast<std::size_t>(n)) {
+    for (index_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+  index_t find(index_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  /// Link set of x under set of y; returns the new representative.
+  index_t link(index_t x, index_t y) {
+    parent_[x] = y;
+    return y;
+  }
+
+ private:
+  std::vector<index_t> parent_;
+};
+
+}  // namespace
+
+template <class T>
+std::vector<index_t> column_etree(const sparse::CscMatrix<T>& A) {
+  const index_t n = A.ncols;
+  // firstcol[r]: the representative column for row r (the first column whose
+  // pattern contains r); rows are funneled through it so the etree of AᵀA
+  // emerges without forming AᵀA (Gilbert–Ng–Peyton).
+  std::vector<index_t> firstcol(static_cast<std::size_t>(A.nrows), -1);
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> root(static_cast<std::size_t>(n));
+  DisjointSets sets(n);
+  for (index_t col = 0; col < n; ++col) {
+    index_t cset = sets.find(col);
+    root[cset] = col;
+    for (index_t p = A.colptr[col]; p < A.colptr[col + 1]; ++p) {
+      const index_t r = A.rowind[p];
+      index_t rep = firstcol[r];
+      if (rep == -1) {
+        firstcol[r] = col;
+        continue;
+      }
+      const index_t rset = sets.find(rep);
+      const index_t rroot = root[rset];
+      if (rroot != col) {
+        parent[rroot] = col;
+        cset = sets.link(rset, cset);
+        root[cset] = col;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> sym_etree(const SymPattern& P) {
+  const index_t n = P.n;
+  std::vector<index_t> parent(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> ancestor(static_cast<std::size_t>(n), -1);
+  for (index_t j = 0; j < n; ++j) {
+    for (index_t p = P.ptr[j]; p < P.ptr[j + 1]; ++p) {
+      index_t i = P.ind[p];
+      if (i >= j) continue;
+      // Walk up from i to the current root, compressing to j.
+      while (ancestor[i] != -1 && ancestor[i] != j) {
+        const index_t next = ancestor[i];
+        ancestor[i] = j;
+        i = next;
+      }
+      if (ancestor[i] == -1) {
+        ancestor[i] = j;
+        parent[i] = j;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<index_t> postorder(std::span<const index_t> parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  // Build first-child / next-sibling, with children visited in index order.
+  std::vector<index_t> first_child(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> next_sibling(static_cast<std::size_t>(n), -1);
+  for (index_t v = n - 1; v >= 0; --v) {
+    const index_t p = parent[v];
+    if (p == -1) continue;
+    GESP_CHECK(p >= 0 && p < n, Errc::invalid_argument, "bad parent pointer");
+    next_sibling[v] = first_child[p];
+    first_child[p] = v;
+  }
+  std::vector<index_t> post(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> stack;
+  index_t counter = 0;
+  for (index_t r = 0; r < n; ++r) {
+    if (parent[r] != -1) continue;  // roots only
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const index_t v = stack.back();
+      const index_t c = first_child[v];
+      if (c != -1) {
+        stack.push_back(c);
+        first_child[v] = next_sibling[c];  // consume child
+      } else {
+        post[v] = counter++;
+        stack.pop_back();
+      }
+    }
+  }
+  GESP_CHECK(counter == n, Errc::invalid_argument,
+             "parent array is not a forest (cycle?)");
+  return post;
+}
+
+std::vector<index_t> subtree_sizes(std::span<const index_t> parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  std::vector<index_t> size(static_cast<std::size_t>(n), 1);
+  // Children precede parents in a postorder; but parent arrays from etrees
+  // already satisfy child < parent, so one ascending pass suffices.
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[v];
+    if (p != -1) {
+      GESP_CHECK(p > v, Errc::invalid_argument,
+                 "subtree_sizes needs child < parent ordering");
+      size[p] += size[v];
+    }
+  }
+  return size;
+}
+
+std::vector<index_t> tree_heights(std::span<const index_t> parent) {
+  const index_t n = static_cast<index_t>(parent.size());
+  std::vector<index_t> height(static_cast<std::size_t>(n), 0);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t p = parent[v];
+    if (p != -1) height[p] = std::max(height[p], height[v] + 1);
+  }
+  return height;
+}
+
+template std::vector<index_t> column_etree(const sparse::CscMatrix<double>&);
+template std::vector<index_t> column_etree(const sparse::CscMatrix<Complex>&);
+
+}  // namespace gesp::ordering

@@ -1,0 +1,40 @@
+// Elimination trees and postordering (Liu).
+//
+// The column elimination tree of A — the etree of AᵀA, computed without
+// forming AᵀA — drives supernode relaxation and the distributed scheduling;
+// the symmetric etree is used when working on A+Aᵀ patterns.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ordering/patterns.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::ordering {
+
+/// Column elimination tree of A (etree of AᵀA). parent[j] == -1 for roots.
+template <class T>
+std::vector<index_t> column_etree(const sparse::CscMatrix<T>& A);
+
+/// Elimination tree of a symmetric pattern. parent[j] == -1 for roots.
+std::vector<index_t> sym_etree(const SymPattern& P);
+
+/// Postorder of a forest given by parent pointers: returns the new-from-old
+/// permutation `post` such that post[v] is v's position in a postorder
+/// traversal (children before parents, and every subtree contiguous).
+std::vector<index_t> postorder(std::span<const index_t> parent);
+
+/// Number of descendants (including self) per node of the forest.
+std::vector<index_t> subtree_sizes(std::span<const index_t> parent);
+
+/// Height of each node above its deepest leaf (leaves have height 0).
+std::vector<index_t> tree_heights(std::span<const index_t> parent);
+
+extern template std::vector<index_t> column_etree(
+    const sparse::CscMatrix<double>&);
+extern template std::vector<index_t> column_etree(
+    const sparse::CscMatrix<Complex>&);
+
+}  // namespace gesp::ordering

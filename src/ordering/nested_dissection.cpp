@@ -1,0 +1,156 @@
+#include "ordering/nested_dissection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "ordering/amd.hpp"
+
+namespace gesp::ordering {
+namespace {
+
+/// Subgraph working set: `verts` lists the global vertex ids; adjacency is
+/// read from the full pattern and filtered through `in_set` stamps.
+struct Workspace {
+  const SymPattern* P = nullptr;
+  std::vector<index_t> stamp;   ///< stamp[v] == tag: v is in current set
+  std::vector<index_t> level;   ///< BFS levels
+  std::vector<index_t> queue;
+  index_t tag = 0;
+};
+
+/// BFS from `root` within the stamped set; fills ws.level for reached
+/// vertices (others keep -1) and returns the reached vertices in BFS order.
+std::vector<index_t> bfs(Workspace& ws, index_t root,
+                         const std::vector<index_t>& verts) {
+  const SymPattern& P = *ws.P;
+  for (index_t v : verts) ws.level[v] = -1;
+  std::vector<index_t> order;
+  order.reserve(verts.size());
+  order.push_back(root);
+  ws.level[root] = 0;
+  for (std::size_t h = 0; h < order.size(); ++h) {
+    const index_t v = order[h];
+    for (index_t p = P.ptr[v]; p < P.ptr[v + 1]; ++p) {
+      const index_t u = P.ind[p];
+      if (ws.stamp[u] != ws.tag || ws.level[u] != -1) continue;
+      ws.level[u] = ws.level[v] + 1;
+      order.push_back(u);
+    }
+  }
+  return order;
+}
+
+void dissect(Workspace& ws, std::vector<index_t> verts, int depth,
+             const NdOptions& opt, std::vector<index_t>& out_order) {
+  const SymPattern& P = *ws.P;
+  // Stamp the current set.
+  const index_t tag = ++ws.tag;
+  ws.tag = tag;
+  for (index_t v : verts) ws.stamp[v] = tag;
+
+  if (static_cast<index_t>(verts.size()) <= opt.leaf_size ||
+      depth >= opt.max_depth) {
+    // Fall back to minimum degree on the subgraph.
+    std::vector<index_t> local_id(verts.size());
+    SymPattern sub;
+    sub.n = static_cast<index_t>(verts.size());
+    sub.ptr.assign(verts.size() + 1, 0);
+    // Map global -> local (reuse level as scratch).
+    for (std::size_t i = 0; i < verts.size(); ++i)
+      ws.level[verts[i]] = static_cast<index_t>(i);
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const index_t v = verts[i];
+      for (index_t p = P.ptr[v]; p < P.ptr[v + 1]; ++p)
+        if (ws.stamp[P.ind[p]] == tag) sub.ptr[i + 1]++;
+    }
+    for (std::size_t i = 0; i < verts.size(); ++i) sub.ptr[i + 1] += sub.ptr[i];
+    sub.ind.resize(static_cast<std::size_t>(sub.ptr.back()));
+    std::vector<index_t> fill(sub.ptr.begin(), sub.ptr.end() - 1);
+    for (std::size_t i = 0; i < verts.size(); ++i) {
+      const index_t v = verts[i];
+      for (index_t p = P.ptr[v]; p < P.ptr[v + 1]; ++p) {
+        const index_t u = P.ind[p];
+        if (ws.stamp[u] == tag) sub.ind[fill[i]++] = ws.level[u];
+      }
+    }
+    const auto perm = amd_order(sub);
+    // perm[local] = position within the leaf; emit in position order.
+    local_id.assign(verts.size(), 0);
+    for (std::size_t i = 0; i < verts.size(); ++i)
+      local_id[perm[i]] = static_cast<index_t>(i);
+    for (std::size_t k = 0; k < verts.size(); ++k)
+      out_order.push_back(verts[local_id[k]]);
+    return;
+  }
+
+  // Pseudo-peripheral root, then a BFS level structure.
+  index_t root = verts.front();
+  std::vector<index_t> order = bfs(ws, root, verts);
+  for (int it = 0; it < 4; ++it) {
+    const index_t far = order.back();
+    if (far == root) break;
+    root = far;
+    order = bfs(ws, root, verts);
+  }
+  if (order.size() < verts.size()) {
+    // Disconnected: recurse on the reached component, then the rest.
+    std::vector<index_t> rest;
+    for (index_t v : verts)
+      if (ws.level[v] == -1) rest.push_back(v);
+    dissect(ws, order, depth, opt, out_order);
+    dissect(ws, std::move(rest), depth, opt, out_order);
+    return;
+  }
+
+  // Separator = vertices of the middle BFS level; halves = below / above.
+  // Save levels locally: recursive calls reuse ws.level as scratch.
+  const index_t depth_levels = ws.level[order.back()];
+  if (depth_levels < 2) {
+    // No useful split (clique-like): order directly via AMD fallback.
+    NdOptions leaf = opt;
+    leaf.leaf_size = static_cast<index_t>(verts.size());
+    dissect(ws, std::move(verts), opt.max_depth, leaf, out_order);
+    return;
+  }
+  const index_t mid = depth_levels / 2;
+  std::vector<index_t> below, above, separator;
+  for (index_t v : order) {
+    const index_t l = ws.level[v];
+    if (l < mid)
+      below.push_back(v);
+    else if (l > mid)
+      above.push_back(v);
+    else
+      separator.push_back(v);
+  }
+  dissect(ws, std::move(below), depth + 1, opt, out_order);
+  dissect(ws, std::move(above), depth + 1, opt, out_order);
+  out_order.insert(out_order.end(), separator.begin(), separator.end());
+}
+
+}  // namespace
+
+std::vector<index_t> nested_dissection_order(const SymPattern& P,
+                                             const NdOptions& opt) {
+  GESP_CHECK(opt.leaf_size >= 1 && opt.max_depth >= 1, Errc::invalid_argument,
+             "bad nested dissection options");
+  const index_t n = P.n;
+  std::vector<index_t> perm(static_cast<std::size_t>(n), -1);
+  if (n == 0) return perm;
+  Workspace ws;
+  ws.P = &P;
+  ws.stamp.assign(static_cast<std::size_t>(n), -1);
+  ws.level.assign(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  std::vector<index_t> order;
+  order.reserve(all.size());
+  dissect(ws, std::move(all), 0, opt, order);
+  GESP_CHECK(static_cast<index_t>(order.size()) == n, Errc::internal,
+             "nested dissection lost vertices");
+  for (index_t k = 0; k < n; ++k) perm[order[k]] = k;
+  return perm;
+}
+
+}  // namespace gesp::ordering

@@ -1,0 +1,28 @@
+// Nested dissection ordering (George [17]) — the paper's step (2)
+// alternative to minimum degree: "We can also use nested dissection on
+// AᵀA or A+Aᵀ."
+//
+// Recursive BFS-based bisection: each component is split by a vertex
+// separator derived from the middle level of a breadth-first level
+// structure rooted at a pseudo-peripheral vertex; the two halves are
+// ordered recursively and the separator is numbered last. Small subgraphs
+// fall back to minimum degree (the standard hybrid).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ordering/patterns.hpp"
+
+namespace gesp::ordering {
+
+struct NdOptions {
+  index_t leaf_size = 64;  ///< switch to AMD below this many vertices
+  int max_depth = 32;      ///< recursion guard
+};
+
+/// Returns the new-from-old permutation.
+std::vector<index_t> nested_dissection_order(const SymPattern& P,
+                                             const NdOptions& opt = {});
+
+}  // namespace gesp::ordering

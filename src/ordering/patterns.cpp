@@ -1,0 +1,103 @@
+#include "ordering/patterns.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gesp::ordering {
+
+template <class T>
+SymPattern ata_pattern(const sparse::CscMatrix<T>& A) {
+  const index_t n = A.ncols;
+  // Row-wise access to A: for each row r, the set of columns it touches.
+  sparse::CsrMatrix<T> R = sparse::to_csr(A);
+  SymPattern P;
+  P.n = n;
+  P.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> stamp(static_cast<std::size_t>(n), -1);
+  // Column j of AᵀA touches every column j2 sharing a row with column j.
+  // Two passes: count, then fill.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::fill(stamp.begin(), stamp.end(), -1);
+    for (index_t j = 0; j < n; ++j) {
+      index_t cnt = 0;
+      for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+        const index_t r = A.rowind[p];
+        for (index_t q = R.rowptr[r]; q < R.rowptr[r + 1]; ++q) {
+          const index_t j2 = R.colind[q];
+          if (j2 == j || stamp[j2] == j) continue;
+          stamp[j2] = j;
+          if (pass == 1) P.ind[P.ptr[j] + cnt] = j2;
+          ++cnt;
+        }
+      }
+      if (pass == 0) P.ptr[j + 1] = cnt;
+    }
+    if (pass == 0) {
+      for (index_t j = 0; j < n; ++j) P.ptr[j + 1] += P.ptr[j];
+      P.ind.resize(static_cast<std::size_t>(P.ptr[n]));
+    }
+  }
+  for (index_t j = 0; j < n; ++j)
+    std::sort(P.ind.begin() + P.ptr[j], P.ind.begin() + P.ptr[j + 1]);
+  return P;
+}
+
+template <class T>
+SymPattern aplusat_pattern(const sparse::CscMatrix<T>& A) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "aplusat_pattern needs a square matrix");
+  const index_t n = A.ncols;
+  const sparse::CscMatrix<T> At = sparse::transpose(A);
+  SymPattern P;
+  P.n = n;
+  P.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  // Merge column j of A with column j of Aᵀ, dropping the diagonal.
+  auto merged_count = [&](index_t j) {
+    index_t cnt = 0;
+    index_t p = A.colptr[j], pe = A.colptr[j + 1];
+    index_t q = At.colptr[j], qe = At.colptr[j + 1];
+    while (p < pe || q < qe) {
+      index_t i;
+      if (q >= qe || (p < pe && A.rowind[p] < At.rowind[q]))
+        i = A.rowind[p++];
+      else if (p >= pe || At.rowind[q] < A.rowind[p])
+        i = At.rowind[q++];
+      else {
+        i = A.rowind[p];
+        ++p;
+        ++q;
+      }
+      if (i != j) ++cnt;
+    }
+    return cnt;
+  };
+  for (index_t j = 0; j < n; ++j) P.ptr[j + 1] = P.ptr[j] + merged_count(j);
+  P.ind.resize(static_cast<std::size_t>(P.ptr[n]));
+  for (index_t j = 0; j < n; ++j) {
+    index_t out = P.ptr[j];
+    index_t p = A.colptr[j], pe = A.colptr[j + 1];
+    index_t q = At.colptr[j], qe = At.colptr[j + 1];
+    while (p < pe || q < qe) {
+      index_t i;
+      if (q >= qe || (p < pe && A.rowind[p] < At.rowind[q]))
+        i = A.rowind[p++];
+      else if (p >= pe || At.rowind[q] < A.rowind[p])
+        i = At.rowind[q++];
+      else {
+        i = A.rowind[p];
+        ++p;
+        ++q;
+      }
+      if (i != j) P.ind[out++] = i;
+    }
+  }
+  return P;
+}
+
+template SymPattern ata_pattern(const sparse::CscMatrix<double>&);
+template SymPattern ata_pattern(const sparse::CscMatrix<Complex>&);
+template SymPattern aplusat_pattern(const sparse::CscMatrix<double>&);
+template SymPattern aplusat_pattern(const sparse::CscMatrix<Complex>&);
+
+}  // namespace gesp::ordering

@@ -1,0 +1,37 @@
+// Symmetric pattern builders for fill-reducing ordering — GESP step (2).
+//
+// The paper orders columns by minimum degree on the structure of AᵀA (the
+// right pattern for LU with column ordering, since it bounds the fill for
+// any row pivoting); A+Aᵀ is the cheaper alternative used when the matrix
+// is nearly structurally symmetric.
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::ordering {
+
+/// Pattern-only symmetric graph: CSC structure without values, zero-free
+/// diagonal excluded (orderings never care about the diagonal).
+struct SymPattern {
+  index_t n = 0;
+  std::vector<index_t> ptr;  ///< size n+1
+  std::vector<index_t> ind;  ///< neighbor lists, sorted, no self-loops
+
+  count_t nnz() const { return static_cast<count_t>(ind.size()); }
+};
+
+/// Pattern of AᵀA (diagonal dropped).
+template <class T>
+SymPattern ata_pattern(const sparse::CscMatrix<T>& A);
+
+/// Pattern of A + Aᵀ (diagonal dropped).
+template <class T>
+SymPattern aplusat_pattern(const sparse::CscMatrix<T>& A);
+
+extern template SymPattern ata_pattern(const sparse::CscMatrix<double>&);
+extern template SymPattern ata_pattern(const sparse::CscMatrix<Complex>&);
+extern template SymPattern aplusat_pattern(const sparse::CscMatrix<double>&);
+extern template SymPattern aplusat_pattern(const sparse::CscMatrix<Complex>&);
+
+}  // namespace gesp::ordering

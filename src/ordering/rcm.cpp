@@ -1,0 +1,93 @@
+#include "ordering/rcm.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gesp::ordering {
+namespace {
+
+/// BFS from `start` over unvisited nodes; returns the vertices level by
+/// level (appended to `out`) and the last level's first vertex (an
+/// eccentric vertex).
+index_t bfs_levels(const SymPattern& P, index_t start,
+                   const std::vector<char>& visited,
+                   std::vector<index_t>& out, index_t* depth_out) {
+  std::vector<char> seen = visited;
+  out.clear();
+  out.push_back(start);
+  seen[start] = 1;
+  std::size_t level_begin = 0;
+  index_t depth = 0;
+  index_t last_level_first = start;
+  while (level_begin < out.size()) {
+    const std::size_t level_end = out.size();
+    last_level_first = out[level_begin];
+    for (std::size_t k = level_begin; k < level_end; ++k) {
+      const index_t v = out[k];
+      for (index_t p = P.ptr[v]; p < P.ptr[v + 1]; ++p) {
+        const index_t u = P.ind[p];
+        if (!seen[u]) {
+          seen[u] = 1;
+          out.push_back(u);
+        }
+      }
+    }
+    if (out.size() > level_end) ++depth;
+    level_begin = level_end;
+  }
+  if (depth_out) *depth_out = depth;
+  return last_level_first;
+}
+
+}  // namespace
+
+std::vector<index_t> rcm_order(const SymPattern& P) {
+  const index_t n = P.n;
+  std::vector<index_t> order;  // old indices in Cuthill–McKee order
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> scratch;
+
+  auto degree = [&](index_t v) { return P.ptr[v + 1] - P.ptr[v]; };
+
+  for (index_t s = 0; s < n; ++s) {
+    if (visited[s]) continue;
+    // Pseudo-peripheral start: alternate BFS until the eccentricity stops
+    // growing (George–Liu heuristic).
+    index_t start = s, depth = -1;
+    for (int it = 0; it < 8; ++it) {
+      index_t d = 0;
+      const index_t far = bfs_levels(P, start, visited, scratch, &d);
+      if (d <= depth) break;
+      depth = d;
+      start = far;
+    }
+    // Cuthill–McKee BFS with neighbors sorted by ascending degree.
+    const std::size_t comp_begin = order.size();
+    order.push_back(start);
+    visited[start] = 1;
+    for (std::size_t k = comp_begin; k < order.size(); ++k) {
+      const index_t v = order[k];
+      scratch.clear();
+      for (index_t p = P.ptr[v]; p < P.ptr[v + 1]; ++p) {
+        const index_t u = P.ind[p];
+        if (!visited[u]) {
+          visited[u] = 1;
+          scratch.push_back(u);
+        }
+      }
+      std::sort(scratch.begin(), scratch.end(),
+                [&](index_t a, index_t b) { return degree(a) < degree(b); });
+      order.insert(order.end(), scratch.begin(), scratch.end());
+    }
+  }
+  GESP_CHECK(static_cast<index_t>(order.size()) == n, Errc::internal,
+             "RCM lost vertices");
+  // Reverse and convert to new-from-old.
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  for (index_t k = 0; k < n; ++k) perm[order[k]] = n - 1 - k;
+  return perm;
+}
+
+}  // namespace gesp::ordering

@@ -1,0 +1,18 @@
+// Reverse Cuthill–McKee ordering — the bandwidth-reducing alternative
+// ordering offered alongside AMD (useful for the banded chemical-plant
+// matrices, and as a baseline in the ordering ablation bench).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "ordering/patterns.hpp"
+
+namespace gesp::ordering {
+
+/// Reverse Cuthill–McKee on a symmetric pattern; each connected component
+/// is started from a pseudo-peripheral vertex found by repeated BFS.
+/// Returns the new-from-old permutation.
+std::vector<index_t> rcm_order(const SymPattern& P);
+
+}  // namespace gesp::ordering

@@ -1,0 +1,54 @@
+// Forward error bound and condition estimation (the optional, expensive
+// diagnostics of the GESP driver).
+//
+// The forward error bound follows LAPACK's xGERFS analysis:
+//   ferr >= ||x - x_true||_inf / ||x||_inf   (approximately)
+//   ferr  = || |A^{-1}| ( |r| + (n+1)·eps·(|A||x| + |b|) ) ||_inf / ||x||_inf
+// with the |A^{-1}|·f norm estimated by Hager–Higham using solves with A
+// and Aᴴ — multiple triangular solves, which is why the paper runs this
+// only when the user asks.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "common/types.hpp"
+#include "refine/norm_estimator.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::refine {
+
+/// Solver callbacks: apply A^{-1} / A^{-T} in place (from the LU factors).
+template <class T>
+struct SolveOps {
+  ApplyFn<T> solve;             ///< x <- A^{-1} x
+  ApplyFn<T> solve_transposed;  ///< x <- A^{-T} x
+};
+
+/// Estimated forward error bound for the computed solution x of A·x = b
+/// with residual r = b - A·x.
+template <class T>
+double forward_error_bound(const sparse::CscMatrix<T>& A,
+                           std::span<const T> x, std::span<const T> b,
+                           std::span<const T> r, const SolveOps<T>& ops);
+
+/// Reciprocal condition number estimate: 1 / (||A||_1 · est(||A^{-1}||_1)).
+template <class T>
+double rcond_estimate(const sparse::CscMatrix<T>& A, const SolveOps<T>& ops);
+
+extern template double forward_error_bound(const sparse::CscMatrix<double>&,
+                                           std::span<const double>,
+                                           std::span<const double>,
+                                           std::span<const double>,
+                                           const SolveOps<double>&);
+extern template double forward_error_bound(const sparse::CscMatrix<Complex>&,
+                                           std::span<const Complex>,
+                                           std::span<const Complex>,
+                                           std::span<const Complex>,
+                                           const SolveOps<Complex>&);
+extern template double rcond_estimate(const sparse::CscMatrix<double>&,
+                                      const SolveOps<double>&);
+extern template double rcond_estimate(const sparse::CscMatrix<Complex>&,
+                                      const SolveOps<Complex>&);
+
+}  // namespace gesp::refine

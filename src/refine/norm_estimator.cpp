@@ -1,0 +1,83 @@
+#include "refine/norm_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gesp::refine {
+namespace {
+
+double abs_of(double v) { return std::abs(v); }
+double abs_of(const Complex& v) { return std::abs(v); }
+
+double norm1(std::span<const double> x) {
+  double s = 0;
+  for (double v : x) s += std::abs(v);
+  return s;
+}
+double norm1(std::span<const Complex> x) {
+  double s = 0;
+  for (const Complex& v : x) s += std::abs(v);
+  return s;
+}
+
+/// sign(v): ±1 for real, unit phase for complex, 1 at zero.
+double sign_of(double v) { return v >= 0.0 ? 1.0 : -1.0; }
+Complex sign_of(const Complex& v) {
+  const double m = std::abs(v);
+  return m == 0.0 ? Complex(1.0, 0.0) : v / m;
+}
+
+}  // namespace
+
+template <class T>
+double estimate_norm1(index_t n, const ApplyFn<T>& apply,
+                      const ApplyFn<T>& apply_adjoint, int max_iters) {
+  GESP_CHECK(n > 0, Errc::invalid_argument, "estimate_norm1 needs n > 0");
+  std::vector<T> x(static_cast<std::size_t>(n),
+                   T{1.0 / static_cast<double>(n)});
+  double est = 0.0;
+  index_t last_j = -1;
+  for (int it = 0; it < max_iters; ++it) {
+    apply(std::span<T>(x));  // x <- B x
+    const double new_est = norm1(std::span<const T>(x));
+    if (it > 0 && new_est <= est) break;
+    est = new_est;
+    // z = Bᴴ sign(x)
+    for (T& v : x) v = sign_of(v);
+    apply_adjoint(std::span<T>(x));
+    index_t j = 0;
+    double zmax = 0.0;
+    for (index_t i = 0; i < n; ++i) {
+      const double m = abs_of(x[i]);
+      if (m > zmax) {
+        zmax = m;
+        j = i;
+      }
+    }
+    if (j == last_j) break;  // stuck on the same column
+    last_j = j;
+    std::fill(x.begin(), x.end(), T{});
+    x[j] = T{1};
+  }
+  // Parity-vector lower bound (guards against the power iteration landing
+  // in a bad invariant subspace).
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    const double val =
+        (i % 2 == 0 ? 1.0 : -1.0) *
+        (1.0 + static_cast<double>(i) / std::max<index_t>(1, n - 1));
+    v[i] = T{val};
+  }
+  apply(std::span<T>(v));
+  const double alt = 2.0 * norm1(std::span<const T>(v)) / (3.0 * n);
+  return std::max(est, alt);
+}
+
+template double estimate_norm1<double>(index_t, const ApplyFn<double>&,
+                                       const ApplyFn<double>&, int);
+template double estimate_norm1<Complex>(index_t, const ApplyFn<Complex>&,
+                                        const ApplyFn<Complex>&, int);
+
+}  // namespace gesp::refine

@@ -1,0 +1,32 @@
+// Hager–Higham 1-norm estimation of a linear operator given only
+// apply(B·x) and apply(Bᴴ·x) — the engine behind the paper's forward error
+// bound and condition estimate (the step the paper calls "by far the most
+// expensive after factorization", which is why the driver only runs it on
+// request).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace gesp::refine {
+
+/// In-place operator application.
+template <class T>
+using ApplyFn = std::function<void(std::span<T>)>;
+
+/// Estimate ||B||_1 with at most `max_iters` forward/adjoint applications
+/// (LAPACK xLACON-style, including the parity-vector lower bound).
+template <class T>
+double estimate_norm1(index_t n, const ApplyFn<T>& apply,
+                      const ApplyFn<T>& apply_adjoint, int max_iters = 5);
+
+extern template double estimate_norm1<double>(index_t, const ApplyFn<double>&,
+                                              const ApplyFn<double>&, int);
+extern template double estimate_norm1<Complex>(index_t,
+                                               const ApplyFn<Complex>&,
+                                               const ApplyFn<Complex>&, int);
+
+}  // namespace gesp::refine

@@ -1,0 +1,81 @@
+// Coordinate-format sparse matrix — the assembly format. Generators and file
+// readers build a CooMatrix, then convert to CSC for everything else.
+#pragma once
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+/// Unordered triplet (COO) matrix. Duplicate entries are allowed and are
+/// summed on conversion to CSC, matching MatrixMarket assembly semantics.
+template <class T>
+class CooMatrix {
+ public:
+  CooMatrix() = default;
+  CooMatrix(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols) {
+    GESP_CHECK(nrows >= 0 && ncols >= 0, Errc::invalid_argument,
+               "negative matrix dimension");
+  }
+
+  index_t nrows() const { return nrows_; }
+  index_t ncols() const { return ncols_; }
+  count_t nnz() const { return static_cast<count_t>(row_.size()); }
+
+  /// Append one entry; duplicates accumulate on conversion.
+  void add(index_t i, index_t j, T v) {
+    GESP_ASSERT(i >= 0 && i < nrows_ && j >= 0 && j < ncols_,
+                "COO entry out of range");
+    row_.push_back(i);
+    col_.push_back(j);
+    val_.push_back(v);
+  }
+
+  void reserve(std::size_t n) {
+    row_.reserve(n);
+    col_.reserve(n);
+    val_.reserve(n);
+  }
+
+  const std::vector<index_t>& rows() const { return row_; }
+  const std::vector<index_t>& cols() const { return col_; }
+  const std::vector<T>& values() const { return val_; }
+
+  /// Convert to compressed sparse column, summing duplicates; row indices
+  /// within each column come out strictly increasing.
+  CscMatrix<T> to_csc() const {
+    CscMatrix<T> A;
+    A.nrows = nrows_;
+    A.ncols = ncols_;
+    A.colptr.assign(static_cast<std::size_t>(ncols_) + 1, 0);
+    const std::size_t nz = row_.size();
+    // Counting sort by column.
+    for (std::size_t k = 0; k < nz; ++k) A.colptr[col_[k] + 1]++;
+    for (index_t j = 0; j < ncols_; ++j) A.colptr[j + 1] += A.colptr[j];
+    std::vector<index_t> next(A.colptr.begin(), A.colptr.end() - 1);
+    A.rowind.resize(nz);
+    A.values.resize(nz);
+    for (std::size_t k = 0; k < nz; ++k) {
+      const index_t p = next[col_[k]]++;
+      A.rowind[p] = row_[k];
+      A.values[p] = val_[k];
+    }
+    A.sort_columns();
+    A.sum_duplicates();
+    return A;
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<index_t> row_;
+  std::vector<index_t> col_;
+  std::vector<T> val_;
+};
+
+}  // namespace gesp::sparse

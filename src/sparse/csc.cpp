@@ -1,0 +1,27 @@
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+std::vector<index_t> inverse_permutation(std::span<const index_t> p) {
+  std::vector<index_t> inv(p.size(), -1);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    GESP_CHECK(p[i] >= 0 && static_cast<std::size_t>(p[i]) < p.size(),
+               Errc::invalid_argument, "permutation entry out of range");
+    GESP_CHECK(inv[p[i]] == -1, Errc::invalid_argument,
+               "duplicate permutation entry");
+    inv[p[i]] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+bool is_permutation(std::span<const index_t> p) {
+  std::vector<bool> seen(p.size(), false);
+  for (index_t v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size() || seen[v])
+      return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+}  // namespace gesp::sparse

@@ -1,0 +1,58 @@
+#include "sparse/equilibrate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gesp::sparse {
+
+template <class T>
+Scaling equilibrate(const CscMatrix<T>& A) {
+  using std::abs;
+  Scaling s;
+  s.row.assign(static_cast<std::size_t>(A.nrows), 0.0);
+  s.col.assign(static_cast<std::size_t>(A.ncols), 0.0);
+  // Row maxima of |A|.
+  for (index_t j = 0; j < A.ncols; ++j)
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      s.row[A.rowind[p]] =
+          std::max<double>(s.row[A.rowind[p]], abs(A.values[p]));
+  for (double& v : s.row) v = (v == 0.0) ? 1.0 : 1.0 / v;
+  // Column maxima of |Dr·A|.
+  for (index_t j = 0; j < A.ncols; ++j) {
+    double cmax = 0.0;
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      cmax = std::max<double>(cmax, s.row[A.rowind[p]] * abs(A.values[p]));
+    s.col[j] = (cmax == 0.0) ? 1.0 : 1.0 / cmax;
+  }
+  return s;
+}
+
+template <class T>
+CscMatrix<T> apply_scaling(const CscMatrix<T>& A, std::span<const double> row,
+                           std::span<const double> col) {
+  GESP_CHECK(row.empty() || row.size() == static_cast<std::size_t>(A.nrows),
+             Errc::invalid_argument, "row scale size mismatch");
+  GESP_CHECK(col.empty() || col.size() == static_cast<std::size_t>(A.ncols),
+             Errc::invalid_argument, "col scale size mismatch");
+  CscMatrix<T> B = A;
+  for (index_t j = 0; j < B.ncols; ++j) {
+    const double cj = col.empty() ? 1.0 : col[j];
+    for (index_t p = B.colptr[j]; p < B.colptr[j + 1]; ++p) {
+      const double ri = row.empty() ? 1.0 : row[B.rowind[p]];
+      B.values[p] *= ri * cj;
+    }
+  }
+  return B;
+}
+
+template Scaling equilibrate(const CscMatrix<double>&);
+template Scaling equilibrate(const CscMatrix<Complex>&);
+template CscMatrix<double> apply_scaling(const CscMatrix<double>&,
+                                         std::span<const double>,
+                                         std::span<const double>);
+template CscMatrix<Complex> apply_scaling(const CscMatrix<Complex>&,
+                                          std::span<const double>,
+                                          std::span<const double>);
+
+}  // namespace gesp::sparse

@@ -1,0 +1,45 @@
+// Row/column equilibration — step (1)'s "simple equilibration", the
+// algorithm of LAPACK's DGEEQU: Dr_i = 1/max_j |a_ij|, then
+// Dc_j = 1/max_i |Dr_i a_ij|, so every row and column of Dr·A·Dc has its
+// largest entry equal to 1 in magnitude.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+/// Result of equilibration (or of the MC64 dual-variable scaling).
+struct Scaling {
+  std::vector<double> row;  ///< Dr diagonal (empty = identity)
+  std::vector<double> col;  ///< Dc diagonal (empty = identity)
+
+  bool row_scaled() const { return !row.empty(); }
+  bool col_scaled() const { return !col.empty(); }
+};
+
+/// DGEEQU-style equilibration of A (magnitudes only).
+/// amax receives max|a_ij| before scaling. Rows/columns that are exactly
+/// zero get scale factor 1 (they will be caught later as structural
+/// singularity by the matching phase).
+template <class T>
+Scaling equilibrate(const CscMatrix<T>& A);
+
+/// B = diag(row) * A * diag(col); empty spans mean identity.
+template <class T>
+CscMatrix<T> apply_scaling(const CscMatrix<T>& A, std::span<const double> row,
+                           std::span<const double> col);
+
+extern template Scaling equilibrate(const CscMatrix<double>&);
+extern template Scaling equilibrate(const CscMatrix<Complex>&);
+extern template CscMatrix<double> apply_scaling(const CscMatrix<double>&,
+                                                std::span<const double>,
+                                                std::span<const double>);
+extern template CscMatrix<Complex> apply_scaling(const CscMatrix<Complex>&,
+                                                 std::span<const double>,
+                                                 std::span<const double>);
+
+}  // namespace gesp::sparse

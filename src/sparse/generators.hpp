@@ -1,0 +1,110 @@
+// Synthetic workload generators.
+//
+// The paper evaluates on 53 matrices from the Harwell-Boeing and Davis
+// collections plus two private ones. Those files are not redistributable
+// here, so the testbed (testbed.hpp) is generated from these routines,
+// which produce matrices with the same *behaviour-determining*
+// characteristics: dimension, nonzero density, structural/numerical
+// symmetry, zero diagonals, tiny-dynamic-pivot patterns, and pivot-growth
+// adversaries. All generators are bit-deterministic given their seed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+/// 5-point Laplacian on an nx×ny grid (symmetric positive definite;
+/// structural stand-in for structural-engineering meshes).
+CscMatrix<double> laplacian2d(index_t nx, index_t ny);
+
+/// 7-point Laplacian on an nx×ny×nz grid.
+CscMatrix<double> laplacian3d(index_t nx, index_t ny, index_t nz);
+
+/// Upwind-discretized convection–diffusion on an nx×ny grid:
+///   -Δu + (vx, vy)·∇u. Unsymmetric values on a symmetric structure —
+/// the classic CFD matrix (AF23560 / fluid-flow class).
+CscMatrix<double> convdiff2d(index_t nx, index_t ny, double vx, double vy);
+
+/// 3-D convection–diffusion (EX11 / 3-D flow class).
+CscMatrix<double> convdiff3d(index_t nx, index_t ny, index_t nz, double vx,
+                             double vy, double vz);
+
+/// Anisotropic diffusion -eps·u_xx - u_yy on an nx×ny grid (petroleum
+/// reservoir class, WU-like).
+CscMatrix<double> anisotropic2d(index_t nx, index_t ny, double eps);
+
+/// Parameters for the general random unsymmetric generator.
+struct RandomSpec {
+  index_t n = 1000;               ///< order
+  index_t nnz_per_row = 8;        ///< average off-diagonal count per row
+  double structural_symmetry = 0.5;  ///< probability the mirror entry exists
+  double numeric_symmetry = 0.0;  ///< probability mirror entry has same value
+  double diag_scale = 1.0;        ///< magnitude scale of diagonal entries
+  double offdiag_scale = 1.0;     ///< magnitude scale of off-diagonals
+  double bandwidth = 0.1;         ///< locality: offsets ~ ±bandwidth·n
+  std::uint64_t seed = 1;
+};
+
+/// Random square unsymmetric matrix with controllable symmetry and entry
+/// scales. Always structurally nonsingular (full diagonal) — compose with
+/// with_zero_diagonal() to knock diagonal entries out.
+CscMatrix<double> random_unsymmetric(const RandomSpec& spec);
+
+/// Circuit-simulation-like matrix (TWOTONE / MEMPLUS class): most rows have
+/// 2–4 entries, a few "hub" rows/columns are dense-ish, supernodes are tiny.
+CscMatrix<double> circuit_like(index_t n, index_t hubs, index_t hub_degree,
+                               std::uint64_t seed);
+
+/// Device-simulation-like matrix (ECL32 class): block-structured with
+/// moderately dense coupled blocks, high fill.
+CscMatrix<double> device_like(index_t nblocks, index_t block_size,
+                              index_t couplings, std::uint64_t seed);
+
+/// Chemical-engineering-like matrix (RDIST/HYDR1 class): staircase of small
+/// unit blocks with long-range recycle-stream couplings and poor scaling
+/// (entry magnitudes spanning many orders of magnitude).
+CscMatrix<double> chemical_like(index_t nstages, index_t stage_size,
+                                double scale_spread, std::uint64_t seed);
+
+/// Remove the diagonal entry from ~fraction·n rows, pairing the affected
+/// rows in 2-cycles and inserting strong entries at (i,j) and (j,i) so a
+/// perfect matching still exists (the matrix stays structurally
+/// nonsingular, but *requires* row pivoting/permutation).
+CscMatrix<double> with_zero_diagonal(const CscMatrix<double>& A,
+                                     double fraction, std::uint64_t seed);
+
+/// Tridiagonal-with-cancellation matrix: all diagonal entries are nonzero
+/// and well scaled, but elimination without pivoting produces an *exact
+/// zero* pivot at step `cancel_at` (zeros created on the diagonal during
+/// elimination — the paper's "5 more create zeros" class). GESP's
+/// tiny-pivot replacement plus refinement must rescue it.
+CscMatrix<double> cancellation_matrix(index_t n, index_t cancel_at,
+                                      std::uint64_t seed);
+
+/// Wilkinson-style growth adversary: unit diagonal, -1 strictly below, +1
+/// last column; element growth 2^(n-1) for any diagonal pivot order. Used
+/// as the AV41092 stand-in (GESP failure case) and to show GENP/GEPP growth.
+CscMatrix<double> growth_adversary(index_t n);
+
+/// Sparse version of the growth adversary embedded in a random background,
+/// with tunable growth depth (growth ≈ 2^depth).
+CscMatrix<double> sparse_growth_adversary(index_t n, index_t depth,
+                                          std::uint64_t seed);
+
+/// Complexify: multiply each entry by a deterministic random unit-modulus
+/// phase (the quantum-chemistry application solves complex unsymmetric
+/// systems). The magnitude structure — all that matching/ordering sees —
+/// is unchanged.
+CscMatrix<Complex> randomize_phases(const CscMatrix<double>& A,
+                                    std::uint64_t seed);
+
+/// Perturb the nonzero *values* (not the pattern) — models the paper's
+/// repeated-factorization scenario, where the pattern is fixed across a
+/// simulation but values change each step.
+CscMatrix<double> perturb_values(const CscMatrix<double>& A, double rel,
+                                 std::uint64_t seed);
+
+}  // namespace gesp::sparse

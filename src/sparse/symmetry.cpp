@@ -1,0 +1,42 @@
+#include "sparse/symmetry.hpp"
+
+#include "common/error.hpp"
+
+namespace gesp::sparse {
+
+template <class T>
+SymmetryMetrics symmetry_metrics(const CscMatrix<T>& A) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "symmetry metrics need a square matrix");
+  const CscMatrix<T> At = transpose(A);
+  count_t str = 0, num = 0;
+  const count_t total = A.nnz();
+  // Merge column j of A against column j of Aᵀ (= row j of A).
+  for (index_t j = 0; j < A.ncols; ++j) {
+    index_t p = A.colptr[j], pe = A.colptr[j + 1];
+    index_t q = At.colptr[j], qe = At.colptr[j + 1];
+    while (p < pe && q < qe) {
+      if (A.rowind[p] < At.rowind[q]) {
+        ++p;
+      } else if (A.rowind[p] > At.rowind[q]) {
+        ++q;
+      } else {
+        ++str;
+        if (A.values[p] == At.values[q]) ++num;
+        ++p;
+        ++q;
+      }
+    }
+  }
+  SymmetryMetrics m;
+  if (total > 0) {
+    m.structural = static_cast<double>(str) / static_cast<double>(total);
+    m.numerical = static_cast<double>(num) / static_cast<double>(total);
+  }
+  return m;
+}
+
+template SymmetryMetrics symmetry_metrics(const CscMatrix<double>&);
+template SymmetryMetrics symmetry_metrics(const CscMatrix<Complex>&);
+
+}  // namespace gesp::sparse

@@ -1,0 +1,23 @@
+// Structural and numerical symmetry metrics, as defined under the paper's
+// Table 2: StrSym is the fraction of nonzeros matched by a nonzero in the
+// symmetric position; NumSym is the fraction matched by an *equal value* in
+// the symmetric position. Diagonal entries match themselves.
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+struct SymmetryMetrics {
+  double structural = 0.0;  ///< StrSym in [0, 1]
+  double numerical = 0.0;   ///< NumSym in [0, 1]
+};
+
+template <class T>
+SymmetryMetrics symmetry_metrics(const CscMatrix<T>& A);
+
+extern template SymmetryMetrics symmetry_metrics(const CscMatrix<double>&);
+extern template SymmetryMetrics symmetry_metrics(const CscMatrix<Complex>&);
+
+}  // namespace gesp::sparse

@@ -1,0 +1,40 @@
+// The evaluation testbed: 53 synthetic matrices standing in for the paper's
+// 53 Harwell-Boeing / Davis-collection matrices (Table 1), including the 8
+// "large" matrices used for the distributed experiments (Tables 2-5).
+//
+// Names carry an "-s" suffix (synthetic) and echo the paper's matrix they
+// model; the discipline labels follow Table 1. Per the paper:
+//   * 22 matrices start with zeros on the diagonal   (zero_diagonal flag)
+//   * 5 more create zeros during elimination         (creates_zero flag)
+//   * one matrix (av41092-s) defeats every option combination (expect_fail)
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::sparse {
+
+struct TestbedEntry {
+  std::string name;
+  std::string discipline;
+  bool zero_diagonal = false;  ///< zeros on the diagonal from the start
+  bool creates_zero = false;   ///< elimination cancels a pivot to zero
+  bool large = false;          ///< member of the Table-2 "large eight"
+  bool expect_fail = false;    ///< pivot growth defeats GESP (AV41092 class)
+  std::function<CscMatrix<double>()> make;
+};
+
+/// All 53 testbed matrices, in a fixed deterministic order.
+const std::vector<TestbedEntry>& testbed();
+
+/// The 8 large matrices of Table 2 (subset of testbed()).
+std::vector<TestbedEntry> large_testbed();
+
+/// Lookup by name; throws Errc::invalid_argument if absent.
+const TestbedEntry& testbed_entry(const std::string& name);
+
+}  // namespace gesp::sparse

@@ -1,0 +1,70 @@
+#include "symbolic/dense_tail.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gesp::symbolic {
+
+DenseTailReport analyze_dense_tail(const SymbolicLU& S, double density) {
+  GESP_CHECK(density > 0.0 && density <= 1.0, Errc::invalid_argument,
+             "density threshold must be in (0, 1]");
+  DenseTailReport rep;
+  const index_t N = S.nsup;
+  if (N == 0) return rep;
+
+  // stored_in_tail[K]: stored entries of blocks (I, J) with I, J >= K.
+  // Computed from a suffix sweep: a block (I, J) belongs to every tail
+  // K <= min(I, J), so accumulate per min(I,J) and suffix-sum.
+  std::vector<count_t> at_min(static_cast<std::size_t>(N), 0);
+  std::vector<count_t> flops_at_min(static_cast<std::size_t>(N), 0);
+  for (index_t K = 0; K < N; ++K) {
+    const count_t b = S.block_cols(K);
+    at_min[K] += b * b;  // diagonal block
+    for (const auto& lb : S.L[K])
+      at_min[K] += static_cast<count_t>(lb.rows.size()) * b;  // min = K
+    for (const auto& ub : S.U[K])
+      at_min[K] += b * static_cast<count_t>(ub.cols.size());
+    // Flop attribution: all of iteration K's work involves operands with
+    // indices >= K, so it belongs to tails up to K.
+    count_t f = 2 * b * b * b / 3;
+    for (const auto& lb : S.L[K]) {
+      f += static_cast<count_t>(lb.rows.size()) * b * b;
+      for (const auto& ub : S.U[K])
+        f += 2 * static_cast<count_t>(lb.rows.size()) * b *
+             static_cast<count_t>(ub.cols.size());
+    }
+    for (const auto& ub : S.U[K])
+      f += b * b * static_cast<count_t>(ub.cols.size());
+    flops_at_min[K] = f;
+  }
+  std::vector<count_t> tail_entries(static_cast<std::size_t>(N) + 1, 0);
+  std::vector<count_t> tail_flops(static_cast<std::size_t>(N) + 1, 0);
+  for (index_t K = N - 1; K >= 0; --K) {
+    tail_entries[K] = tail_entries[K + 1] + at_min[K];
+    tail_flops[K] = tail_flops[K + 1] + flops_at_min[K];
+  }
+
+  const count_t total_flops = tail_flops[0];
+  for (index_t K = 0; K < N; ++K) {
+    const double tail = static_cast<double>(S.n - S.sn_start[K]);
+    const double d = static_cast<double>(tail_entries[K]) / (tail * tail);
+    if (d >= density) {
+      rep.switch_supernode = K;
+      rep.tail_columns = S.n - S.sn_start[K];
+      rep.tail_density = d;
+      rep.tail_flops = tail_flops[K];
+      rep.tail_flop_fraction =
+          total_flops > 0
+              ? static_cast<double>(tail_flops[K]) /
+                    static_cast<double>(total_flops)
+              : 0.0;
+      rep.extra_dense_entries =
+          static_cast<count_t>(tail * tail) - tail_entries[K];
+      break;
+    }
+  }
+  return rep;
+}
+
+}  // namespace gesp::symbolic

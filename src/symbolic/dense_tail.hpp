@@ -1,0 +1,35 @@
+// Dense-tail analysis — the paper's §4 improvement path: "We also consider
+// switching to a dense factorization, such as the one implemented in
+// ScaLAPACK, when the submatrix at the lower right corner becomes
+// sufficiently dense."
+//
+// Elimination fills the trailing submatrix progressively; past some pivot
+// the remaining Schur complement is nearly full and a dense kernel beats
+// the sparse machinery. This analysis walks the static block structure
+// (one more thing that is knowable in advance under static pivoting!) and
+// reports, for a density threshold, where the switch point falls and how
+// much of the factorization's work lies beyond it.
+#pragma once
+
+#include "common/types.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace gesp::symbolic {
+
+struct DenseTailReport {
+  index_t switch_supernode = -1;  ///< first K with trailing density >= thr
+  index_t tail_columns = 0;       ///< n - sn_start[switch_supernode]
+  double tail_density = 0.0;      ///< stored entries / (tail size)^2
+  count_t tail_flops = 0;         ///< block flops with all operands >= K
+  double tail_flop_fraction = 0.0;
+  /// Extra stored entries a fully dense tail would add (the cost of the
+  /// switch: tail^2 minus what the sparse structure already stores there).
+  count_t extra_dense_entries = 0;
+};
+
+/// Find the earliest supernode whose trailing submatrix meets `density`
+/// (entries stored by the supernodal structure over tail^2). Returns
+/// switch_supernode == -1 if no tail ever reaches the threshold.
+DenseTailReport analyze_dense_tail(const SymbolicLU& S, double density = 0.6);
+
+}  // namespace gesp::symbolic

@@ -1,0 +1,289 @@
+#include "symbolic/symbolic.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "ordering/etree.hpp"
+
+namespace gesp::symbolic {
+namespace {
+
+/// Per-column Gilbert–Peierls symbolic elimination with the diagonal pivot
+/// order. Fills `Lcols[j]` with the row indices >= j of L(:,j) (diagonal
+/// forced in), accumulates the exact factor counts, and records which
+/// consecutive columns have nesting structures (T2 supernode joins).
+///
+/// Speed comes from Eisenstat–Liu symmetric pruning: once a symmetric
+/// nonzero pair L(j,k) / U(k,j) exists, rows of L(:,k) beyond j are
+/// reachable through column j, so the depth-first searches of later columns
+/// traverse only the pruned prefix of column k. Pruning permutes the stored
+/// row lists, which is why the T2 test runs inline against a saved sorted
+/// copy of the previous column.
+template <class T>
+void gp_symbolic(const sparse::CscMatrix<T>& A,
+                 std::vector<std::vector<index_t>>& Lcols, count_t& nnz_L,
+                 count_t& nnz_U, std::vector<char>& t2_join) {
+  const index_t n = A.ncols;
+  Lcols.assign(static_cast<std::size_t>(n), {});
+  t2_join.assign(static_cast<std::size_t>(n), 0);
+  nnz_L = 0;
+  nnz_U = n;  // U diagonal (the pivots)
+  std::vector<index_t> visited(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> dfs_len(static_cast<std::size_t>(n), 0);
+  std::vector<char> pruned(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> stack, pos;  // DFS state
+  std::vector<index_t> lrows, ureach, prev_rows;
+
+  for (index_t j = 0; j < n; ++j) {
+    lrows.clear();
+    ureach.clear();
+    visited[j] = j;
+    lrows.push_back(j);  // diagonal always stored (static pivot slot)
+
+    auto touch_row = [&](index_t i) {
+      // A row below the diagonal extends L(:,j); one above starts a DFS
+      // through the columns already factored (the U part of column j).
+      if (visited[i] == j) return;
+      if (i > j) {
+        visited[i] = j;
+        lrows.push_back(i);
+        return;
+      }
+      // DFS from column i over the (pruned) graph of L.
+      visited[i] = j;
+      stack.assign(1, i);
+      pos.assign(1, 0);
+      ureach.push_back(i);
+      while (!stack.empty()) {
+        const std::size_t lvl = stack.size() - 1;
+        const index_t k = stack[lvl];
+        bool descended = false;
+        // Indexed access: push_back below may reallocate pos.
+        index_t q = pos[lvl];
+        while (q < dfs_len[k]) {
+          const index_t r = Lcols[k][q];
+          ++q;
+          if (visited[r] == j) continue;
+          visited[r] = j;
+          if (r > j) {
+            lrows.push_back(r);
+          } else if (r < j) {
+            ureach.push_back(r);
+            pos[lvl] = q;
+            stack.push_back(r);
+            pos.push_back(0);
+            descended = true;
+            break;
+          }
+        }
+        if (!descended) {
+          stack.pop_back();
+          pos.pop_back();
+        }
+      }
+    };
+
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p)
+      touch_row(A.rowind[p]);
+
+    std::sort(lrows.begin(), lrows.end());
+    nnz_L += static_cast<count_t>(lrows.size());
+    nnz_U += static_cast<count_t>(ureach.size());
+    // Inline T2 test: struct(L(:,j)) == struct(L(:,j-1)) \ {j-1} ?
+    if (j > 0 && prev_rows.size() == lrows.size() + 1)
+      t2_join[j] = std::equal(lrows.begin(), lrows.end(),
+                              prev_rows.begin() + 1);
+    prev_rows = lrows;
+    Lcols[j] = lrows;
+    dfs_len[j] = static_cast<index_t>(lrows.size());
+
+    // Symmetric pruning: k has U(k,j) != 0 (k in ureach); if L(j,k) is also
+    // nonzero, rows of L(:,k) beyond j are reachable via column j.
+    for (index_t k : ureach) {
+      if (pruned[k]) continue;
+      auto& col = Lcols[k];
+      if (!std::binary_search(col.begin(), col.end(), j)) continue;
+      const auto mid = std::partition(
+          col.begin(), col.end(), [j](index_t r) { return r <= j; });
+      dfs_len[k] = static_cast<index_t>(mid - col.begin());
+      pruned[k] = 1;
+    }
+  }
+}
+
+/// Partition columns into supernodes: relaxed leaf subtrees of the column
+/// etree are amalgamated wholesale; elsewhere a column joins its neighbor
+/// when the L structures nest exactly (T2 supernodes, flags precomputed by
+/// gp_symbolic); every supernode is split at max_block columns.
+std::vector<index_t> partition_supernodes(const std::vector<char>& t2_join,
+                                          std::span<const index_t> parent,
+                                          const SymbolicOptions& opt) {
+  const index_t n = static_cast<index_t>(t2_join.size());
+  std::vector<index_t> sn_start;
+  if (n == 0) {
+    sn_start.push_back(0);
+    return sn_start;
+  }
+  // Relaxed ranges: maximal subtrees of size <= relax. After an etree
+  // postorder each subtree is the contiguous range [v-size[v]+1, v].
+  const std::vector<index_t> size = ordering::subtree_sizes(parent);
+  std::vector<index_t> range_id(static_cast<std::size_t>(n), -1);
+  if (opt.relax > 1) {
+    for (index_t v = 0; v < n; ++v) {
+      if (size[v] > opt.relax) continue;
+      const index_t p = parent[v];
+      if (p != -1 && size[p] <= opt.relax) continue;  // not maximal
+      for (index_t u = v - size[v] + 1; u <= v; ++u) range_id[u] = v;
+    }
+  }
+
+  sn_start.push_back(0);
+  index_t width = 1;
+  for (index_t j = 1; j < n; ++j) {
+    bool join;
+    if (range_id[j] != -1 && range_id[j] == range_id[j - 1]) {
+      join = true;  // inside a relaxed subtree
+    } else if (range_id[j] != -1 || range_id[j - 1] != -1) {
+      join = false;  // crossing a relaxed-range boundary
+    } else {
+      join = t2_join[j] != 0;
+    }
+    if (join && width < opt.max_block) {
+      ++width;
+    } else {
+      sn_start.push_back(j);
+      width = 1;
+    }
+  }
+  sn_start.push_back(n);
+  return sn_start;
+}
+
+}  // namespace
+
+template <class T>
+SymbolicLU analyze(const sparse::CscMatrix<T>& A, const SymbolicOptions& opt) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "symbolic analysis needs a square matrix");
+  GESP_CHECK(opt.max_block >= 1 && opt.relax >= 0, Errc::invalid_argument,
+             "bad symbolic options");
+  SymbolicLU S;
+  S.n = A.ncols;
+  if (S.n == 0) {
+    S.sn_start.push_back(0);
+    return S;
+  }
+
+  // --- 1. exact per-column symbolic.
+  std::vector<std::vector<index_t>> Lcols;
+  std::vector<char> t2_join;
+  gp_symbolic(A, Lcols, S.nnz_L, S.nnz_U, t2_join);
+
+  // --- 2. supernode partition.
+  const std::vector<index_t> parent = ordering::column_etree(A);
+  S.sn_start = partition_supernodes(t2_join, parent, opt);
+  S.nsup = static_cast<index_t>(S.sn_start.size()) - 1;
+  S.col_to_sn.resize(static_cast<std::size_t>(S.n));
+  for (index_t K = 0; K < S.nsup; ++K)
+    for (index_t j = S.sn_start[K]; j < S.sn_start[K + 1]; ++j)
+      S.col_to_sn[j] = K;
+  Lcols.clear();
+  Lcols.shrink_to_fit();
+
+  // --- 3. block replay of the right-looking elimination (Figure 8) on
+  // patterns. Lblk[K]: I -> rows of L(I,K); Ublk[K]: J -> cols of U(K,J).
+  std::vector<std::map<index_t, std::vector<index_t>>> Lblk(
+      static_cast<std::size_t>(S.nsup));
+  std::vector<std::map<index_t, std::vector<index_t>>> Ublk(
+      static_cast<std::size_t>(S.nsup));
+
+  // Seed from A's pattern.
+  for (index_t j = 0; j < S.n; ++j) {
+    const index_t J = S.col_to_sn[j];
+    for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
+      const index_t i = A.rowind[p];
+      const index_t I = S.col_to_sn[i];
+      if (I > J)
+        Lblk[J][I].push_back(i);
+      else if (I < J)
+        Ublk[I][J].push_back(j);
+      // diagonal blocks are stored full; no pattern needed
+    }
+  }
+  auto normalize = [](std::vector<index_t>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  for (index_t K = 0; K < S.nsup; ++K) {
+    for (auto& [I, rows] : Lblk[K]) normalize(rows);
+    for (auto& [J, cols] : Ublk[K]) normalize(cols);
+  }
+
+  // Replay. By iteration K, Lblk[K]/Ublk[K] have received every update
+  // (they only come from iterations < K), so they are final when read.
+  std::vector<index_t> merged;
+  auto union_into = [&](std::vector<index_t>& dst,
+                        const std::vector<index_t>& src) {
+    merged.clear();
+    std::set_union(dst.begin(), dst.end(), src.begin(), src.end(),
+                   std::back_inserter(merged));
+    if (merged.size() != dst.size()) dst = merged;
+  };
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const count_t b = S.block_cols(K);
+    S.flops += 2 * b * b * b / 3;
+    for (const auto& [I, rows] : Lblk[K])
+      S.flops += static_cast<count_t>(rows.size()) * b * b;
+    for (const auto& [J, cols] : Ublk[K])
+      S.flops += b * b * static_cast<count_t>(cols.size());
+    for (const auto& [I, rows] : Lblk[K]) {
+      for (const auto& [J, cols] : Ublk[K]) {
+        S.flops += 2 * static_cast<count_t>(rows.size()) * b *
+                   static_cast<count_t>(cols.size());
+        if (I > J) {
+          union_into(Lblk[J][I], rows);
+        } else if (I < J) {
+          union_into(Ublk[I][J], cols);
+        }
+        // I == J: the update lands in the (full) diagonal block.
+      }
+    }
+  }
+
+  // --- 4. freeze into the SymbolicLU block lists + stored sizes + etree.
+  S.L.resize(static_cast<std::size_t>(S.nsup));
+  S.U.resize(static_cast<std::size_t>(S.nsup));
+  S.sn_parent.assign(static_cast<std::size_t>(S.nsup), -1);
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const count_t b = S.block_cols(K);
+    S.stored_L += b * b;  // full diagonal block (holds U's upper triangle too)
+    for (auto& [I, rows] : Lblk[K]) {
+      S.stored_L += static_cast<count_t>(rows.size()) * b;
+      S.L[K].push_back(LBlock{I, std::move(rows)});
+    }
+    for (auto& [J, cols] : Ublk[K]) {
+      S.stored_U += b * static_cast<count_t>(cols.size());
+      S.U[K].push_back(UBlock{J, std::move(cols)});
+    }
+    if (!S.L[K].empty()) S.sn_parent[K] = S.L[K].front().I;
+    Lblk[K].clear();
+    Ublk[K].clear();
+  }
+  return S;
+}
+
+template <class T>
+std::vector<index_t> etree_postorder(const sparse::CscMatrix<T>& A) {
+  return ordering::postorder(ordering::column_etree(A));
+}
+
+template SymbolicLU analyze(const sparse::CscMatrix<double>&,
+                            const SymbolicOptions&);
+template SymbolicLU analyze(const sparse::CscMatrix<Complex>&,
+                            const SymbolicOptions&);
+template std::vector<index_t> etree_postorder(const sparse::CscMatrix<double>&);
+template std::vector<index_t> etree_postorder(
+    const sparse::CscMatrix<Complex>&);
+
+}  // namespace gesp::symbolic

@@ -1,0 +1,132 @@
+// Common-module tests: error categories, deterministic RNG, phase timers
+// and the table printer used by the benchmark harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace gesp {
+namespace {
+
+TEST(Error, CategoriesAreDistinguishable) {
+  try {
+    throw_error(Errc::structurally_singular, "demo");
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::structurally_singular);
+    EXPECT_NE(std::string(e.what()).find("structurally_singular"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("demo"), std::string::npos);
+  }
+  EXPECT_STREQ(errc_name(Errc::io), "io_error");
+  EXPECT_STREQ(errc_name(Errc::numerically_singular),
+               "numerically_singular");
+}
+
+TEST(Error, CheckMacroThrows) {
+  EXPECT_NO_THROW(GESP_CHECK(true, Errc::internal, "fine"));
+  EXPECT_THROW(GESP_CHECK(false, Errc::invalid_argument, "nope"), Error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT(lo, 0.05);  // the sample actually spreads out
+  EXPECT_GT(hi, 0.95);
+}
+
+TEST(Rng, IndexRangeAndValidation) {
+  Rng rng(9);
+  std::set<index_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    const index_t v = rng.next_index(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+  EXPECT_THROW(rng.next_index(0), Error);
+}
+
+TEST(Rng, NormalHasSaneMoments) {
+  Rng rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000000; ++i) x = x * 1.0000001;
+  EXPECT_GT(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 0.5);
+}
+
+TEST(PhaseTimes, AccumulatesByName) {
+  PhaseTimes pt;
+  pt.add("factor", 1.0);
+  pt.add("factor", 0.5);
+  pt.add("solve", 0.25);
+  EXPECT_DOUBLE_EQ(pt.get("factor"), 1.5);
+  EXPECT_DOUBLE_EQ(pt.get("solve"), 0.25);
+  EXPECT_DOUBLE_EQ(pt.get("missing"), 0.0);
+  EXPECT_EQ(pt.all().size(), 2u);
+}
+
+TEST(Table, AlignsAndFormats) {
+  Table t({"Name", "Value"});
+  t.add_row({"alpha", Table::fmt(1.5, 2)});
+  t.add_row({"b", Table::fmt_int(12345)});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(Table::fmt_sci(12345.678, 2), "1.23e+04");
+  EXPECT_EQ(Table::fmt_pct(0.5), "50.0%");
+  EXPECT_EQ(Table::fmt_int(-7), "-7");
+}
+
+}  // namespace
+}  // namespace gesp

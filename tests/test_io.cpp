@@ -1,0 +1,207 @@
+// I/O tests: MatrixMarket and Harwell-Boeing readers/writers, symmetric
+// expansion, the Fortran edit-descriptor parser, and malformed-input
+// error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/harwell_boeing.hpp"
+#include "io/matrix_market.hpp"
+#include "sparse/generators.hpp"
+#include "test_helpers.hpp"
+
+namespace gesp::io {
+namespace {
+
+TEST(MatrixMarket, RoundTripReal) {
+  const auto A = sparse::convdiff2d(6, 7, 1.5, -0.5);
+  std::stringstream ss;
+  write_matrix_market(ss, A);
+  const auto B = read_matrix_market(ss);
+  EXPECT_EQ(A.nrows, B.nrows);
+  EXPECT_EQ(A.nnz(), B.nnz());
+  EXPECT_EQ(testing::max_abs_diff(A, B), 0.0);
+}
+
+TEST(MatrixMarket, RoundTripComplex) {
+  const auto A = sparse::randomize_phases(sparse::laplacian2d(5, 5), 3);
+  std::stringstream ss;
+  write_matrix_market(ss, A);
+  const auto B = read_matrix_market_complex(ss);
+  EXPECT_EQ(testing::max_abs_diff(A, B), 0.0);
+}
+
+TEST(MatrixMarket, SymmetricExpansion) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 4\n"
+      "1 1 2.0\n"
+      "2 1 -1.0\n"
+      "3 2 -1.0\n"
+      "3 3 2.0\n");
+  const auto A = read_matrix_market(ss);
+  EXPECT_EQ(A.nnz(), 6);  // two off-diagonal pairs mirrored
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
+}
+
+TEST(MatrixMarket, SkewSymmetricExpansion) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  const auto A = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -3.0);
+}
+
+TEST(MatrixMarket, PatternFieldGivesUnitValues) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 1\n"
+      "2 2\n");
+  const auto A = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 1.0);
+}
+
+TEST(MatrixMarket, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "\n"
+      "2 2 1\n"
+      "% another\n"
+      "2 1 5.5\n");
+  const auto A = read_matrix_market(ss);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), 5.5);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  {
+    std::stringstream ss("not a matrix market file\n");
+    EXPECT_THROW(read_matrix_market(ss), Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 2\n"
+        "1 1 1.0\n");  // truncated body
+    EXPECT_THROW(read_matrix_market(ss), Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 1\n"
+        "3 1 1.0\n");  // out-of-range index
+    EXPECT_THROW(read_matrix_market(ss), Error);
+  }
+  {
+    std::stringstream ss(
+        "%%MatrixMarket matrix coordinate complex general\n"
+        "1 1 1\n"
+        "1 1 1.0 2.0\n");  // complex through the real reader
+    EXPECT_THROW(read_matrix_market(ss), Error);
+  }
+}
+
+TEST(FortranFormat, ParsesCommonDescriptors) {
+  using detail::parse_fortran_format;
+  auto f = parse_fortran_format("(16I5)");
+  EXPECT_EQ(f.repeat, 16);
+  EXPECT_EQ(f.type, 'I');
+  EXPECT_EQ(f.width, 5);
+  f = parse_fortran_format("(3E26.16)");
+  EXPECT_EQ(f.repeat, 3);
+  EXPECT_EQ(f.type, 'E');
+  EXPECT_EQ(f.width, 26);
+  f = parse_fortran_format("(1P,3E25.16E3)");
+  EXPECT_EQ(f.repeat, 3);
+  EXPECT_EQ(f.width, 25);
+  f = parse_fortran_format("(4D20.12)");
+  EXPECT_EQ(f.type, 'D');
+  f = parse_fortran_format("(10I8)");
+  EXPECT_EQ(f.repeat, 10);
+  EXPECT_THROW(parse_fortran_format("16I5"), Error);    // no parens
+  EXPECT_THROW(parse_fortran_format("(16X5)"), Error);  // unknown type
+}
+
+TEST(HarwellBoeing, RoundTrip) {
+  const auto A = sparse::chemical_like(6, 9, 6.0, 5);
+  std::stringstream ss;
+  write_harwell_boeing(ss, A, "round trip test", "TEST0001");
+  const auto B = read_harwell_boeing(ss);
+  EXPECT_EQ(A.nrows, B.nrows);
+  EXPECT_EQ(A.nnz(), B.nnz());
+  EXPECT_LT(testing::max_abs_diff(A, B), 1e-15);
+}
+
+TEST(HarwellBoeing, RoundTripLarge) {
+  const auto A = sparse::convdiff2d(20, 20, 2.0, 1.0);
+  std::stringstream ss;
+  write_harwell_boeing(ss, A);
+  const auto B = read_harwell_boeing(ss);
+  EXPECT_LT(testing::max_abs_diff(A, B), 1e-15);
+}
+
+TEST(HarwellBoeing, ReadsDExponents) {
+  // Hand-written HB file with Fortran D exponents.
+  const std::string hb =
+      std::string("D-exponent test") + std::string(57, ' ') + "KEY00001\n" +
+      "             3             1             1             1             0\n"
+      "RUA                       2             2             2             0\n"
+      "(10I8)          (10I8)          (2D20.12)           \n"
+      "       1       2       3\n"
+      "       1       2\n"
+      "  0.150000000000D+01  0.250000000000D+01\n";
+  std::stringstream ss(hb);
+  const auto A = read_harwell_boeing(ss);
+  EXPECT_DOUBLE_EQ(A.at(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(A.at(1, 1), 2.5);
+}
+
+TEST(HarwellBoeing, SymmetricExpansion) {
+  const std::string hb =
+      std::string("symmetric test") + std::string(58, ' ') + "KEY00002\n" +
+      "             3             1             1             1             0\n"
+      "RSA                       2             2             3             0\n"
+      "(10I8)          (10I8)          (3E20.12)           \n"
+      "       1       3       4\n"
+      "       1       2       2\n"
+      "  2.000000000000E+00 -1.000000000000E+00  2.000000000000E+00\n";
+  std::stringstream ss(hb);
+  const auto A = read_harwell_boeing(ss);
+  EXPECT_EQ(A.nnz(), 4);
+  EXPECT_DOUBLE_EQ(A.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(1, 0), -1.0);
+}
+
+TEST(HarwellBoeing, RejectsElementalAndComplex) {
+  const std::string hb1 =
+      std::string("bad type") + std::string(64, ' ') + "KEY00003\n" +
+      "             1             1             0             0             0\n"
+      "RUE                       2             2             2             0\n"
+      "(10I8)          (10I8)          (3E20.12)           \n";
+  std::stringstream s1(hb1);
+  EXPECT_THROW(read_harwell_boeing(s1), Error);
+  const std::string hb2 =
+      std::string("bad type") + std::string(64, ' ') + "KEY00004\n" +
+      "             1             1             0             0             0\n"
+      "CUA                       2             2             2             0\n"
+      "(10I8)          (10I8)          (3E20.12)           \n";
+  std::stringstream s2(hb2);
+  EXPECT_THROW(read_harwell_boeing(s2), Error);
+}
+
+TEST(FileIo, WriteAndReadBackThroughFilesystem) {
+  const auto A = sparse::circuit_like(100, 3, 8, 7);
+  const std::string path = "/tmp/gesp_io_test.mtx";
+  write_matrix_market(path, A);
+  const auto B = read_matrix_market(path);
+  EXPECT_EQ(testing::max_abs_diff(A, B), 0.0);
+  EXPECT_THROW(read_matrix_market("/nonexistent/file.mtx"), Error);
+}
+
+}  // namespace
+}  // namespace gesp::io

@@ -1,0 +1,197 @@
+// Matching tests: MC21 maximum transversal, the MC64-style product matching
+// with its dual scalings (the exact invariants the paper relies on:
+// |diagonal| = 1, off-diagonals <= 1 after scaling and permutation), and
+// the bottleneck variant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "matching/matching.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/equilibrate.hpp"
+#include "sparse/ops.hpp"
+
+namespace gesp::matching {
+namespace {
+
+using sparse::CooMatrix;
+using sparse::CscMatrix;
+
+TEST(MaxTransversal, PerfectOnFullDiagonal) {
+  const auto A = sparse::circuit_like(300, 3, 10, 1);
+  const auto m = max_transversal(A);
+  EXPECT_EQ(m.size, 300);
+}
+
+TEST(MaxTransversal, RecoversScrambledDiagonal) {
+  // Lower-triangular pattern with scrambled rows: unique perfect matching.
+  const index_t n = 200;
+  Rng rng(2);
+  std::vector<index_t> rowof(n);
+  for (index_t i = 0; i < n; ++i) rowof[i] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(rowof[i], rowof[rng.next_index(i + 1)]);
+  CooMatrix<double> coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    coo.add(rowof[j], j, 1.0);
+    for (int k = 0; k < 2; ++k) {
+      const index_t c = rng.next_index(n);
+      if (c < j) coo.add(rowof[j], c, 0.5);
+    }
+  }
+  const auto m = max_transversal(coo.to_csc());
+  ASSERT_EQ(m.size, n);
+  for (index_t j = 0; j < n; ++j) EXPECT_EQ(m.row_of_col[j], rowof[j]);
+}
+
+TEST(MaxTransversal, DetectsStructuralSingularity) {
+  // Column 2 is empty: max matching has size 2.
+  CooMatrix<double> coo(3, 3);
+  coo.add(0, 0, 1);
+  coo.add(1, 0, 1);
+  coo.add(1, 1, 1);
+  coo.add(2, 1, 1);
+  const auto m = max_transversal(coo.to_csc());
+  EXPECT_EQ(m.size, 2);
+}
+
+TEST(MaxTransversal, NeedsAugmentingPaths) {
+  // Cheap assignment alone fails here: both columns prefer row 0.
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1);
+  coo.add(0, 1, 1);
+  coo.add(1, 0, 1);
+  const auto m = max_transversal(coo.to_csc());
+  EXPECT_EQ(m.size, 2);
+  EXPECT_EQ(m.row_of_col[1], 0);
+  EXPECT_EQ(m.row_of_col[0], 1);
+}
+
+TEST(Mc64, ScaledPermutedMatrixHasUnitDiagonal) {
+  const auto A = sparse::chemical_like(15, 15, 8.0, 3);
+  const auto res = mc64_product_matching(A);
+  const auto pr = matching_to_row_perm(res.row_of_col);
+  auto B = sparse::apply_scaling(A, res.row_scale, res.col_scale);
+  B = sparse::permute(B, pr, {});
+  for (index_t j = 0; j < B.ncols; ++j) {
+    EXPECT_NEAR(std::abs(B.at(j, j)), 1.0, 1e-8) << "column " << j;
+  }
+  // All entries bounded by 1 (duals are feasible).
+  for (double v : B.values) EXPECT_LE(std::abs(v), 1.0 + 1e-8);
+}
+
+TEST(Mc64, HandlesZeroDiagonals) {
+  const auto A = sparse::with_zero_diagonal(
+      sparse::circuit_like(800, 6, 15, 4), 0.3, 5);
+  const auto res = mc64_product_matching(A);
+  const auto pr = matching_to_row_perm(res.row_of_col);
+  auto B = sparse::apply_scaling(A, res.row_scale, res.col_scale);
+  B = sparse::permute(B, pr, {});
+  for (index_t j = 0; j < B.ncols; ++j)
+    EXPECT_GT(std::abs(B.at(j, j)), 0.9);
+}
+
+TEST(Mc64, PicksLargeEntries) {
+  // 2x2 where the off-diagonal product beats the diagonal one:
+  // [ 1  10 ] — diagonal product 1*1 = 1, anti-diagonal 10*10 = 100.
+  // [ 10  1 ]
+  CooMatrix<double> coo(2, 2);
+  coo.add(0, 0, 1);
+  coo.add(1, 1, 1);
+  coo.add(0, 1, 10);
+  coo.add(1, 0, 10);
+  const auto res = mc64_product_matching(coo.to_csc());
+  EXPECT_EQ(res.row_of_col[0], 1);
+  EXPECT_EQ(res.row_of_col[1], 0);
+}
+
+TEST(Mc64, ThrowsOnStructurallySingular) {
+  CooMatrix<double> coo(3, 3);
+  coo.add(0, 0, 1);
+  coo.add(0, 1, 1);  // rows 1,2 only reachable from column 2
+  coo.add(1, 2, 1);
+  coo.add(2, 2, 1);
+  EXPECT_THROW(mc64_product_matching(coo.to_csc()), Error);
+}
+
+TEST(Mc64, MaximizesProductOnRandomMatrices) {
+  // Exhaustive check on 5x5 randoms: compare against brute force over all
+  // 120 permutations.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed * 7 + 1);
+    const index_t n = 5;
+    CooMatrix<double> coo(n, n);
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j)
+        if (rng.next_double() < 0.7) coo.add(i, j, rng.uniform(0.01, 10.0));
+    for (index_t d = 0; d < n; ++d) coo.add(d, d, rng.uniform(0.01, 10.0));
+    const auto A = coo.to_csc();
+    const auto res = mc64_product_matching(A);
+    double got = 1.0;
+    for (index_t j = 0; j < n; ++j)
+      got *= std::abs(A.at(res.row_of_col[j], j));
+    // Brute force.
+    std::vector<index_t> perm{0, 1, 2, 3, 4};
+    double best = 0.0;
+    do {
+      double p = 1.0;
+      for (index_t j = 0; j < n; ++j) p *= std::abs(A.at(perm[j], j));
+      best = std::max(best, p);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(got, best, 1e-9 * best) << "seed " << seed;
+  }
+}
+
+TEST(Bottleneck, MaximizesMinimumEntry) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed * 13 + 3);
+    const index_t n = 5;
+    CooMatrix<double> coo(n, n);
+    for (index_t i = 0; i < n; ++i)
+      for (index_t j = 0; j < n; ++j)
+        if (rng.next_double() < 0.8) coo.add(i, j, rng.uniform(0.01, 10.0));
+    for (index_t d = 0; d < n; ++d) coo.add(d, d, rng.uniform(0.01, 10.0));
+    const auto A = coo.to_csc();
+    double achieved = 0.0;
+    const auto m = bottleneck_matching(A, &achieved);
+    ASSERT_EQ(m.size, n);
+    double got = 1e300;
+    for (index_t j = 0; j < n; ++j)
+      got = std::min(got, std::abs(A.at(m.row_of_col[j], j)));
+    EXPECT_NEAR(got, achieved, 1e-12);
+    // Brute force.
+    std::vector<index_t> perm{0, 1, 2, 3, 4};
+    double best = 0.0;
+    do {
+      double p = 1e300;
+      for (index_t j = 0; j < n; ++j)
+        p = std::min(p, std::abs(A.at(perm[j], j)));
+      best = std::max(best, p);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(got, best, 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(MatchingToRowPerm, ProducesDiagonalPlacement) {
+  const auto A = sparse::with_zero_diagonal(
+      sparse::circuit_like(400, 4, 10, 6), 0.2, 7);
+  const auto res = mc64_product_matching(A);
+  const auto pr = matching_to_row_perm(res.row_of_col);
+  EXPECT_TRUE(sparse::is_permutation(pr));
+  const auto B = sparse::permute(A, pr, {});
+  for (index_t j = 0; j < B.ncols; ++j) EXPECT_NE(B.at(j, j), 0.0);
+}
+
+TEST(Mc64, ComplexMagnitudesDriveMatching) {
+  const auto Ar = sparse::chemical_like(8, 10, 5.0, 9);
+  const auto A = sparse::randomize_phases(Ar, 10);
+  const auto res_r = mc64_product_matching(Ar);
+  const auto res_c = mc64_product_matching(A);
+  // Identical magnitudes => identical matching.
+  EXPECT_EQ(res_r.row_of_col, res_c.row_of_col);
+}
+
+}  // namespace
+}  // namespace gesp::matching

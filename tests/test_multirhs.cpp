@@ -1,0 +1,101 @@
+// Multiple right-hand-side solves: blocked triangular solves over all
+// columns at once, consistency with single-RHS solves, and the driver-level
+// interface.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/solver.hpp"
+#include "numeric/lu_factors.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace gesp {
+namespace {
+
+TEST(MultiRhs, MatchesSingleRhsSolves) {
+  const auto A = sparse::convdiff2d(14, 11, 1.0, 0.5);
+  const index_t n = A.ncols;
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  numeric::LUFactors<double> F(sym, A, {});
+  constexpr index_t kRhs = 5;
+  std::vector<double> X(static_cast<std::size_t>(n) * kRhs);
+  for (std::size_t k = 0; k < X.size(); ++k)
+    X[k] = 0.25 * static_cast<double>((k * 2654435761u) % 17) - 2.0;
+  auto Xref = X;
+  F.solve_multi(X, kRhs);
+  for (index_t c = 0; c < kRhs; ++c)
+    F.solve(std::span<double>(Xref.data() + c * static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n)));
+  for (std::size_t k = 0; k < X.size(); ++k)
+    EXPECT_NEAR(X[k], Xref[k], 1e-12 * (1.0 + std::abs(Xref[k])));
+}
+
+TEST(MultiRhs, SolverDriverInterface) {
+  const auto A = sparse::with_zero_diagonal(
+      sparse::circuit_like(400, 5, 12, 3), 0.2, 4);
+  const index_t n = A.ncols;
+  constexpr index_t kRhs = 3;
+  // Column c has true solution x_j = 1 + c.
+  std::vector<double> Xtrue(static_cast<std::size_t>(n) * kRhs);
+  std::vector<double> B(Xtrue.size()), X(Xtrue.size());
+  for (index_t c = 0; c < kRhs; ++c) {
+    std::span<double> xc(Xtrue.data() + c * static_cast<std::size_t>(n),
+                         static_cast<std::size_t>(n));
+    std::fill(xc.begin(), xc.end(), 1.0 + c);
+    sparse::spmv<double>(
+        A, xc,
+        std::span<double>(B.data() + c * static_cast<std::size_t>(n),
+                          static_cast<std::size_t>(n)));
+  }
+  Solver<double> solver(A, {});
+  solver.solve_multi(B, X, kRhs);
+  for (index_t c = 0; c < kRhs; ++c) {
+    std::span<const double> xc(
+        Xtrue.data() + c * static_cast<std::size_t>(n),
+        static_cast<std::size_t>(n));
+    std::span<const double> got(
+        X.data() + c * static_cast<std::size_t>(n),
+        static_cast<std::size_t>(n));
+    EXPECT_LT(sparse::relative_error_inf<double>(xc, got), 1e-9)
+        << "rhs column " << c;
+  }
+}
+
+TEST(MultiRhs, SingleColumnDegenerates) {
+  const auto A = sparse::laplacian2d(9, 9);
+  const index_t n = A.ncols;
+  std::vector<double> x_true(n, 1.0), b(n), x1(n), xm(n);
+  sparse::spmv<double>(A, x_true, b);
+  Solver<double> solver(A, {});
+  solver.solve(b, x1);
+  solver.solve_multi(b, xm, 1);
+  for (index_t i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(x1[i], xm[i]);
+}
+
+TEST(MultiRhs, ComplexMultiRhs) {
+  const auto A =
+      sparse::randomize_phases(sparse::convdiff2d(9, 9, 1.0, 0.5), 7);
+  const index_t n = A.ncols;
+  constexpr index_t kRhs = 4;
+  std::vector<Complex> Xtrue(static_cast<std::size_t>(n) * kRhs,
+                             Complex(1.0, -2.0));
+  std::vector<Complex> B(Xtrue.size()), X(Xtrue.size());
+  for (index_t c = 0; c < kRhs; ++c)
+    sparse::spmv<Complex>(
+        A,
+        std::span<const Complex>(
+            Xtrue.data() + c * static_cast<std::size_t>(n),
+            static_cast<std::size_t>(n)),
+        std::span<Complex>(B.data() + c * static_cast<std::size_t>(n),
+                           static_cast<std::size_t>(n)));
+  Solver<Complex> solver(A, {});
+  solver.solve_multi(B, X, kRhs);
+  for (std::size_t k = 0; k < X.size(); ++k)
+    EXPECT_LT(std::abs(X[k] - Xtrue[k]), 1e-10);
+}
+
+}  // namespace
+}  // namespace gesp

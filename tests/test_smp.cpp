@@ -1,0 +1,114 @@
+// Shared-memory (SuperLU_MT-style) factorization tests: the threaded
+// numeric phase must produce BITWISE identical factors to the serial one
+// (fork-join with per-iteration barriers and disjoint destination blocks),
+// across thread counts and matrix classes — including the thread pool
+// itself.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "core/solver.hpp"
+#include "numeric/lu_factors.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace gesp {
+namespace {
+
+TEST(ThreadPool, CoversFullRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](index_t lo, index_t hi, int) {
+    for (index_t i = lo; i < hi; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for(round + 1, [&](index_t lo, index_t hi, int) {
+      for (index_t i = lo; i < hi; ++i) sum += i;
+    });
+  }
+  long expect = 0;
+  for (int round = 0; round < 50; ++round)
+    for (int i = 0; i < round + 1; ++i) expect += i;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int calls = 0;
+  pool.parallel_for(10, [&](index_t lo, index_t hi, int w) {
+    EXPECT_EQ(w, 0);
+    calls += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(calls, 10);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [&](index_t, index_t, int) { FAIL(); });
+}
+
+template <class T>
+void expect_bitwise_equal_factors(const sparse::CscMatrix<T>& A,
+                                  int threads) {
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  numeric::NumericOptions serial;
+  numeric::NumericOptions smp;
+  smp.num_threads = threads;
+  numeric::LUFactors<T> F1(sym, A, serial);
+  numeric::LUFactors<T> F2(sym, A, smp);
+  EXPECT_EQ(testing::max_abs_diff(F1.l_matrix(), F2.l_matrix()), 0.0);
+  EXPECT_EQ(testing::max_abs_diff(F1.u_matrix(), F2.u_matrix()), 0.0);
+}
+
+TEST(SmpLU, BitwiseEqualGrid2Threads) {
+  expect_bitwise_equal_factors(sparse::convdiff2d(16, 14, 1.0, 0.5), 2);
+}
+
+TEST(SmpLU, BitwiseEqualGrid4Threads) {
+  expect_bitwise_equal_factors(sparse::convdiff2d(16, 14, 1.0, 0.5), 4);
+}
+
+TEST(SmpLU, BitwiseEqualDevice8Threads) {
+  expect_bitwise_equal_factors(sparse::device_like(12, 16, 100, 3), 8);
+}
+
+TEST(SmpLU, BitwiseEqualCircuit) {
+  expect_bitwise_equal_factors(sparse::circuit_like(500, 5, 12, 4), 4);
+}
+
+TEST(SmpLU, BitwiseEqualComplex) {
+  expect_bitwise_equal_factors(
+      sparse::randomize_phases(sparse::convdiff2d(12, 12, 1.0, 0.5), 5), 3);
+}
+
+TEST(SmpLU, DriverIntegration) {
+  const auto A = sparse::with_zero_diagonal(
+      sparse::circuit_like(400, 5, 12, 7), 0.2, 8);
+  const index_t n = A.ncols;
+  std::vector<double> x_true(n, 1.0), b(n), x_serial(n), x_smp(n);
+  sparse::spmv<double>(A, x_true, b);
+  SolverOptions serial;
+  SolverOptions smp;
+  smp.num_threads = 4;
+  Solver<double> s1(A, serial);
+  s1.solve(b, x_serial);
+  Solver<double> s2(A, smp);
+  s2.solve(b, x_smp);
+  for (index_t i = 0; i < n; ++i)
+    EXPECT_DOUBLE_EQ(x_serial[i], x_smp[i]);  // bitwise-equal pipeline
+}
+
+}  // namespace
+}  // namespace gesp

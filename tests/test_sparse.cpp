@@ -1,0 +1,293 @@
+// Sparse container and kernel tests: COO assembly, CSC invariants,
+// conversions, permutations, mat-vec products, norms, equilibration,
+// symmetry metrics and the error measures used throughout the paper's
+// evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/equilibrate.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/symmetry.hpp"
+#include "test_helpers.hpp"
+
+namespace gesp::sparse {
+namespace {
+
+CscMatrix<double> small_example() {
+  // [ 2  0  1 ]
+  // [ 0  3  0 ]
+  // [ 4  0  5 ]
+  CooMatrix<double> A(3, 3);
+  A.add(0, 0, 2);
+  A.add(2, 0, 4);
+  A.add(1, 1, 3);
+  A.add(0, 2, 1);
+  A.add(2, 2, 5);
+  return A.to_csc();
+}
+
+TEST(Coo, DuplicatesAreSummed) {
+  CooMatrix<double> A(2, 2);
+  A.add(0, 0, 1.0);
+  A.add(0, 0, 2.5);
+  A.add(1, 0, -1.0);
+  const auto B = A.to_csc();
+  EXPECT_EQ(B.nnz(), 2);
+  EXPECT_DOUBLE_EQ(B.at(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(B.at(1, 0), -1.0);
+  EXPECT_TRUE(B.valid());
+}
+
+TEST(Coo, UnsortedInputProducesSortedColumns) {
+  Rng rng(3);
+  CooMatrix<double> A(50, 50);
+  for (int k = 0; k < 400; ++k)
+    A.add(rng.next_index(50), rng.next_index(50), rng.uniform(-1, 1));
+  const auto B = A.to_csc();
+  EXPECT_TRUE(B.valid());
+}
+
+TEST(Csc, AtReturnsZeroForMissing) {
+  const auto A = small_example();
+  EXPECT_DOUBLE_EQ(A.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(A.at(2, 0), 4.0);
+}
+
+TEST(Csc, TransposeTwiceIsIdentity) {
+  const auto A = random_unsymmetric({});
+  const auto B = transpose(transpose(A));
+  EXPECT_EQ(testing::max_abs_diff(A, B), 0.0);
+}
+
+TEST(Csc, TransposeMovesEntries) {
+  const auto A = small_example();
+  const auto B = transpose(A);
+  EXPECT_DOUBLE_EQ(B.at(0, 2), 4.0);
+  EXPECT_DOUBLE_EQ(B.at(2, 0), 1.0);
+}
+
+TEST(Csc, CsrRoundTrip) {
+  const auto A = small_example();
+  const auto R = to_csr(A);
+  EXPECT_EQ(R.nnz(), A.nnz());
+  // Row 2 holds (2,0)=4 and (2,2)=5.
+  const auto cols = R.row_cols(2);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+}
+
+TEST(Csc, PermuteMovesEntriesToNewPositions) {
+  const auto A = small_example();
+  // Swap rows 0<->2 and columns 1<->2.
+  const std::vector<index_t> pr{2, 1, 0};
+  const std::vector<index_t> pc{0, 2, 1};
+  const auto B = permute(A, pr, pc);
+  EXPECT_TRUE(B.valid());
+  EXPECT_DOUBLE_EQ(B.at(2, 0), 2.0);   // was (0,0)
+  EXPECT_DOUBLE_EQ(B.at(1, 2), 3.0);   // was (1,1)
+  EXPECT_DOUBLE_EQ(B.at(0, 0), 4.0);   // was (2,0)
+}
+
+TEST(Csc, InversePermutation) {
+  const std::vector<index_t> p{2, 0, 3, 1};
+  const auto inv = inverse_permutation(p);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(inv[p[i]], i);
+  EXPECT_TRUE(is_permutation(p));
+  const std::vector<index_t> bad{0, 0, 1, 2};
+  EXPECT_FALSE(is_permutation(bad));
+}
+
+TEST(Csc, DropZeros) {
+  CooMatrix<double> A(2, 2);
+  A.add(0, 0, 1.0);
+  A.add(1, 0, 0.0);
+  A.add(1, 1, 2.0);
+  auto B = A.to_csc();
+  B.drop_zeros();
+  EXPECT_EQ(B.nnz(), 2);
+  EXPECT_TRUE(B.valid());
+}
+
+TEST(Ops, SpmvMatchesDense) {
+  const auto A = random_unsymmetric({});
+  const index_t n = A.ncols;
+  Rng rng(7);
+  std::vector<double> x(n), y(n), yref(n, 0.0);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv<double>(A, x, y);
+  const auto D = testing::to_dense(A);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = 0; j < n; ++j) yref[i] += D[i + j * n] * x[j];
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y[i], yref[i], 1e-12);
+}
+
+TEST(Ops, SpmvTransposedMatchesTransposeSpmv) {
+  const auto A = random_unsymmetric({});
+  const auto At = transpose(A);
+  const index_t n = A.ncols;
+  Rng rng(9);
+  std::vector<double> x(n), y1(n), y2(n);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  spmv_transposed<double>(A, x, y1);
+  spmv<double>(At, x, y2);
+  for (index_t i = 0; i < n; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-13);
+}
+
+TEST(Ops, NormsOnKnownMatrix) {
+  const auto A = small_example();
+  EXPECT_DOUBLE_EQ(norm_max(A), 5.0);
+  EXPECT_DOUBLE_EQ(norm_one(A), 6.0);   // max column sum: col 0 or 2 -> 6
+  EXPECT_DOUBLE_EQ(norm_inf(A), 9.0);   // row 2: 4 + 5
+}
+
+TEST(Ops, ResidualIsZeroForExactSolution) {
+  const auto A = laplacian2d(6, 6);
+  const index_t n = A.ncols;
+  std::vector<double> x(n, 2.0), b(n), r(n);
+  spmv<double>(A, x, b);
+  residual<double>(A, x, b, r);
+  EXPECT_DOUBLE_EQ(vec_norm_inf<double>(r), 0.0);
+}
+
+TEST(Ops, CompensatedResidualAtLeastAsAccurate) {
+  // Cancellation-heavy case: large opposing entries.
+  const index_t n = 200;
+  CooMatrix<double> coo(n, n);
+  Rng rng(11);
+  for (index_t i = 0; i < n; ++i) {
+    coo.add(i, i, 1.0);
+    coo.add(i, (i + 1) % n, 1e14);
+    coo.add(i, (i + 2) % n, -1e14);
+  }
+  const auto A = coo.to_csc();
+  std::vector<double> x(n, 1.0), b(n), r1(n), r2(n);
+  spmv<double>(A, x, b);
+  // Perturb x so the residual is tiny but nonzero.
+  x[0] += 1e-13;
+  residual<double>(A, x, b, r1);
+  residual_compensated<double>(A, x, b, r2);
+  // Reference: long double accumulation.
+  std::vector<long double> rl(b.begin(), b.end());
+  const auto D = testing::to_dense(A);
+  for (index_t j = 0; j < n; ++j)
+    for (index_t i = 0; i < n; ++i)
+      rl[i] -= static_cast<long double>(D[i + j * n]) * x[j];
+  double e1 = 0, e2 = 0;
+  for (index_t i = 0; i < n; ++i) {
+    e1 = std::max(e1, std::abs(r1[i] - static_cast<double>(rl[i])));
+    e2 = std::max(e2, std::abs(r2[i] - static_cast<double>(rl[i])));
+  }
+  EXPECT_LE(e2, e1 + 1e-30);
+}
+
+TEST(Ops, BackwardErrorZeroForConsistentSystem) {
+  const auto A = convdiff2d(7, 7, 1.0, 0.0);
+  const index_t n = A.ncols;
+  std::vector<double> x(n, 1.0), b(n), r(n);
+  spmv<double>(A, x, b);
+  residual<double>(A, x, b, r);
+  EXPECT_LE(componentwise_backward_error<double>(A, x, b, r), 1e-16);
+}
+
+TEST(Equilibrate, UnitRowAndColumnMaxima) {
+  const auto A = chemical_like(10, 12, 8.0, 13);
+  const auto s = equilibrate(A);
+  const auto B = apply_scaling(A, s.row, s.col);
+  // Every column max must be exactly <= 1 and close to 1.
+  for (index_t j = 0; j < B.ncols; ++j) {
+    double cmax = 0;
+    for (index_t p = B.colptr[j]; p < B.colptr[j + 1]; ++p)
+      cmax = std::max(cmax, std::abs(B.values[p]));
+    EXPECT_LE(cmax, 1.0 + 1e-12);
+    EXPECT_GT(cmax, 0.3);  // DGEEQU guarantees the max is ~1
+  }
+}
+
+TEST(Symmetry, PerfectlySymmetric) {
+  const auto A = laplacian2d(8, 8);
+  const auto m = symmetry_metrics(A);
+  EXPECT_DOUBLE_EQ(m.structural, 1.0);
+  EXPECT_DOUBLE_EQ(m.numerical, 1.0);
+}
+
+TEST(Symmetry, UpwindConvectionBreaksNumericalSymmetryOnly) {
+  const auto A = convdiff2d(8, 8, 2.0, 0.0);
+  const auto m = symmetry_metrics(A);
+  EXPECT_DOUBLE_EQ(m.structural, 1.0);
+  EXPECT_LT(m.numerical, 1.0);
+}
+
+TEST(Symmetry, TriangularHasLowStructuralSymmetry) {
+  CooMatrix<double> coo(100, 100);
+  for (index_t i = 0; i < 100; ++i) {
+    coo.add(i, i, 1.0);
+    if (i > 0) coo.add(i, i - 1, 1.0);
+    if (i > 1) coo.add(i, i - 2, 1.0);
+  }
+  const auto m = symmetry_metrics(coo.to_csc());
+  // Only the 100 diagonal entries match among 297 nonzeros.
+  EXPECT_NEAR(m.structural, 100.0 / 297.0, 1e-12);
+}
+
+TEST(Generators, GridSizes) {
+  EXPECT_EQ(laplacian2d(7, 9).ncols, 63);
+  EXPECT_EQ(laplacian3d(3, 4, 5).ncols, 60);
+  EXPECT_EQ(convdiff3d(4, 4, 4, 1, 1, 1).nnz(), 64 * 7 - 3 * 2 * 16);
+}
+
+TEST(Generators, ZeroDiagonalInjection) {
+  const auto A = circuit_like(1000, 5, 10, 17);
+  const auto B = with_zero_diagonal(A, 0.3, 18);
+  index_t zero_diags = 0;
+  for (index_t j = 0; j < B.ncols; ++j)
+    if (B.at(j, j) == 0.0) ++zero_diags;
+  EXPECT_GE(zero_diags, 290);
+  EXPECT_LE(zero_diags, 310);
+}
+
+TEST(Generators, CancellationMatrixHasFullDiagonal) {
+  const auto A = cancellation_matrix(100, 30, 19);
+  for (index_t j = 0; j < A.ncols; ++j) EXPECT_NE(A.at(j, j), 0.0);
+}
+
+TEST(Generators, GrowthAdversaryStructure) {
+  const auto A = growth_adversary(10);
+  EXPECT_DOUBLE_EQ(A.at(9, 0), -1.0);
+  EXPECT_DOUBLE_EQ(A.at(0, 9), 1.0);
+  EXPECT_DOUBLE_EQ(A.at(5, 5), 1.0);
+}
+
+TEST(Generators, DeterministicAcrossCalls) {
+  const auto A = circuit_like(500, 5, 10, 42);
+  const auto B = circuit_like(500, 5, 10, 42);
+  EXPECT_EQ(A.rowind, B.rowind);
+  EXPECT_EQ(A.values, B.values);
+}
+
+TEST(Generators, PhaseRandomizationPreservesMagnitudes) {
+  const auto A = convdiff2d(6, 6, 1.0, 0.5);
+  const auto C = randomize_phases(A, 5);
+  ASSERT_EQ(C.nnz(), A.nnz());
+  for (std::size_t k = 0; k < A.values.size(); ++k)
+    EXPECT_NEAR(std::abs(C.values[k]), std::abs(A.values[k]), 1e-14);
+}
+
+TEST(Generators, PerturbKeepsPattern) {
+  const auto A = convdiff2d(6, 6, 1.0, 0.5);
+  const auto B = perturb_values(A, 0.5, 21);
+  EXPECT_EQ(A.rowind, B.rowind);
+  EXPECT_EQ(A.colptr, B.colptr);
+  bool changed = false;
+  for (std::size_t k = 0; k < A.values.size(); ++k)
+    if (A.values[k] != B.values[k]) changed = true;
+  EXPECT_TRUE(changed);
+}
+
+}  // namespace
+}  // namespace gesp::sparse

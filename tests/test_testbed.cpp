@@ -1,0 +1,78 @@
+// Testbed integrity: the synthetic collection must mirror the paper's
+// composition — 53 matrices, 8 large, 22 with zero diagonals, 5 that cancel
+// a pivot during elimination, one expected GESP failure — and every entry
+// must build a valid square matrix with the properties its flags claim.
+#include <gtest/gtest.h>
+
+#include "matching/matching.hpp"
+#include "sparse/testbed.hpp"
+
+namespace gesp::sparse {
+namespace {
+
+TEST(Testbed, PaperComposition) {
+  const auto& t = testbed();
+  EXPECT_EQ(t.size(), 53u);
+  int large = 0, zero_diag = 0, creates_zero = 0, fails = 0;
+  for (const auto& e : t) {
+    large += e.large;
+    zero_diag += e.zero_diagonal;
+    creates_zero += e.creates_zero;
+    fails += e.expect_fail;
+  }
+  EXPECT_EQ(large, 8);        // Table 2's eight
+  EXPECT_EQ(zero_diag, 22);   // "22 matrices contain zeros on the diagonal"
+  EXPECT_EQ(creates_zero, 5); // "5 more create zeros during elimination"
+  EXPECT_EQ(fails, 1);        // AV41092
+}
+
+TEST(Testbed, NamesAreUnique) {
+  const auto& t = testbed();
+  for (std::size_t a = 0; a < t.size(); ++a)
+    for (std::size_t b = a + 1; b < t.size(); ++b)
+      EXPECT_NE(t[a].name, t[b].name);
+}
+
+TEST(Testbed, LookupByName) {
+  EXPECT_EQ(testbed_entry("twotone-s").discipline,
+            "circuit simulation (harmonic balance)");
+  EXPECT_THROW(testbed_entry("nonexistent"), Error);
+  EXPECT_EQ(large_testbed().size(), 8u);
+}
+
+/// Per-entry structural validation, parameterized over the whole testbed
+/// (the big matrices only generate + validate structure; no factorization).
+class TestbedEntryCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(TestbedEntryCheck, BuildsValidMatrixMatchingFlags) {
+  const auto& e = testbed()[static_cast<std::size_t>(GetParam())];
+  const auto A = e.make();
+  EXPECT_TRUE(A.valid()) << e.name;
+  EXPECT_EQ(A.nrows, A.ncols) << e.name;
+  EXPECT_GT(A.nnz(), A.ncols) << e.name;
+
+  index_t zero_diags = 0;
+  for (index_t j = 0; j < A.ncols; ++j)
+    if (A.at(j, j) == 0.0) ++zero_diags;
+  if (e.zero_diagonal)
+    EXPECT_GT(zero_diags, 0) << e.name;
+  else
+    EXPECT_EQ(zero_diags, 0) << e.name;
+
+  // Every testbed matrix must be structurally nonsingular — the paper's
+  // method requires a perfect matching to exist.
+  const auto m = matching::max_transversal(A);
+  EXPECT_EQ(m.size, A.ncols) << e.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEntries, TestbedEntryCheck,
+                         ::testing::Range(0, 53), [](const auto& info) {
+                           std::string n = sparse::testbed()
+                               [static_cast<std::size_t>(info.param)].name;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace gesp::sparse
