@@ -14,6 +14,8 @@ const char* errc_name(Errc c) noexcept {
       return "numerically_singular";
     case Errc::unstable:
       return "unstable";
+    case Errc::comm:
+      return "comm_error";
     case Errc::internal:
       return "internal_error";
   }

@@ -19,6 +19,7 @@ enum class Errc {
   structurally_singular,  ///< no zero-free diagonal exists (max transversal < n)
   numerically_singular,   ///< exact zero pivot with replacement disabled
   unstable,            ///< pivot growth too large; solution unreliable
+  comm,                ///< transport fault: timeout, lost rank, bad payload
   internal,            ///< broken internal invariant (library bug)
 };
 

@@ -1,6 +1,7 @@
 #include "core/solver.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 
 #include "common/error.hpp"
@@ -13,6 +14,36 @@
 #include "sparse/ops.hpp"
 
 namespace gesp {
+namespace {
+
+/// Factorization failures the ladder may absorb; anything else (bad input,
+/// broken invariant) propagates immediately.
+bool recoverable(Errc c) {
+  return c == Errc::numerically_singular || c == Errc::unstable;
+}
+
+std::string format_sci(const char* what, double value, double limit) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s %.3e above limit %.3e", what, value,
+                limit);
+  return buf;
+}
+
+}  // namespace
+
+const char* recovery_rung_name(RecoveryRung r) noexcept {
+  switch (r) {
+    case RecoveryRung::gesp:
+      return "gesp";
+    case RecoveryRung::aggressive_smw:
+      return "aggressive_smw";
+    case RecoveryRung::unscaled:
+      return "unscaled";
+    case RecoveryRung::gepp:
+      return "gepp";
+  }
+  return "unknown";
+}
 
 template <class T>
 Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
@@ -20,8 +51,86 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
   GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
              "GESP needs a square matrix");
   n_ = A.ncols;
+  if (opt_.recovery.enabled) A_keep_ = A;
   transform(A);
-  factor();
+  if (!opt_.recovery.enabled) {
+    factor();
+    return;
+  }
+  factor_ladder();
+}
+
+template <class T>
+void Solver<T>::factor_ladder() {
+  while (true) {
+    try {
+      apply_rung();
+      return;
+    } catch (const Error& e) {
+      if (!recoverable(e.code())) throw;
+      RecoveryAttempt a;
+      a.rung = rung_;
+      a.detail = e.what();
+      stats_.recovery.attempts.push_back(std::move(a));
+      if (!advance_rung()) throw;
+    }
+  }
+}
+
+template <class T>
+bool Solver<T>::advance_rung() {
+  const RecoveryPolicy& p = opt_.recovery;
+  while (rung_ != RecoveryRung::gepp) {
+    rung_ = static_cast<RecoveryRung>(static_cast<int>(rung_) + 1);
+    switch (rung_) {
+      case RecoveryRung::aggressive_smw:
+        // Pointless if the user already factored with aggressive pivots.
+        if (p.try_aggressive_smw &&
+            opt_.tiny_pivot != TinyPivotOption::aggressive_smw)
+          return true;
+        break;
+      case RecoveryRung::unscaled:
+        if (p.try_unscaled_refactor && opt_.mc64_scaling &&
+            opt_.row_perm == RowPermOption::mc64)
+          return true;
+        break;
+      case RecoveryRung::gepp:
+        if (p.try_gepp) return true;
+        break;
+      case RecoveryRung::gesp:
+        break;
+    }
+  }
+  return false;
+}
+
+template <class T>
+void Solver<T>::apply_rung() {
+  switch (rung_) {
+    case RecoveryRung::gesp:
+      factor();
+      break;
+    case RecoveryRung::aggressive_smw:
+      opt_.tiny_pivot = TinyPivotOption::aggressive_smw;
+      factor();
+      break;
+    case RecoveryRung::unscaled:
+      opt_.mc64_scaling = false;
+      sym_.reset();  // the transformed matrix changes: full re-analysis
+      transform(A_keep_);
+      factor();
+      break;
+    case RecoveryRung::gepp:
+      gepp_ = std::make_unique<numeric::GeppLU<T>>(A_keep_);
+      break;
+  }
+}
+
+template <class T>
+double Solver<T>::berr_threshold() const {
+  return opt_.recovery.max_berr > 0
+             ? opt_.recovery.max_berr
+             : std::sqrt(std::numeric_limits<double>::epsilon());
 }
 
 template <class T>
@@ -154,6 +263,101 @@ template <class T>
 void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
   GESP_CHECK(b.size() == static_cast<std::size_t>(n_) && x.size() == b.size(),
              Errc::invalid_argument, "solve dimension mismatch");
+  if (!opt_.recovery.enabled) {
+    solve_once(b, x);
+    return;
+  }
+  RecoveryTrail& trail = stats_.recovery;
+  const double threshold = berr_threshold();
+  bool have_solution = false;
+  while (true) {
+    RecoveryAttempt a;
+    a.rung = rung_;
+    try {
+      if (rung_ == RecoveryRung::gepp) {
+        solve_gepp(b, x);
+        have_solution = true;
+        a.berr = stats_.berr;
+        a.pivot_growth = gepp_->pivot_growth();
+        a.success = a.berr <= threshold;
+        if (!a.success)
+          a.detail = format_sci("berr", a.berr, threshold);
+      } else {
+        solve_once(b, x);
+        have_solution = true;
+        a.berr = stats_.berr;
+        a.pivot_growth = stats_.pivot_growth;
+        const bool berr_ok = a.berr <= threshold;
+        const bool growth_ok =
+            a.pivot_growth <= opt_.recovery.max_pivot_growth;
+        a.success = berr_ok && growth_ok;
+        if (!berr_ok)
+          a.detail = format_sci("berr", a.berr, threshold);
+        else if (!growth_ok)
+          a.detail = format_sci("pivot growth", a.pivot_growth,
+                                opt_.recovery.max_pivot_growth);
+      }
+    } catch (const Error& e) {
+      if (!recoverable(e.code())) throw;
+      a.detail = e.what();
+    }
+    const bool success = a.success;
+    trail.attempts.push_back(std::move(a));
+    if (success) {
+      trail.final_rung = rung_;
+      trail.recovered = true;
+      return;
+    }
+    // Escalate: find the next rung whose factorization succeeds.
+    bool advanced = false;
+    while (advance_rung()) {
+      try {
+        apply_rung();
+        advanced = true;
+        break;
+      } catch (const Error& e) {
+        if (!recoverable(e.code())) throw;
+        RecoveryAttempt failed;
+        failed.rung = rung_;
+        failed.detail = e.what();
+        trail.attempts.push_back(std::move(failed));
+      }
+    }
+    if (!advanced) {
+      // Ladder exhausted: keep the best-effort answer if any rung produced
+      // one, and let the trail say how far we got.
+      trail.final_rung = rung_;
+      trail.recovered = false;
+      GESP_CHECK(have_solution, Errc::unstable,
+                 "recovery ladder exhausted without a usable solution");
+      return;
+    }
+  }
+}
+
+template <class T>
+void Solver<T>::solve_gepp(std::span<const T> b, std::span<T> x) {
+  // Rung (c) bypasses the static pipeline entirely: GEPP factors the
+  // original A, so b and x stay in the user's variables.
+  Timer t;
+  gepp_->solve(b, x);
+  stats_.times.add("solve", t.seconds());
+  t.reset();
+  const auto rres = refine::iterative_refinement<T>(
+      A_keep_, b, x,
+      [this](std::span<T> v) {
+        const std::vector<T> rhs(v.begin(), v.end());
+        gepp_->solve(rhs, v);
+      },
+      opt_.refine);
+  stats_.times.add("refine", t.seconds());
+  stats_.refine_iterations = rres.iterations;
+  stats_.berr = rres.final_berr;
+  stats_.berr_history = rres.berr_history;
+}
+
+template <class T>
+void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
   // Transform the right-hand side into the factored space.
   std::vector<T> bhat(static_cast<std::size_t>(n_));
   for (index_t i = 0; i < n_; ++i) bhat[row_perm_[i]] = b[i] * T{row_scale_[i]};
@@ -224,6 +428,19 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
                  B.size() == static_cast<std::size_t>(n_) * nrhs &&
                  X.size() == B.size(),
              Errc::invalid_argument, "solve_multi dimension mismatch");
+  if (opt_.recovery.enabled) {
+    // Route each column through the ladder; once escalated, later columns
+    // reuse the surviving rung so the blocked fast path is only lost when
+    // recovery is actually in play.
+    for (index_t c = 0; c < nrhs; ++c) {
+      std::span<const T> bc(B.data() + c * static_cast<std::size_t>(n_),
+                            static_cast<std::size_t>(n_));
+      std::span<T> xc(X.data() + c * static_cast<std::size_t>(n_),
+                      static_cast<std::size_t>(n_));
+      solve(bc, xc);
+    }
+    return;
+  }
   // Transform all right-hand sides into the factored space.
   std::vector<T> Bhat(B.size());
   for (index_t c = 0; c < nrhs; ++c) {
@@ -267,7 +484,17 @@ void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
   sparse::CscMatrix<T> As =
       sparse::apply_scaling(A_new, row_scale_, col_scale_);
   At_ = sparse::permute(As, row_perm_, col_perm_);
-  factor();
+  if (!opt_.recovery.enabled) {
+    factor();
+    return;
+  }
+  // New values restart the ladder (the escalated *configuration* persists:
+  // an unscaled transform stays unscaled) from the static pipeline.
+  A_keep_ = A_new;
+  stats_.recovery = {};
+  gepp_.reset();
+  rung_ = RecoveryRung::gesp;
+  factor_ladder();
 }
 
 template <class T>

@@ -20,10 +20,12 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "numeric/gepp.hpp"
 #include "numeric/lu_factors.hpp"
 #include "refine/refine.hpp"
 #include "refine/smw.hpp"
@@ -54,6 +56,47 @@ enum class TinyPivotOption {
   aggressive_smw,  ///< promote to the column max and recover via SMW (§4)
 };
 
+/// One rung of the graceful-degradation ladder, cheapest first.
+enum class RecoveryRung {
+  gesp,            ///< the configured GESP pipeline as-is
+  aggressive_smw,  ///< re-factor with SMW-corrected aggressive pivots
+  unscaled,        ///< re-transform + re-factor without the mc64 scalings
+                   ///< (the paper's FIDAPM11 / JPWH_991 observation)
+  gepp,            ///< fall back to the GEPP reference factorization
+};
+
+const char* recovery_rung_name(RecoveryRung r) noexcept;
+
+/// When and how solve() is allowed to escalate down the ladder. Escalation
+/// triggers on: berr above max_berr after refinement, pivot growth above
+/// max_pivot_growth, or a numerically_singular / unstable factorization.
+struct RecoveryPolicy {
+  bool enabled = false;
+  /// Acceptable backward error after refinement; <= 0 means sqrt(eps).
+  double max_berr = 0.0;
+  /// Pivot growth beyond this marks the static factorization unreliable.
+  double max_pivot_growth = 1e10;
+  bool try_aggressive_smw = true;   ///< rung (a)
+  bool try_unscaled_refactor = true;  ///< rung (b)
+  bool try_gepp = true;             ///< rung (c)
+};
+
+/// One attempted rung and what came of it.
+struct RecoveryAttempt {
+  RecoveryRung rung = RecoveryRung::gesp;
+  bool success = false;
+  double berr = -1.0;          ///< berr achieved (-1: factorization failed)
+  double pivot_growth = -1.0;  ///< growth observed (-1: not measured)
+  std::string detail;          ///< failure reason; empty on success
+};
+
+/// The full trail of how the answer was obtained.
+struct RecoveryTrail {
+  std::vector<RecoveryAttempt> attempts;
+  RecoveryRung final_rung = RecoveryRung::gesp;
+  bool recovered = true;  ///< final answer met the policy thresholds
+};
+
 struct SolverOptions {
   bool equilibrate = true;
   RowPermOption row_perm = RowPermOption::mc64;
@@ -69,6 +112,8 @@ struct SolverOptions {
   /// Shared-memory threads for the numeric factorization (SuperLU_MT-style
   /// fork-join; bitwise identical results). 1 = serial.
   int num_threads = 1;
+  /// Graceful-degradation ladder (keeps a copy of A while enabled).
+  RecoveryPolicy recovery;
 };
 
 struct SolveStats {
@@ -87,6 +132,9 @@ struct SolveStats {
   std::vector<double> berr_history;  ///< per refinement step
   double ferr = -1.0;   ///< forward error bound (-1 = not requested)
   double rcond = -1.0;  ///< reciprocal condition estimate (-1 = not requested)
+  /// How the answer was obtained: every ladder rung attempted, in order.
+  /// Empty attempts == recovery disabled or never triggered.
+  RecoveryTrail recovery;
 };
 
 /// GESP solver: construction runs steps (1)-(3) (analysis + factorization);
@@ -101,7 +149,10 @@ class Solver {
   const SolveStats& stats() const { return stats_; }
 
   /// Solve A·x = b with iterative refinement; updates the refinement and
-  /// error fields of stats().
+  /// error fields of stats(). With recovery enabled, escalates down the
+  /// ladder until the policy thresholds are met (stats().recovery records
+  /// every rung attempted); an escalated configuration persists for later
+  /// solves and refactorizations.
   void solve(std::span<const T> b, std::span<T> x);
 
   /// Multiple right-hand sides: B and X are n-by-nrhs column-major. The
@@ -123,6 +174,13 @@ class Solver {
   void transform(const sparse::CscMatrix<T>& A);
   void factor();
   void apply_solver(std::span<T> x) const;  ///< LU or SMW-corrected solve
+  // Recovery ladder plumbing.
+  void factor_ladder();  ///< factor via apply_rung, escalating on throw
+  bool advance_rung();   ///< move to the next policy-enabled rung
+  void apply_rung();     ///< reconfigure + refactor for the current rung
+  void solve_once(std::span<const T> b, std::span<T> x);  ///< static path
+  void solve_gepp(std::span<const T> b, std::span<T> x);  ///< rung (c) path
+  double berr_threshold() const;
 
   SolverOptions opt_;
   SolveStats stats_;
@@ -136,6 +194,10 @@ class Solver {
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
   std::unique_ptr<numeric::LUFactors<T>> factors_;
   std::unique_ptr<refine::SmwSolver<T>> smw_;
+  // Recovery state (inert unless opt_.recovery.enabled).
+  sparse::CscMatrix<T> A_keep_;  ///< original A for re-transform / GEPP
+  std::unique_ptr<numeric::GeppLU<T>> gepp_;  ///< active at the gepp rung
+  RecoveryRung rung_ = RecoveryRung::gesp;
 };
 
 /// One-shot convenience wrapper.

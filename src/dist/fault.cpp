@@ -1,0 +1,52 @@
+#include "dist/fault.hpp"
+
+namespace gesp::minimpi {
+
+const char* fault_kind_name(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::none:
+      return "none";
+    case FaultKind::drop:
+      return "drop";
+    case FaultKind::delay:
+      return "delay";
+    case FaultKind::duplicate:
+      return "duplicate";
+    case FaultKind::corrupt:
+      return "corrupt";
+    case FaultKind::kill_rank:
+      return "kill_rank";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultInjector::on_send(int rank, count_t ordinal,
+                                 std::vector<std::byte>& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spent_.resize(specs_.size(), false);
+  for (std::size_t k = 0; k < specs_.size(); ++k) {
+    const FaultSpec& s = specs_[k];
+    if (spent_[k] || s.kind == FaultKind::none) continue;
+    if (s.rank != -1 && s.rank != rank) continue;
+    if (s.nth_send != ordinal) continue;
+    spent_[k] = true;
+    fired_++;
+    if (s.kind == FaultKind::corrupt && !payload.empty()) {
+      const index_t pos =
+          rng_.next_index(static_cast<index_t>(payload.size()));
+      // XOR with a nonzero mask so the byte is guaranteed to change.
+      const unsigned mask = 1u + static_cast<unsigned>(rng_.next_u64() % 255);
+      std::byte& target = payload[static_cast<std::size_t>(pos)];
+      target = static_cast<std::byte>(std::to_integer<unsigned>(target) ^ mask);
+    }
+    return s;
+  }
+  return {};
+}
+
+count_t FaultInjector::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+}  // namespace gesp::minimpi

@@ -1,0 +1,76 @@
+// Fault injection for the MiniMPI transport — the chaos harness.
+//
+// A FaultInjector is armed with a list of FaultSpecs, each naming a sending
+// rank, the ordinal of that rank's send at which to fire, and what to do to
+// the in-flight message: drop it, delay it, deliver it twice, corrupt a
+// payload byte (the checksum must catch this downstream), or kill the
+// sending rank outright (it throws Errc::comm, and World::run poisons the
+// peers). Corruption is driven by gesp::Rng so every chaos run is
+// bit-reproducible from its seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace gesp::minimpi {
+
+enum class FaultKind {
+  none,       ///< no-op (unarmed spec)
+  drop,       ///< message silently vanishes
+  delay,      ///< message delivered after delay_s seconds
+  duplicate,  ///< message delivered twice
+  corrupt,    ///< one payload byte flipped (checksum detects it)
+  kill_rank,  ///< sending rank throws Errc::comm instead of sending
+};
+
+const char* fault_kind_name(FaultKind k) noexcept;
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::none;
+  int rank = -1;         ///< sending rank to target (-1 = any rank)
+  count_t nth_send = 0;  ///< fire on this 0-based send ordinal of that rank
+  double delay_s = 0.0;  ///< sleep before delivery (FaultKind::delay)
+};
+
+/// Thread-safe: Comm::send consults the injector from every rank thread.
+class FaultInjector {
+ public:
+  FaultInjector() : rng_(0) {}
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+  FaultInjector(const FaultInjector& o) : rng_(o.rng_), specs_(o.specs_) {}
+  FaultInjector& operator=(const FaultInjector& o) {
+    if (this != &o) {
+      rng_ = o.rng_;
+      specs_ = o.specs_;
+      spent_.clear();
+      fired_ = 0;
+    }
+    return *this;
+  }
+
+  void schedule(const FaultSpec& spec) { specs_.push_back(spec); }
+  bool armed() const { return !specs_.empty(); }
+
+  /// Decide the fate of send number `ordinal` from `rank`, returning the
+  /// fired spec (kind == none if nothing fired). For corrupt, flips one
+  /// payload byte in place (no-op on empty payloads). Each spec fires at
+  /// most once.
+  FaultSpec on_send(int rank, count_t ordinal, std::vector<std::byte>& payload);
+
+  /// Number of faults that have actually fired.
+  count_t fired() const;
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<FaultSpec> specs_;
+  std::vector<bool> spent_;  // lazily sized to specs_
+  count_t fired_ = 0;
+};
+
+}  // namespace gesp::minimpi

@@ -1,10 +1,53 @@
 #include "dist/minimpi.hpp"
 
+#include <chrono>
 #include <exception>
 #include <memory>
 #include <thread>
 
 namespace gesp::minimpi {
+namespace {
+
+std::string envelope(int src, int tag) {
+  const auto name = [](int v, int any) {
+    return v == any ? std::string("any") : std::to_string(v);
+  };
+  return "(src=" + name(src, kAnySource) + ", tag=" + name(tag, kAnyTag) +
+         ")";
+}
+
+}  // namespace
+
+std::uint64_t payload_checksum(const std::byte* data, std::size_t bytes) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV offset basis
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+Errc RankReport::error_code() const {
+  if (!error) return Errc::internal;
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return e.code();
+  } catch (...) {
+    return Errc::internal;
+  }
+}
+
+std::string RankReport::error_message() const {
+  if (!error) return {};
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
 
 int Comm::size() const { return world_->size(); }
 
@@ -16,8 +59,33 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   msg.tag = tag;
   msg.data.resize(bytes);
   if (bytes > 0) std::memcpy(msg.data.data(), data, bytes);
+  msg.checksum = payload_checksum(msg.data.data(), msg.data.size());
+  const count_t ordinal = stats_.messages_sent;
   stats_.messages_sent++;
   stats_.bytes_sent += static_cast<count_t>(bytes);
+  FaultInjector& fi = world_->opt_.fault;
+  if (fi.armed()) {
+    // The checksum was stamped above, so corruption below is detectable.
+    const FaultSpec fired = fi.on_send(rank_, ordinal, msg.data);
+    switch (fired.kind) {
+      case FaultKind::drop:
+        return;
+      case FaultKind::kill_rank:
+        throw_error(Errc::comm, "fault injection: rank " +
+                                    std::to_string(rank_) + " killed at send #" +
+                                    std::to_string(ordinal));
+      case FaultKind::duplicate:
+        world_->deliver(dst, msg);  // deliver a copy, then the original
+        break;
+      case FaultKind::delay:
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fired.delay_s));
+        break;
+      case FaultKind::corrupt:  // payload already mutated in place
+      case FaultKind::none:
+        break;
+    }
+  }
   world_->deliver(dst, std::move(msg));
 }
 
@@ -28,6 +96,11 @@ Message Comm::recv(int src, int tag) {
     return (src == kAnySource || m.src == src) &&
            (tag == kAnyTag || m.tag == tag);
   };
+  const double timeout = world_->opt_.recv_timeout_s;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout > 0 ? timeout : 0));
   while (true) {
     for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
       if (match(*it)) {
@@ -35,10 +108,36 @@ Message Comm::recv(int src, int tag) {
         box.queue.erase(it);
         stats_.messages_received++;
         stats_.bytes_received += static_cast<count_t>(m.data.size());
+        GESP_CHECK(payload_checksum(m.data.data(), m.data.size()) ==
+                       m.checksum,
+                   Errc::comm,
+                   "payload checksum mismatch on rank " +
+                       std::to_string(rank_) + " for message " +
+                       envelope(m.src, m.tag) + ", " +
+                       std::to_string(m.data.size()) + " bytes");
         return m;
       }
     }
-    box.cv.wait(lock);
+    // No match queued: check for a dead peer before blocking.
+    if (box.poisoned)
+      throw_error(Errc::comm,
+                  "rank " + std::to_string(rank_) + " unblocked from recv " +
+                      envelope(src, tag) + ": rank " +
+                      std::to_string(world_->failed_rank()) + " failed");
+    if (timeout > 0) {
+      if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+          !box.poisoned) {
+        bool matched = false;
+        for (const auto& m : box.queue) matched = matched || match(m);
+        if (!matched)
+          throw_error(Errc::comm,
+                      "recv timeout on rank " + std::to_string(rank_) +
+                          " waiting for " + envelope(src, tag) + " after " +
+                          std::to_string(timeout) + "s");
+      }
+    } else {
+      box.cv.wait(lock);
+    }
   }
 }
 
@@ -55,14 +154,38 @@ bool Comm::probe(int src, int tag) const {
 
 void Comm::barrier() {
   std::unique_lock<std::mutex> lock(world_->barrier_mu_);
+  auto check_poisoned = [&] {
+    if (world_->failed_rank_.load() >= 0)
+      throw_error(Errc::comm,
+                  "rank " + std::to_string(rank_) +
+                      " unblocked from barrier: rank " +
+                      std::to_string(world_->failed_rank()) + " failed");
+  };
+  check_poisoned();
   const long gen = world_->barrier_generation_;
   if (++world_->barrier_count_ == world_->size()) {
     world_->barrier_count_ = 0;
     world_->barrier_generation_++;
     world_->barrier_cv_.notify_all();
+    return;
+  }
+  const double timeout = world_->opt_.recv_timeout_s;
+  auto arrived = [&] { return world_->barrier_generation_ != gen; };
+  if (timeout > 0) {
+    const bool ok = world_->barrier_cv_.wait_for(
+        lock, std::chrono::duration<double>(timeout),
+        [&] { return arrived() || world_->failed_rank_.load() >= 0; });
+    if (!arrived()) {
+      if (!ok)
+        throw_error(Errc::comm, "barrier timeout on rank " +
+                                    std::to_string(rank_) + " after " +
+                                    std::to_string(timeout) + "s");
+      check_poisoned();
+    }
   } else {
     world_->barrier_cv_.wait(
-        lock, [&] { return world_->barrier_generation_ != gen; });
+        lock, [&] { return arrived() || world_->failed_rank_.load() >= 0; });
+    if (!arrived()) check_poisoned();
   }
 }
 
@@ -81,7 +204,7 @@ double Comm::reduce_sum(int root, int tag, double value) {
   return value;
 }
 
-World::World(int nprocs) {
+World::World(int nprocs, const WorldOptions& opt) : opt_(opt) {
   GESP_CHECK(nprocs > 0, Errc::invalid_argument, "need at least one rank");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r)
@@ -97,10 +220,37 @@ void World::deliver(int dst, Message msg) {
   box.cv.notify_one();
 }
 
-std::vector<CommStats> World::run(const std::function<void(Comm&)>& body) {
+void World::poison(int src) {
+  int expected = -1;
+  failed_rank_.compare_exchange_strong(expected, src);
+  for (auto& box : mailboxes_) {
+    {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->poisoned = true;
+    }
+    box->cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+  }
+  barrier_cv_.notify_all();
+}
+
+std::vector<RankReport> World::run_report(
+    const std::function<void(Comm&)>& body) {
   const int P = size();
-  std::vector<CommStats> stats(static_cast<std::size_t>(P));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(P));
+  // Reset failure state so a World can host several runs.
+  failed_rank_.store(-1);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->poisoned = false;
+    box->queue.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    barrier_count_ = 0;
+  }
+  std::vector<RankReport> reports(static_cast<std::size_t>(P));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) {
@@ -109,14 +259,23 @@ std::vector<CommStats> World::run(const std::function<void(Comm&)>& body) {
       try {
         body(comm);
       } catch (...) {
-        errors[r] = std::current_exception();
+        reports[r].error = std::current_exception();
+        poison(r);  // unblock every peer still waiting on this rank
       }
-      stats[r] = comm.stats();
+      reports[r].stats = comm.stats();
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& e : errors)
-    if (e) std::rethrow_exception(e);
+  return reports;
+}
+
+std::vector<CommStats> World::run(const std::function<void(Comm&)>& body) {
+  const auto reports = run_report(body);
+  std::vector<CommStats> stats;
+  stats.reserve(reports.size());
+  for (const auto& r : reports) stats.push_back(r.stats);
+  for (const auto& r : reports)
+    if (r.error) std::rethrow_exception(r.error);
   return stats;
 }
 

@@ -9,35 +9,56 @@
 // (point-to-point, barrier, broadcast, reduce). Every rank keeps message
 // and byte counters so the communication statistics the paper reports via
 // Apprentice fall out of the run.
+//
+// Failure model: every payload carries an FNV-1a checksum verified on
+// receive; receives (and barriers) honor a configurable timeout and raise
+// Errc::comm with the blocked (src, tag) envelope instead of hanging; and
+// a rank that dies poisons every mailbox so its peers unblock with
+// Errc::comm rather than waiting forever — see docs/INTERNALS.md §9. A
+// FaultInjector (dist/fault.hpp) can drop, delay, duplicate, corrupt, or
+// kill-rank at a chosen send to exercise all of this deterministically.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "dist/fault.hpp"
 
 namespace gesp::minimpi {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
 
+/// FNV-1a over the payload — cheap, and any single flipped byte changes it.
+std::uint64_t payload_checksum(const std::byte* data, std::size_t bytes);
+
 /// A received message: envelope plus payload bytes.
 struct Message {
   int src = -1;
   int tag = -1;
+  std::uint64_t checksum = 0;  ///< FNV-1a of data, stamped at send time
   std::vector<std::byte> data;
 
-  /// Reinterpret the payload as a vector of T.
+  /// Reinterpret the payload as a vector of T. A size that is not a whole
+  /// number of elements means the wire carried a mangled payload — a
+  /// transport fault (Errc::comm), not a library bug.
   template <class T>
   std::vector<T> as() const {
-    GESP_CHECK(data.size() % sizeof(T) == 0, Errc::internal,
-               "message size is not a multiple of the element size");
+    GESP_CHECK(data.size() % sizeof(T) == 0, Errc::comm,
+               "mangled payload from src=" + std::to_string(src) +
+                   " tag=" + std::to_string(tag) + ": " +
+                   std::to_string(data.size()) +
+                   " bytes is not a multiple of the element size " +
+                   std::to_string(sizeof(T)));
     std::vector<T> out(data.size() / sizeof(T));
     std::memcpy(out.data(), data.data(), data.size());
     return out;
@@ -50,6 +71,16 @@ struct CommStats {
   count_t bytes_sent = 0;
   count_t messages_received = 0;
   count_t bytes_received = 0;
+};
+
+/// Transport configuration (timeouts and chaos).
+struct WorldOptions {
+  /// Receive / barrier timeout in seconds; <= 0 waits forever. On expiry
+  /// the blocked rank throws Errc::comm naming the (src, tag) it waited
+  /// for — the deadlock watchdog.
+  double recv_timeout_s = 0.0;
+  /// Chaos hook applied to every send (see dist/fault.hpp).
+  FaultInjector fault;
 };
 
 class World;
@@ -75,12 +106,14 @@ class Comm {
   }
 
   /// Blocking receive with (src, tag) matching; kAnySource / kAnyTag wild.
+  /// Throws Errc::comm on timeout, checksum mismatch, or a poisoned world.
   Message recv(int src = kAnySource, int tag = kAnyTag);
 
   /// Non-blocking: true if a matching message is queued.
   bool probe(int src = kAnySource, int tag = kAnyTag) const;
 
-  /// Synchronize all ranks.
+  /// Synchronize all ranks. Throws Errc::comm if the world is poisoned or
+  /// the timeout expires before every rank arrives.
   void barrier();
 
   /// Flat binomial-free broadcast (root sends to everyone else; the static
@@ -108,16 +141,41 @@ class Comm {
   CommStats stats_;
 };
 
+/// One rank's outcome of a World::run_report call.
+struct RankReport {
+  CommStats stats;
+  std::exception_ptr error;  ///< null if the rank body completed
+
+  bool failed() const { return static_cast<bool>(error); }
+  /// Errc carried by `error` if it is a gesp::Error; Errc::internal for
+  /// foreign exceptions; meaningless when !failed().
+  Errc error_code() const;
+  std::string error_message() const;  ///< empty when !failed()
+};
+
 /// The collection of mailboxes; World::run spawns one thread per rank.
 class World {
  public:
-  explicit World(int nprocs);
+  explicit World(int nprocs, const WorldOptions& opt = {});
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
+  const WorldOptions& options() const { return opt_; }
 
   /// Execute `body(comm)` on every rank concurrently; rethrows the first
   /// rank exception after joining. Returns per-rank comm statistics.
   std::vector<CommStats> run(const std::function<void(Comm&)>& body);
+
+  /// Like run, but never throws on rank failure: every rank's exception is
+  /// captured in its RankReport so callers can see exactly who failed and
+  /// how (the chaos tests assert per-rank Errc::comm this way).
+  std::vector<RankReport> run_report(const std::function<void(Comm&)>& body);
+
+  /// Rank `src` died: poison every mailbox and the barrier so all blocked
+  /// peers throw Errc::comm instead of hanging. Idempotent.
+  void poison(int src);
+
+  /// Rank that first poisoned the world, or -1 if healthy.
+  int failed_rank() const { return failed_rank_.load(); }
 
  private:
   friend class Comm;
@@ -125,10 +183,13 @@ class World {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Message> queue;
+    bool poisoned = false;
   };
   void deliver(int dst, Message msg);
 
+  WorldOptions opt_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<int> failed_rank_{-1};
   // Central barrier.
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

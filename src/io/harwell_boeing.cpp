@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -129,6 +130,9 @@ std::vector<double> read_real_block(std::istream& in, count_t n,
       const double v = std::strtod(f.c_str(), &end);
       GESP_CHECK(end != f.c_str(), Errc::io,
                  std::string("bad real in HB ") + what + ": '" + f + "'");
+      GESP_CHECK(std::isfinite(v), Errc::io,
+                 std::string("non-finite value in HB ") + what + ": '" + f +
+                     "'");
       out.push_back(v);
     }
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -70,6 +71,10 @@ void read_size_line(std::istream& in, index_t& nrows, index_t& ncols,
     long long r = 0, c = 0, z = 0;
     GESP_CHECK(static_cast<bool>(ls >> r >> c >> z), Errc::io,
                "malformed size line: " + line);
+    GESP_CHECK(r > 0 && c > 0 && z >= 0, Errc::io,
+               "nonsensical size line: " + line);
+    GESP_CHECK(z <= static_cast<long long>(r) * c, Errc::io,
+               "size line claims more entries than the matrix holds: " + line);
     nrows = static_cast<index_t>(r);
     ncols = static_cast<index_t>(c);
     nnz = z;
@@ -101,6 +106,8 @@ sparse::CscMatrix<T> read_body(std::istream& in, const MmHeader& h) {
       double re = 0, im = 0;
       GESP_CHECK(static_cast<bool>(ls >> re >> im), Errc::io,
                  "malformed complex entry: " + line);
+      GESP_CHECK(std::isfinite(re) && std::isfinite(im), Errc::io,
+                 "non-finite entry value: " + line);
       if constexpr (is_complex_v<T>)
         v = T(re, im);
       else
@@ -110,6 +117,8 @@ sparse::CscMatrix<T> read_body(std::istream& in, const MmHeader& h) {
       double re = 0;
       GESP_CHECK(static_cast<bool>(ls >> re), Errc::io,
                  "malformed entry value: " + line);
+      GESP_CHECK(std::isfinite(re), Errc::io,
+                 "non-finite entry value: " + line);
       v = T{re};
     }
     const index_t ii = static_cast<index_t>(i - 1);

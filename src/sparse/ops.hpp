@@ -177,7 +177,11 @@ real_t<T> componentwise_backward_error(const CscMatrix<T>& A,
       if (num != 0) return std::numeric_limits<R>::infinity();
       continue;
     }
-    berr = std::max(berr, num / d);
+    const R q = num / d;
+    // NaN (from a NaN in A, x, b, or inf/inf) must poison the result:
+    // std::max would silently drop it and report a spuriously small berr.
+    if (std::isnan(q)) return std::numeric_limits<R>::quiet_NaN();
+    berr = std::max(berr, q);
   }
   return berr;
 }

@@ -1,0 +1,333 @@
+// Chaos tests: fault injection against the MiniMPI transport and the
+// distributed factorization / triangular solves. Every scenario asserts
+// graceful failure — a surfaced Errc::comm on the affected ranks within
+// the configured timeout — never a hang and never silent garbage.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <vector>
+
+#include "dist/dist_lu.hpp"
+#include "dist/fault.hpp"
+#include "dist/minimpi.hpp"
+#include "numeric/lu_factors.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "symbolic/symbolic.hpp"
+#include "test_helpers.hpp"
+
+namespace gesp {
+namespace {
+
+using dist::DistOptions;
+using dist::DistributedLU;
+using dist::ProcessGrid;
+using minimpi::Comm;
+using minimpi::FaultKind;
+using minimpi::FaultSpec;
+using minimpi::RankReport;
+using minimpi::World;
+using minimpi::WorldOptions;
+
+/// Count ranks whose body failed with Errc::comm.
+int comm_failures(const std::vector<RankReport>& reports) {
+  int n = 0;
+  for (const auto& r : reports)
+    if (r.failed() && r.error_code() == Errc::comm) ++n;
+  return n;
+}
+
+double run_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// ---------------------------------------------------------------- transport
+
+TEST(ChaosTransport, RecvTimeoutNamesTheBlockedEnvelope) {
+  WorldOptions opts;
+  opts.recv_timeout_s = 0.1;
+  World world(2, opts);
+  const auto reports = world.run_report([](Comm& comm) {
+    if (comm.rank() == 1) comm.recv(0, 7);  // nobody ever sends
+  });
+  ASSERT_TRUE(reports[1].failed());
+  EXPECT_EQ(reports[1].error_code(), Errc::comm);
+  const std::string msg = reports[1].error_message();
+  EXPECT_NE(msg.find("timeout"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("tag=7"), std::string::npos) << msg;
+  EXPECT_FALSE(reports[0].failed());
+}
+
+TEST(ChaosTransport, MangledPayloadIsACommFault) {
+  World world(2);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<char> raw(12, 'x');  // 12 bytes != k * sizeof(double)
+      comm.send(1, 5, raw.data(), raw.size());
+    } else {
+      const auto m = comm.recv(0, 5);
+      try {
+        (void)m.as<double>();
+        FAIL() << "mangled payload accepted";
+      } catch (const Error& e) {
+        EXPECT_EQ(e.code(), Errc::comm);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("src=0"), std::string::npos) << what;
+        EXPECT_NE(what.find("tag=5"), std::string::npos) << what;
+        EXPECT_NE(what.find("12"), std::string::npos) << what;
+      }
+    }
+  });
+}
+
+TEST(ChaosTransport, ChecksumDetectsCorruptedPayload) {
+  WorldOptions opts;
+  FaultSpec spec;
+  spec.kind = FaultKind::corrupt;
+  spec.rank = 0;
+  spec.nth_send = 0;
+  opts.fault = minimpi::FaultInjector(1234);
+  opts.fault.schedule(spec);
+  World world(2, opts);
+  const auto reports = world.run_report([](Comm& comm) {
+    if (comm.rank() == 0) {
+      const std::vector<double> payload{1.0, 2.0, 3.0};
+      comm.send_vec(1, 9, payload);
+    } else {
+      comm.recv(0, 9);
+    }
+  });
+  ASSERT_TRUE(reports[1].failed());
+  EXPECT_EQ(reports[1].error_code(), Errc::comm);
+  EXPECT_NE(reports[1].error_message().find("checksum"), std::string::npos)
+      << reports[1].error_message();
+}
+
+TEST(ChaosTransport, KilledRankPoisonsBlockedPeer) {
+  // Rank 1 waits forever (no timeout); only the poison can unblock it.
+  WorldOptions opts;
+  FaultSpec spec;
+  spec.kind = FaultKind::kill_rank;
+  spec.rank = 0;
+  spec.nth_send = 0;
+  opts.fault.schedule(spec);
+  World world(2, opts);
+  const auto reports = world.run_report([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 3, 1.0);  // dies here
+    } else {
+      comm.recv(0, 3);
+    }
+  });
+  EXPECT_EQ(comm_failures(reports), 2);
+  EXPECT_NE(reports[0].error_message().find("killed"), std::string::npos);
+  EXPECT_NE(reports[1].error_message().find("failed"), std::string::npos);
+  EXPECT_EQ(world.failed_rank(), 0);
+}
+
+TEST(ChaosTransport, DuplicateDeliversTwice) {
+  WorldOptions opts;
+  FaultSpec spec;
+  spec.kind = FaultKind::duplicate;
+  spec.rank = 0;
+  spec.nth_send = 0;
+  opts.fault.schedule(spec);
+  World world(2, opts);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 4, 2.5);
+    } else {
+      const auto a = comm.recv(0, 4).as<double>();
+      const auto b = comm.recv(0, 4).as<double>();  // the duplicate
+      EXPECT_EQ(a[0], 2.5);
+      EXPECT_EQ(b[0], 2.5);
+    }
+  });
+}
+
+TEST(ChaosTransport, DelayedMessageStillArrivesIntact) {
+  WorldOptions opts;
+  opts.recv_timeout_s = 5.0;  // far beyond the delay: no spurious timeout
+  FaultSpec spec;
+  spec.kind = FaultKind::delay;
+  spec.rank = 0;
+  spec.nth_send = 0;
+  spec.delay_s = 0.05;
+  opts.fault.schedule(spec);
+  World world(2, opts);
+  world.run([](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_value(1, 8, 7.0);
+    } else {
+      EXPECT_EQ(comm.recv(0, 8).as<double>()[0], 7.0);
+    }
+  });
+  EXPECT_EQ(world.options().fault.fired(), 1);  // the delay actually fired
+}
+
+TEST(ChaosTransport, BarrierTimesOutOnMissingRank) {
+  WorldOptions opts;
+  opts.recv_timeout_s = 0.1;
+  World world(2, opts);
+  const auto reports = world.run_report([](Comm& comm) {
+    if (comm.rank() == 0) comm.barrier();  // rank 1 never arrives
+  });
+  ASSERT_TRUE(reports[0].failed());
+  EXPECT_EQ(reports[0].error_code(), Errc::comm);
+  EXPECT_NE(reports[0].error_message().find("barrier"), std::string::npos);
+}
+
+// --------------------------------------------- distributed factorization
+
+std::shared_ptr<const symbolic::SymbolicLU> analyze_shared(
+    const sparse::CscMatrix<double>& A) {
+  return std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+}
+
+TEST(ChaosDistLU, DroppedMessageSurfacesCommOnAllRanks) {
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 0.5;
+  FaultSpec spec;
+  spec.kind = FaultKind::drop;
+  spec.rank = 0;
+  spec.nth_send = 2;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  std::vector<RankReport> reports;
+  const double elapsed = run_seconds([&] {
+    reports = world.run_report([&](Comm& comm) {
+      DistributedLU<double> dlu(comm, grid, sym, A, {});
+    });
+  });
+  // Terminates promptly (the watchdog, not ctest's timeout) and every rank
+  // reports the transport fault instead of hanging.
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(comm_failures(reports), grid.nprocs());
+}
+
+TEST(ChaosDistLU, KilledRankSurfacesCommOnAllRanks) {
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 2.0;
+  FaultSpec spec;
+  spec.kind = FaultKind::kill_rank;
+  spec.rank = 1;
+  spec.nth_send = 0;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  std::vector<RankReport> reports;
+  const double elapsed = run_seconds([&] {
+    reports = world.run_report([&](Comm& comm) {
+      DistributedLU<double> dlu(comm, grid, sym, A, {});
+    });
+  });
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(comm_failures(reports), grid.nprocs());
+  EXPECT_EQ(world.failed_rank(), 1);
+}
+
+TEST(ChaosDistLU, CorruptedPanelDetectedDeterministically) {
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  const ProcessGrid grid{2, 2};
+  auto corrupted_run = [&](std::uint64_t seed) {
+    WorldOptions opts;
+    opts.recv_timeout_s = 2.0;
+    opts.fault = minimpi::FaultInjector(seed);
+    FaultSpec spec;
+    spec.kind = FaultKind::corrupt;
+    spec.rank = 0;
+    spec.nth_send = 1;
+    opts.fault.schedule(spec);
+    World world(grid.nprocs(), opts);
+    return world.run_report([&](Comm& comm) {
+      DistributedLU<double> dlu(comm, grid, sym, A, {});
+    });
+  };
+  const auto first = corrupted_run(42);
+  ASSERT_GE(comm_failures(first), 1);
+  bool checksum_caught = false;
+  for (const auto& r : first)
+    if (r.failed() &&
+        r.error_message().find("checksum") != std::string::npos)
+      checksum_caught = true;
+  EXPECT_TRUE(checksum_caught);
+  // Same seed, same victim, same outcome: detection is deterministic.
+  const auto second = corrupted_run(42);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t r = 0; r < first.size(); ++r) {
+    EXPECT_EQ(first[r].failed(), second[r].failed());
+    EXPECT_EQ(first[r].error_message(), second[r].error_message());
+  }
+}
+
+TEST(ChaosDistLU, DroppedMessageDuringTriangularSolve) {
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  const ProcessGrid grid{2, 2};
+  const index_t n = A.ncols;
+  std::vector<double> ones(static_cast<std::size_t>(n), 1.0), b(ones.size());
+  sparse::spmv<double>(A, ones, b);
+  // Count rank 0's factorization sends so the fault lands inside solve().
+  count_t fact_sends = 0;
+  {
+    World clean(grid.nprocs());
+    clean.run([&](Comm& comm) {
+      DistributedLU<double> dlu(comm, grid, sym, A, {});
+      if (comm.rank() == 0) fact_sends = comm.stats().messages_sent;
+    });
+  }
+  WorldOptions opts;
+  opts.recv_timeout_s = 0.5;
+  FaultSpec spec;
+  spec.kind = FaultKind::drop;
+  spec.rank = 0;
+  spec.nth_send = fact_sends + 1;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  std::vector<RankReport> reports;
+  const double elapsed = run_seconds([&] {
+    reports = world.run_report([&](Comm& comm) {
+      DistributedLU<double> dlu(comm, grid, sym, A, {});
+      (void)dlu.solve(comm, b);
+    });
+  });
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_GE(comm_failures(reports), 1);
+  for (const auto& r : reports)
+    if (r.failed()) EXPECT_EQ(r.error_code(), Errc::comm);
+}
+
+TEST(ChaosDistLU, CleanRunStillBitwiseCorrectWithChecksumsOn) {
+  // The hardening must not perturb the numbers: no-fault run under a
+  // timeout still matches the serial factorization bitwise.
+  const auto A = sparse::convdiff2d(10, 10, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  numeric::LUFactors<double> serial(sym, A, {});
+  const auto Lref = serial.l_matrix();
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 30.0;
+  World world(grid.nprocs(), opts);
+  sparse::CscMatrix<double> Ldist;
+  world.run([&](Comm& comm) {
+    DistributedLU<double> dlu(comm, grid, sym, A, {});
+    auto L = dlu.gather_l(comm);
+    if (comm.rank() == 0) Ldist = std::move(L);
+    dlu.gather_u(comm);
+  });
+  EXPECT_EQ(testing::max_abs_diff(Lref, Ldist), 0.0);
+}
+
+}  // namespace
+}  // namespace gesp

@@ -106,6 +106,131 @@ TEST(MatrixMarket, RejectsMalformed) {
   }
 }
 
+/// Assert the stream is rejected with the given category (never a crash,
+/// never a hang, never a silently wrong matrix).
+template <class Reader>
+void expect_rejected(const std::string& text, Errc code, Reader reader) {
+  std::stringstream ss(text);
+  try {
+    (void)reader(ss);
+    FAIL() << "accepted malformed input:\n" << text;
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code) << e.what();
+  }
+}
+
+TEST(MatrixMarket, RejectsMalformedWithIoCategory) {
+  auto rd = [](std::istream& in) { return read_matrix_market(in); };
+  // Garbage banner / empty stream.
+  expect_rejected("", Errc::io, rd);
+  expect_rejected("%%MatrixMarkup matrix coordinate real general\n2 2 0\n",
+                  Errc::io, rd);
+  expect_rejected("%%MatrixMarket tensor coordinate real general\n", Errc::io,
+                  rd);
+  expect_rejected("%%MatrixMarket matrix array real general\n", Errc::io, rd);
+  // Missing or nonsensical size line.
+  expect_rejected("%%MatrixMarket matrix coordinate real general\n", Errc::io,
+                  rd);
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\ntwo by two\n", Errc::io,
+      rd);
+  expect_rejected("%%MatrixMarket matrix coordinate real general\n0 2 0\n",
+                  Errc::io, rd);
+  expect_rejected("%%MatrixMarket matrix coordinate real general\n2 -2 1\n",
+                  Errc::io, rd);
+  // nnz count larger than the matrix can hold.
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 9\n1 1 1.0\n",
+      Errc::io, rd);
+  // Truncated body and garbage entries.
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+      Errc::io, rd);
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n",
+      Errc::io, rd);
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+      Errc::io, rd);
+  // Non-finite values must be rejected, not propagated into the solver.
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 nan\n",
+      Errc::io, rd);
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 inf\n",
+      Errc::io, rd);
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate real general\n2 2 1\n2 1 -inf\n",
+      Errc::io, rd);
+  auto rdc = [](std::istream& in) { return read_matrix_market_complex(in); };
+  expect_rejected(
+      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 nan\n",
+      Errc::io, rdc);
+}
+
+TEST(HarwellBoeing, RejectsMalformedWithIoCategory) {
+  auto rd = [](std::istream& in) { return read_harwell_boeing(in); };
+  const std::string title = std::string("robustness") + std::string(62, ' ') +
+                            "KEY00005\n";
+  const std::string counts =
+      "             3             1             1             1             "
+      "0\n";
+  // Truncated after the header.
+  expect_rejected(title, Errc::io, rd);
+  expect_rejected(title + counts, Errc::io, rd);
+  // Bad dimensions.
+  expect_rejected(
+      title + counts +
+          "RUA                       0             2             2"
+          "             0\n"
+          "(10I8)          (10I8)          (3E20.12)           \n",
+      Errc::io, rd);
+  // Bad Fortran formats.
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "10I8            (10I8)          (3E20.12)           \n",
+                  Errc::io, rd);
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "(10Q8)          (10I8)          (3E20.12)           \n",
+                  Errc::io, rd);
+  // Truncated data blocks (fewer lines than the pointers demand).
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "(10I8)          (10I8)          (3E20.12)           \n"
+                      "       1       2       3\n"
+                      "       1       2\n",
+                  Errc::io, rd);
+  // Garbage integers in the pointer block.
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "(10I8)          (10I8)          (3E20.12)           \n"
+                      "     one     two   three\n",
+                  Errc::io, rd);
+  // Non-finite values.
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "(10I8)          (10I8)          (2E20.12)           \n"
+                      "       1       2       3\n"
+                      "       1       2\n"
+                      "                 NaN  0.250000000000E+01\n",
+                  Errc::io, rd);
+  // Inconsistent column pointers (decreasing / past nnz).
+  expect_rejected(title + counts +
+                      "RUA                       2             2             "
+                      "2             0\n"
+                      "(10I8)          (10I8)          (2E20.12)           \n"
+                      "       1       9       3\n"
+                      "       1       2\n"
+                      "  0.150000000000E+01  0.250000000000E+01\n",
+                  Errc::io, rd);
+}
+
 TEST(FortranFormat, ParsesCommonDescriptors) {
   using detail::parse_fortran_format;
   auto f = parse_fortran_format("(16I5)");

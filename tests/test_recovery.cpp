@@ -1,0 +1,200 @@
+// Recovery-ladder tests: the graceful-degradation path of core/solver.
+// The adversarial-growth testbed matrix (av41092-s, the paper's GESP
+// failure case) must be solved to berr <= sqrt(eps) by escalating through
+// the ladder, with SolveStats::recovery recording every rung attempted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/solver.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/testbed.hpp"
+
+namespace gesp {
+namespace {
+
+double sqrt_eps() {
+  return std::sqrt(std::numeric_limits<double>::epsilon());
+}
+
+/// Adversarial options: pin the pivot order the growth matrix was built
+/// for (as the testbed failure-case test does) and arm the ladder.
+SolverOptions adversarial_options() {
+  SolverOptions opt;
+  opt.col_order = ColOrderOption::natural;
+  opt.recovery.enabled = true;
+  return opt;
+}
+
+TEST(Recovery, LadderRescuesTheGespFailureCase) {
+  const auto& e = sparse::testbed_entry("av41092-s");
+  ASSERT_TRUE(e.expect_fail);
+  const auto A = e.make();
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+
+  Solver<double> solver(A, adversarial_options());
+  solver.solve(b, x);
+
+  const RecoveryTrail& trail = solver.stats().recovery;
+  EXPECT_TRUE(trail.recovered);
+  EXPECT_LE(solver.stats().berr, sqrt_eps());
+  EXPECT_LT(sparse::relative_error_inf<double>(x_true, x), 1e-6);
+
+  // The trail records every rung, in escalation order, ending in success.
+  ASSERT_GE(trail.attempts.size(), 2u);
+  EXPECT_EQ(trail.attempts.front().rung, RecoveryRung::gesp);
+  EXPECT_FALSE(trail.attempts.front().success);
+  EXPECT_FALSE(trail.attempts.front().detail.empty());
+  for (std::size_t k = 1; k < trail.attempts.size(); ++k)
+    EXPECT_GT(static_cast<int>(trail.attempts[k].rung),
+              static_cast<int>(trail.attempts[k - 1].rung));
+  const RecoveryAttempt& last = trail.attempts.back();
+  EXPECT_TRUE(last.success);
+  EXPECT_EQ(last.rung, trail.final_rung);
+  EXPECT_LE(last.berr, sqrt_eps());
+  // 2^55 growth defeats every static rung: only GEPP survives.
+  EXPECT_EQ(trail.final_rung, RecoveryRung::gepp);
+}
+
+TEST(Recovery, ConstructorEscalatesPastAFailingFactorization) {
+  // tiny_pivot = fail turns the mid-elimination cancellation into a
+  // numerically_singular throw at the gesp rung; the ladder's next rung
+  // (aggressive SMW pivots) must absorb it.
+  const auto A = sparse::cancellation_matrix(800, 400, 140);
+  SolverOptions opt;
+  opt.equilibrate = false;
+  opt.row_perm = RowPermOption::none;
+  opt.col_order = ColOrderOption::natural;
+  opt.tiny_pivot = TinyPivotOption::fail;
+  opt.recovery.enabled = true;
+
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+
+  Solver<double> solver(A, opt);  // would throw without recovery
+  const RecoveryTrail& after_factor = solver.stats().recovery;
+  ASSERT_EQ(after_factor.attempts.size(), 1u);
+  EXPECT_EQ(after_factor.attempts[0].rung, RecoveryRung::gesp);
+  EXPECT_FALSE(after_factor.attempts[0].detail.empty());
+
+  solver.solve(b, x);
+  const RecoveryTrail& trail = solver.stats().recovery;
+  EXPECT_TRUE(trail.recovered);
+  EXPECT_EQ(trail.final_rung, RecoveryRung::aggressive_smw);
+  EXPECT_LE(solver.stats().berr, sqrt_eps());
+  EXPECT_LT(sparse::relative_error_inf<double>(x_true, x), 1e-6);
+}
+
+TEST(Recovery, SameOptionsWithoutRecoveryThrow) {
+  const auto A = sparse::cancellation_matrix(800, 400, 140);
+  SolverOptions opt;
+  opt.equilibrate = false;
+  opt.row_perm = RowPermOption::none;
+  opt.col_order = ColOrderOption::natural;
+  opt.tiny_pivot = TinyPivotOption::fail;
+  try {
+    Solver<double> solver(A, opt);
+    FAIL() << "expected numerically_singular";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::numerically_singular);
+  }
+}
+
+TEST(Recovery, HealthyMatrixStaysOnTheFirstRung) {
+  const auto A = sparse::convdiff2d(10, 10, 1.0, 0.5);
+  SolverOptions opt;
+  opt.recovery.enabled = true;
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+  Solver<double> solver(A, opt);
+  solver.solve(b, x);
+  const RecoveryTrail& trail = solver.stats().recovery;
+  ASSERT_EQ(trail.attempts.size(), 1u);
+  EXPECT_TRUE(trail.attempts[0].success);
+  EXPECT_EQ(trail.final_rung, RecoveryRung::gesp);
+  EXPECT_TRUE(trail.recovered);
+  EXPECT_LT(sparse::relative_error_inf<double>(x_true, x), 1e-10);
+}
+
+TEST(Recovery, DisabledLeavesTheTrailEmpty) {
+  const auto A = sparse::convdiff2d(10, 10, 1.0, 0.5);
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+  Solver<double> solver(A, {});
+  solver.solve(b, x);
+  EXPECT_TRUE(solver.stats().recovery.attempts.empty());
+}
+
+TEST(Recovery, MultiRhsEscalatesPerColumn) {
+  const auto A = sparse::sparse_growth_adversary(300, 45, 9);
+  const index_t n = A.ncols;
+  const index_t nrhs = 2;
+  std::vector<double> X_true(static_cast<std::size_t>(n) * nrhs),
+      B(X_true.size()), X(X_true.size());
+  for (index_t j = 0; j < nrhs; ++j)
+    for (index_t i = 0; i < n; ++i)
+      X_true[static_cast<std::size_t>(j) * n + i] = 1.0 + j;
+  for (index_t j = 0; j < nrhs; ++j) {
+    std::span<const double> xc(X_true.data() + static_cast<std::size_t>(j) * n,
+                               static_cast<std::size_t>(n));
+    std::span<double> bc(B.data() + static_cast<std::size_t>(j) * n,
+                         static_cast<std::size_t>(n));
+    sparse::spmv<double>(A, xc, bc);
+  }
+  Solver<double> solver(A, adversarial_options());
+  solver.solve_multi(B, X, nrhs);
+  EXPECT_TRUE(solver.stats().recovery.recovered);
+  for (index_t j = 0; j < nrhs; ++j) {
+    std::span<const double> xt(X_true.data() + static_cast<std::size_t>(j) * n,
+                               static_cast<std::size_t>(n));
+    std::span<const double> xc(X.data() + static_cast<std::size_t>(j) * n,
+                               static_cast<std::size_t>(n));
+    EXPECT_LT(sparse::relative_error_inf<double>(xt, xc), 1e-6) << "col " << j;
+  }
+}
+
+TEST(Recovery, RefactorizeRestartsTheLadder) {
+  const auto A = sparse::sparse_growth_adversary(300, 45, 9);
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+
+  Solver<double> solver(A, adversarial_options());
+  solver.solve(b, x);
+  ASSERT_TRUE(solver.stats().recovery.recovered);
+  ASSERT_NE(solver.stats().recovery.final_rung, RecoveryRung::gesp);
+
+  // Same pattern, benign values: make the matrix strongly diagonally
+  // dominant so no rung beyond the first is needed after refactorize.
+  sparse::CscMatrix<double> A2 = A;
+  for (index_t j = 0; j < n; ++j)
+    for (count_t p = A2.colptr[j]; p < A2.colptr[j + 1]; ++p)
+      if (A2.rowind[p] == j) A2.values[static_cast<std::size_t>(p)] += 1e3;
+  std::vector<double> b2(x_true.size()), x2(x_true.size());
+  sparse::spmv<double>(A2, x_true, b2);
+
+  solver.refactorize(A2);
+  solver.solve(b2, x2);
+  const RecoveryTrail& trail = solver.stats().recovery;
+  EXPECT_TRUE(trail.recovered);
+  EXPECT_EQ(trail.final_rung, RecoveryRung::gesp);  // trail was reset
+  ASSERT_EQ(trail.attempts.size(), 1u);
+  EXPECT_TRUE(trail.attempts[0].success);
+  EXPECT_LT(sparse::relative_error_inf<double>(x_true, x2), 1e-8);
+}
+
+}  // namespace
+}  // namespace gesp

@@ -8,11 +8,13 @@
 #include <memory>
 
 #include "common/rng.hpp"
+#include "core/solver.hpp"
 #include "numeric/lu_factors.hpp"
 #include "refine/error_bounds.hpp"
 #include "refine/norm_estimator.hpp"
 #include "refine/refine.hpp"
 #include "refine/smw.hpp"
+#include "sparse/coo.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/ops.hpp"
 #include "symbolic/symbolic.hpp"
@@ -96,6 +98,99 @@ TEST(Refine, HistoryIsMonotoneUntilExit) {
       A, b, x, [&](std::span<double> v) { F.solve(v); });
   for (std::size_t k = 1; k < res.berr_history.size(); ++k)
     EXPECT_LE(res.berr_history[k], res.berr_history[k - 1] * 1.01);
+}
+
+TEST(Refine, NanInRhsTerminatesImmediately) {
+  // berr against a NaN right-hand side is NaN; every comparison in the
+  // loop condition is then false, so refinement must exit at once instead
+  // of iterating to max_iters (or forever) on garbage.
+  const auto A = sparse::convdiff2d(8, 8, 1.0, 0.5);
+  const index_t n = A.ncols;
+  numeric::LUFactors<double> F(analyze_shared(A), A, {});
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  b[3] = std::numeric_limits<double>::quiet_NaN();
+  RefineOptions opt;
+  opt.max_iters = 50;
+  const auto res = iterative_refinement<double>(
+      A, b, x, [&](std::span<double> v) { F.solve(v); }, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_TRUE(std::isnan(res.final_berr));
+}
+
+TEST(Refine, InfInRhsTerminatesQuickly) {
+  // An infinite entry gives berr = inf on entry; one correction turns the
+  // residual into NaN and the stagnation rule must then stop the loop.
+  const auto A = sparse::convdiff2d(8, 8, 1.0, 0.5);
+  const index_t n = A.ncols;
+  numeric::LUFactors<double> F(analyze_shared(A), A, {});
+  std::vector<double> b(n, 1.0), x(n, 0.0);
+  b[0] = std::numeric_limits<double>::infinity();
+  RefineOptions opt;
+  opt.max_iters = 50;
+  const auto res = iterative_refinement<double>(
+      A, b, x, [&](std::span<double> v) { F.solve(v); }, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+}
+
+TEST(Refine, OscillatingBerrHitsTheStagnationGuard) {
+  // A "solver" that overshoots by 2x makes the error oscillate in sign
+  // with non-decreasing magnitude: berr never halves, and the stagnation
+  // rule must terminate the loop long before max_iters.
+  const auto A = sparse::convdiff2d(8, 8, 1.0, 0.0);
+  const index_t n = A.ncols;
+  numeric::LUFactors<double> F(analyze_shared(A), A, {});
+  std::vector<double> x_true(n, 1.0), b(n), x(n, 0.0);
+  sparse::spmv<double>(A, x_true, b);
+  RefineOptions opt;
+  opt.max_iters = 50;
+  const auto res = iterative_refinement<double>(
+      A, b, x,
+      [&](std::span<double> v) {
+        F.solve(v);
+        for (auto& e : v) e *= 2.0;  // overshoot: x oscillates around x_true
+      },
+      opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.iterations, 3);
+  EXPECT_EQ(res.berr_history.size(),
+            static_cast<std::size_t>(res.iterations) + 1);
+}
+
+TEST(Refine, ZeroRowIsInconsistentAndStagnates) {
+  // A zero row with a nonzero rhs entry is unsolvable: |r_1|/(0 + |b_1|)
+  // is pinned at 1 no matter the correction. The stagnation rule (berr
+  // fails to halve) must end the loop quickly, not spin to max_iters.
+  sparse::CooMatrix<double> coo(3, 3);
+  coo.add(0, 0, 2.0);
+  coo.add(2, 1, 1.0);
+  coo.add(2, 2, 2.0);  // row 1 is entirely zero
+  const auto A = coo.to_csc();
+  std::vector<double> b{1.0, 1.0, 1.0}, x(3, 0.0);
+  RefineOptions opt;
+  opt.max_iters = 50;
+  const auto res = iterative_refinement<double>(
+      A, b, x, [](std::span<double>) {}, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+  EXPECT_GT(res.final_berr, 0.1);  // stuck, and honestly reported as such
+}
+
+TEST(Refine, StructurallySingularMatrixIsDiagnosedNotHung) {
+  // The full solver path on a zero-row matrix: the matching phase must
+  // throw structurally_singular instead of looping or factoring garbage.
+  sparse::CooMatrix<double> coo(4, 4);
+  coo.add(0, 0, 1.0);
+  coo.add(1, 1, 1.0);
+  coo.add(3, 3, 1.0);  // row/column 2 empty
+  const auto A = coo.to_csc();
+  try {
+    gesp::Solver<double> solver(A, {});
+    FAIL() << "expected structurally_singular";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::structurally_singular);
+  }
 }
 
 TEST(NormEstimator, ExactForDiagonalOperator) {

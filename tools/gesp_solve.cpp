@@ -16,7 +16,17 @@
 //   --relax=N             supernode amalgamation size (default 8)
 //   --ferr                estimate the forward error bound (extra solves)
 //   --rcond               estimate the reciprocal condition number
+//   --recover             arm the graceful-degradation ladder (GESP ->
+//                         aggressive SMW -> unscaled -> GEPP) and print the
+//                         recovery trail
 //   --list                print the testbed inventory and exit
+//
+// Exit codes map the library's failure categories so scripts can react
+// without parsing stderr:
+//   0 solved        2 usage error          3 invalid argument
+//   4 io error      5 structurally singular  6 numerically singular
+//   7 unstable      8 transport fault (comm)  9 internal error
+//   70 unexpected non-library exception
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -42,8 +52,32 @@ using namespace gesp;
                "       [--colorder=amd|amd-apa|rcm|nd|natural] [--no-equil] "
                "[--no-mc64-scaling]\n"
                "       [--tiny=replace|fail|smw] [--max-block=N] "
-               "[--relax=N] [--ferr] [--rcond] [--list]\n");
+               "[--relax=N] [--ferr] [--rcond] [--recover] [--list]\n"
+               "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
+               "            5/6 structurally/numerically singular, "
+               "7 unstable, 8 comm, 9 internal\n");
   std::exit(msg ? 2 : 0);
+}
+
+/// Distinct exit code per failure category (documented in usage()).
+int exit_code_for(Errc c) {
+  switch (c) {
+    case Errc::invalid_argument:
+      return 3;
+    case Errc::io:
+      return 4;
+    case Errc::structurally_singular:
+      return 5;
+    case Errc::numerically_singular:
+      return 6;
+    case Errc::unstable:
+      return 7;
+    case Errc::comm:
+      return 8;
+    case Errc::internal:
+      return 9;
+  }
+  return 9;
 }
 
 sparse::CscMatrix<double> load_matrix(const std::string& path) {
@@ -86,6 +120,8 @@ int main(int argc, char** argv) {
       opt.estimate_ferr = true;
     } else if (std::strcmp(a, "--rcond") == 0) {
       opt.estimate_rcond = true;
+    } else if (std::strcmp(a, "--recover") == 0) {
+      opt.recovery.enabled = true;
     } else if (const char* v = value_of(a, "--rhs")) {
       rhs_mode = v;
     } else if (const char* v2 = value_of(a, "--rowperm")) {
@@ -179,6 +215,15 @@ int main(int argc, char** argv) {
                 s.nsup);
     std::printf("pivoting    growth %.2e, %lld tiny pivots replaced\n",
                 s.pivot_growth, static_cast<long long>(s.pivots_replaced));
+    for (const auto& att : s.recovery.attempts)
+      std::printf("recovery    rung %-14s %s%s%s\n",
+                  recovery_rung_name(att.rung),
+                  att.success ? "ok" : "failed",
+                  att.detail.empty() ? "" : ": ", att.detail.c_str());
+    if (!s.recovery.attempts.empty())
+      std::printf("recovery    final rung %s (%s)\n",
+                  recovery_rung_name(s.recovery.final_rung),
+                  s.recovery.recovered ? "recovered" : "NOT recovered");
     std::printf("flops       %.3f Gflop (%.1f Mflop/s in factorization)\n",
                 static_cast<double>(s.flops) / 1e9,
                 s.times.get("factor") > 0
@@ -192,6 +237,9 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "gesp_solve: %s\n", e.what());
-    return 1;
+    return exit_code_for(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gesp_solve: unexpected: %s\n", e.what());
+    return 70;
   }
 }
