@@ -40,9 +40,28 @@ void BM_GemmMinus(benchmark::State& state) {
     dense::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
     benchmark::DoNotOptimize(C.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * m * b * c);
+  // Widen before multiplying: the flop product overflows 32-bit at b=48.
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * m *
+                          b * c);
 }
 BENCHMARK(BM_GemmMinus)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48);
+
+// The naive triple loop the tiled kernel replaced — kept benchmarked so the
+// speedup is visible in the same BENCH_kernels.json.
+void BM_GemmMinusNaive(benchmark::State& state) {
+  const index_t b = static_cast<index_t>(state.range(0));
+  const index_t m = 4 * b, c = 2 * b;
+  const auto A = random_block(m, b, 1);
+  const auto B = random_block(b, c, 2);
+  auto C = random_block(m, c, 3);
+  for (auto _ : state) {
+    dense::ref::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * m *
+                          b * c);
+}
+BENCHMARK(BM_GemmMinusNaive)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48);
 
 void BM_GetrfNoPiv(benchmark::State& state) {
   const index_t b = static_cast<index_t>(state.range(0));
@@ -57,7 +76,8 @@ void BM_GetrfNoPiv(benchmark::State& state) {
     dense::getrf(a.data(), b, b, policy, stats);
     benchmark::DoNotOptimize(a.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * b * b * b / 3);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * b *
+                          b * b / 3);
 }
 BENCHMARK(BM_GetrfNoPiv)->Arg(8)->Arg(24)->Arg(64);
 
@@ -71,7 +91,8 @@ void BM_TrsmRightUpper(benchmark::State& state) {
     dense::trsm_right_upper(U.data(), b, b, X.data(), m, m);
     benchmark::DoNotOptimize(X.data());
   }
-  state.SetItemsProcessed(state.iterations() * m * b * b);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m * b *
+                          b);
 }
 BENCHMARK(BM_TrsmRightUpper);
 
@@ -83,7 +104,8 @@ void BM_Spmv(benchmark::State& state) {
     sparse::spmv<double>(A, x, y);
     benchmark::DoNotOptimize(y.data());
   }
-  state.SetItemsProcessed(state.iterations() * 2 * A.nnz());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          A.nnz());
 }
 BENCHMARK(BM_Spmv);
 
@@ -133,9 +155,39 @@ void BM_NumericFactor(benchmark::State& state) {
     numeric::LUFactors<double> F(sym, A, {});
     benchmark::DoNotOptimize(F.pivot_growth());
   }
-  state.SetItemsProcessed(state.iterations() * sym->flops);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          sym->flops);
 }
 BENCHMARK(BM_NumericFactor);
+
+// Threaded factorization, fork-join barriers vs the etree task DAG, at the
+// thread counts of the perf trajectory (arg = threads). Real time, since
+// CPU time sums over workers.
+void numeric_factor_threads(benchmark::State& state,
+                            numeric::Schedule sched) {
+  const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  numeric::NumericOptions opt;
+  opt.num_threads = static_cast<int>(state.range(0));
+  opt.schedule = sched;
+  for (auto _ : state) {
+    numeric::LUFactors<double> F(sym, A, opt);
+    benchmark::DoNotOptimize(F.pivot_growth());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          sym->flops);
+}
+
+void BM_NumericFactorForkJoin(benchmark::State& state) {
+  numeric_factor_threads(state, numeric::Schedule::kForkJoin);
+}
+BENCHMARK(BM_NumericFactorForkJoin)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_NumericFactorTaskDag(benchmark::State& state) {
+  numeric_factor_threads(state, numeric::Schedule::kTaskDag);
+}
+BENCHMARK(BM_NumericFactorTaskDag)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 void BM_GeppFactor(benchmark::State& state) {
   const auto A = sparse::convdiff2d(60, 60, 1.0, 0.5);

@@ -28,6 +28,14 @@ for b in $BENCHES; do
   echo "###############################################################"
   echo "### $b"
   echo "###############################################################"
-  "build/bench/$b" || echo "BENCH FAILED: $b"
+  if [ "$b" = "bench_kernels" ]; then
+    # google-benchmark binary: also record the machine-readable perf
+    # trajectory (GEMM GFLOP/s per block size, factorization per schedule
+    # and thread count) next to this script.
+    "build/bench/$b" --benchmark_out=BENCH_kernels.json \
+      --benchmark_out_format=json || echo "BENCH FAILED: $b"
+  else
+    "build/bench/$b" || echo "BENCH FAILED: $b"
+  fi
   echo
 done

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
 
 namespace gesp {
 
@@ -22,9 +23,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::parallel_for(
-    index_t n, const std::function<void(index_t, index_t, int)>& body) {
+    index_t n, const std::function<void(index_t, index_t, int)>& body,
+    index_t grain) {
   const int P = num_threads();
-  if (P == 1 || n <= 1) {
+  if (P == 1 || n <= 1 || n <= grain) {
     if (n > 0) body(0, n, 0);
     return;
   }
@@ -70,6 +72,73 @@ void ThreadPool::worker_loop(int id) {
       if (--remaining_ == 0) done_cv_.notify_all();
     }
   }
+}
+
+TaskGraph::TaskId TaskGraph::add_task(std::function<void()> fn) {
+  tasks_.push_back(Task{std::move(fn), {}, 0});
+  return static_cast<TaskId>(tasks_.size()) - 1;
+}
+
+void TaskGraph::add_dependency(TaskId before, TaskId after) {
+  tasks_[static_cast<std::size_t>(before)].successors.push_back(after);
+  ++tasks_[static_cast<std::size_t>(after)].deps;
+}
+
+void TaskGraph::run(ThreadPool& pool) {
+  const index_t n = size();
+  if (n == 0) return;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<index_t> pending(static_cast<std::size_t>(n));
+  std::vector<TaskId> ready;
+  ready.reserve(static_cast<std::size_t>(n));
+  for (index_t t = 0; t < n; ++t) {
+    pending[static_cast<std::size_t>(t)] =
+        tasks_[static_cast<std::size_t>(t)].deps;
+    if (pending[static_cast<std::size_t>(t)] == 0) ready.push_back(t);
+  }
+  index_t completed = 0;
+  bool stop = false;
+  std::exception_ptr err;
+
+  const std::function<void(index_t, index_t, int)> drain =
+      [&](index_t, index_t, int) {
+        std::unique_lock<std::mutex> lock(mu);
+        for (;;) {
+          cv.wait(lock, [&] { return stop || !ready.empty(); });
+          if (stop) return;
+          const TaskId t = ready.back();
+          ready.pop_back();
+          lock.unlock();
+          std::exception_ptr e;
+          try {
+            tasks_[static_cast<std::size_t>(t)].fn();
+          } catch (...) {
+            e = std::current_exception();
+          }
+          lock.lock();
+          if (e) {
+            if (!err) err = e;
+            stop = true;
+            cv.notify_all();
+            return;
+          }
+          for (TaskId s : tasks_[static_cast<std::size_t>(t)].successors)
+            if (--pending[static_cast<std::size_t>(s)] == 0)
+              ready.push_back(s);
+          if (++completed == n) {
+            stop = true;
+            cv.notify_all();
+            return;
+          }
+          if (!ready.empty()) cv.notify_all();
+        }
+      };
+  // grain=0: with P workers this always fans out; with P==1 it drains
+  // inline on the calling thread.
+  pool.parallel_for(static_cast<index_t>(pool.num_threads()), drain,
+                    /*grain=*/0);
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace gesp

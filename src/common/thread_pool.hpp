@@ -28,9 +28,11 @@ class ThreadPool {
 
   /// Run body(begin, end, worker_id) over [0, n) split into contiguous
   /// chunks, one per worker (including the calling thread); returns after
-  /// all chunks complete.
+  /// all chunks complete. When n <= grain the body runs inline on the
+  /// calling thread — tiny supernodes skip the wakeup/join round-trip.
   void parallel_for(index_t n,
-                    const std::function<void(index_t, index_t, int)>& body);
+                    const std::function<void(index_t, index_t, int)>& body,
+                    index_t grain = 1);
 
  private:
   void worker_loop(int id);
@@ -43,6 +45,42 @@ class ThreadPool {
   long generation_ = 0;
   int remaining_ = 0;
   bool shutdown_ = false;
+};
+
+/// Dependency-counter task DAG executed on a ThreadPool.
+///
+/// Build once with add_task/add_dependency (the graph must be acyclic —
+/// the factorization only ever adds edges from earlier to later task ids),
+/// then run() drains it: every worker pops ready tasks from a shared LIFO
+/// stack, and completing a task decrements its successors' counters,
+/// pushing any that reach zero. A graph is one-shot; build a fresh one per
+/// factorization. If a task throws, no further tasks are started and the
+/// first exception is rethrown from run() after all in-flight tasks
+/// finish.
+class TaskGraph {
+ public:
+  using TaskId = index_t;
+
+  /// Registers a task; returns its id. Tasks with no dependencies are
+  /// ready immediately when run() starts.
+  TaskId add_task(std::function<void()> fn);
+
+  /// Declares that `after` cannot start until `before` has completed.
+  void add_dependency(TaskId before, TaskId after);
+
+  index_t size() const { return static_cast<index_t>(tasks_.size()); }
+
+  /// Executes the whole graph on `pool` (inline when the pool has one
+  /// thread); returns when every task has completed.
+  void run(ThreadPool& pool);
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<TaskId> successors;
+    index_t deps = 0;
+  };
+  std::vector<Task> tasks_;
 };
 
 }  // namespace gesp

@@ -232,6 +232,7 @@ void Solver<T>::factor() {
 
   numeric::NumericOptions nopt;
   nopt.num_threads = opt_.num_threads;
+  nopt.schedule = opt_.schedule;
   if (opt_.tiny_pivot != TinyPivotOption::fail) {
     nopt.tiny_threshold = std::sqrt(std::numeric_limits<double>::epsilon()) *
                           sparse::norm_max(At_);

@@ -109,9 +109,13 @@ struct SolverOptions {
   refine::RefineOptions refine;
   bool estimate_ferr = false;   ///< forward error bound (expensive)
   bool estimate_rcond = false;  ///< condition estimate (expensive)
-  /// Shared-memory threads for the numeric factorization (SuperLU_MT-style
-  /// fork-join; bitwise identical results). 1 = serial.
+  /// Shared-memory threads for the numeric factorization (bitwise
+  /// identical results at any count). 1 = serial.
   int num_threads = 1;
+  /// Thread schedule for the factorization: kAuto picks the task-DAG
+  /// scheduler whenever num_threads > 1; kForkJoin forces the per-phase
+  /// barrier baseline.
+  numeric::Schedule schedule = numeric::Schedule::kAuto;
   /// Graceful-degradation ladder (keeps a copy of A while enabled).
   RecoveryPolicy recovery;
 };

@@ -72,9 +72,29 @@ void trsm_right_upper(const T* u, index_t b, index_t lda, T* bmat,
                       index_t mrows, index_t ldb);
 
 /// C -= A·B, with A m-by-k (lda), B k-by-n (ldb), C m-by-n (ldc).
+/// Large shapes go through a packed, register-tiled microkernel; tiny ones
+/// through the reference loops. Dispatch depends only on (m, n, k), so for
+/// a fixed shape the result is identical on every engine — the property the
+/// serial/SMP/distributed bitwise-equality tests rely on.
 template <class T>
 void gemm_minus(index_t m, index_t n, index_t k, const T* a, index_t lda,
                 const T* b, index_t ldb, T* c, index_t ldc);
+
+/// C = -(A·B): the β=0 variant of gemm_minus. Bitwise equal to zero-filling
+/// C and calling gemm_minus, without the redundant zero-fill pass — used by
+/// the factorization's update scratch. With k == 0 it zero-fills C.
+template <class T>
+void gemm_minus_overwrite(index_t m, index_t n, index_t k, const T* a,
+                          index_t lda, const T* b, index_t ldb, T* c,
+                          index_t ldc);
+
+/// Returns the single entry of gemm_minus_overwrite(1, 1, k, ...) — the
+/// k-term dot product -Σ a[p]·b[p], bitwise equal to the (1,1,k) kernel
+/// dispatch (same term order, same zero-skip, compiled in the same unit).
+/// The factorization's scalar update fast path calls this once per pair,
+/// so it skips the full GEMM entry's dispatch work.
+template <class T>
+T dot_minus(index_t k, const T* a, const T* b);
 
 /// y -= A·x for a dense m-by-n block (used by the triangular solves).
 template <class T>
@@ -99,6 +119,52 @@ void trsv_upper_trans(const T* a, index_t b, index_t lda, T* x);
 template <class T>
 void trsv_lower_unit_trans(const T* a, index_t b, index_t lda, T* x);
 
+/// Naive reference kernels: the unblocked triple loops the tiled versions
+/// are checked against (tests) and benchmarked against (bench_kernels).
+/// ref::getrf is the plain right-looking elimination without in-block
+/// pivoting (policy.pivot_in_block must be false).
+namespace ref {
+
+template <class T>
+void gemm_minus(index_t m, index_t n, index_t k, const T* a, index_t lda,
+                const T* b, index_t ldb, T* c, index_t ldc);
+
+template <class T>
+void trsm_left_lower_unit(const T* l, index_t b, index_t lda, T* bmat,
+                          index_t ncols, index_t ldb);
+
+template <class T>
+void trsm_right_upper(const T* u, index_t b, index_t lda, T* bmat,
+                      index_t mrows, index_t ldb);
+
+template <class T>
+void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
+           PivotStats& stats,
+           std::vector<PivotReplacement<T>>* replacements = nullptr);
+
+extern template void gemm_minus(index_t, index_t, index_t, const double*,
+                                index_t, const double*, index_t, double*,
+                                index_t);
+extern template void gemm_minus(index_t, index_t, index_t, const Complex*,
+                                index_t, const Complex*, index_t, Complex*,
+                                index_t);
+extern template void trsm_left_lower_unit(const double*, index_t, index_t,
+                                          double*, index_t, index_t);
+extern template void trsm_left_lower_unit(const Complex*, index_t, index_t,
+                                          Complex*, index_t, index_t);
+extern template void trsm_right_upper(const double*, index_t, index_t,
+                                      double*, index_t, index_t);
+extern template void trsm_right_upper(const Complex*, index_t, index_t,
+                                      Complex*, index_t, index_t);
+extern template void getrf(double*, index_t, index_t, const PivotPolicy&,
+                           PivotStats&,
+                           std::vector<PivotReplacement<double>>*);
+extern template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
+                           PivotStats&,
+                           std::vector<PivotReplacement<Complex>>*);
+
+}  // namespace ref
+
 extern template void getrf(double*, index_t, index_t, const PivotPolicy&,
                            PivotStats&, std::span<index_t>,
                            std::vector<PivotReplacement<double>>*);
@@ -119,6 +185,16 @@ extern template void gemm_minus(index_t, index_t, index_t, const double*,
 extern template void gemm_minus(index_t, index_t, index_t, const Complex*,
                                 index_t, const Complex*, index_t, Complex*,
                                 index_t);
+extern template void gemm_minus_overwrite(index_t, index_t, index_t,
+                                          const double*, index_t,
+                                          const double*, index_t, double*,
+                                          index_t);
+extern template void gemm_minus_overwrite(index_t, index_t, index_t,
+                                          const Complex*, index_t,
+                                          const Complex*, index_t, Complex*,
+                                          index_t);
+extern template double dot_minus(index_t, const double*, const double*);
+extern template Complex dot_minus(index_t, const Complex*, const Complex*);
 extern template void gemv_minus(index_t, index_t, const double*, index_t,
                                 const double*, double*);
 extern template void gemv_minus(index_t, index_t, const Complex*, index_t,

@@ -130,15 +130,125 @@ void LUFactors<T>::scatter_initial(const sparse::CscMatrix<T>& A) {
 }
 
 template <class T>
+void LUFactors<T>::update_pair(index_t K, std::size_t bi, std::size_t uj,
+                               std::vector<T>& scratch,
+                               std::vector<index_t>& rpos,
+                               std::vector<index_t>& cpos) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t b = S.block_cols(K);
+  const index_t I = S.L[K][bi].I;
+  const auto& src_rows = S.L[K][bi].rows;
+  const index_t m = static_cast<index_t>(src_rows.size());
+  const T* lik = lnz_[K].data() + l_off_[K][bi];
+  const index_t J = S.U[K][uj].J;
+  const auto& src_cols = S.U[K][uj].cols;
+  const index_t c = static_cast<index_t>(src_cols.size());
+  const T* ukj = unz_[K].data() + u_off_[K][uj];
+  if (m == 1 && c == 1) {
+    // Scalar fast path (dominant when supernodes degenerate to single
+    // columns): the 1x1 product still goes through the dense library so the
+    // codegen (and thus rounding) is the exact kernel every other engine
+    // uses — only the scratch round-trip and subset scatter are skipped.
+    const T acc = dense::dot_minus(b, lik, ukj);
+    const index_t row = src_rows[0], col = src_cols[0];
+    if (I == J) {
+      const index_t base = S.sn_start[I];
+      lnz_[I][(row - base) + (col - base) * S.block_cols(I)] += acc;
+    } else if (I > J) {
+      const index_t dbi = find_block(S.L[J], I);
+      GESP_ASSERT(dbi >= 0, "missing destination L block");
+      const auto& dst_rows = S.L[J][dbi].rows;
+      const auto rit =
+          std::lower_bound(dst_rows.begin(), dst_rows.end(), row);
+      GESP_ASSERT(rit != dst_rows.end() && *rit == row,
+                  "symbolic structure is not closed under updates");
+      lnz_[J][l_off_[J][dbi] + (rit - dst_rows.begin()) +
+              (col - S.sn_start[J]) *
+                  static_cast<index_t>(dst_rows.size())] += acc;
+    } else {
+      const index_t dbj = find_block(S.U[I], J);
+      GESP_ASSERT(dbj >= 0, "missing destination U block");
+      const auto& dst_cols = S.U[I][dbj].cols;
+      const auto cit =
+          std::lower_bound(dst_cols.begin(), dst_cols.end(), col);
+      GESP_ASSERT(cit != dst_cols.end() && *cit == col,
+                  "symbolic structure is not closed under updates");
+      unz_[I][u_off_[I][dbj] + (row - S.sn_start[I]) +
+              (cit - dst_cols.begin()) * S.block_cols(I)] += acc;
+    }
+    return;
+  }
+  // tmp = -(L(I,K) · U(K,J)), m-by-c; the β=0 kernel writes every entry,
+  // so no zero-fill pass over the scratch is needed.
+  scratch.resize(static_cast<std::size_t>(m) * c);
+  dense::gemm_minus_overwrite(m, c, b, lik, m, ukj, b, scratch.data(), m);
+  // Scatter-add into the destination block.
+  if (I == J) {
+    // Diagonal block of supernode I (full storage).
+    T* dst = lnz_[I].data();
+    const index_t bI = S.block_cols(I);
+    const index_t base = S.sn_start[I];
+    for (index_t cc = 0; cc < c; ++cc) {
+      const index_t dc = src_cols[cc] - base;
+      for (index_t rr = 0; rr < m; ++rr)
+        dst[(src_rows[rr] - base) + dc * bI] +=
+            scratch[rr + cc * static_cast<index_t>(m)];
+    }
+  } else if (I > J) {
+    // L block (I, J): rows are a subset, columns are full width.
+    const index_t dbi = find_block(S.L[J], I);
+    GESP_ASSERT(dbi >= 0, "missing destination L block");
+    const auto& dst_rows = S.L[J][dbi].rows;
+    subset_positions(src_rows, dst_rows, rpos);
+    T* dst = lnz_[J].data() + l_off_[J][dbi];
+    const index_t ldd = static_cast<index_t>(dst_rows.size());
+    const index_t base = S.sn_start[J];
+    for (index_t cc = 0; cc < c; ++cc) {
+      const index_t dc = src_cols[cc] - base;
+      T* dcol = dst + dc * ldd;
+      for (index_t rr = 0; rr < m; ++rr)
+        dcol[rpos[rr]] += scratch[rr + cc * static_cast<index_t>(m)];
+    }
+  } else {
+    // U block (I, J): columns are a subset, rows are full height.
+    const index_t dbj = find_block(S.U[I], J);
+    GESP_ASSERT(dbj >= 0, "missing destination U block");
+    const auto& dst_cols = S.U[I][dbj].cols;
+    subset_positions(src_cols, dst_cols, cpos);
+    T* dst = unz_[I].data() + u_off_[I][dbj];
+    const index_t bI = S.block_cols(I);
+    const index_t base = S.sn_start[I];
+    for (index_t cc = 0; cc < c; ++cc) {
+      T* dcol = dst + cpos[cc] * bI;
+      for (index_t rr = 0; rr < m; ++rr)
+        dcol[src_rows[rr] - base] +=
+            scratch[rr + cc * static_cast<index_t>(m)];
+    }
+  }
+}
+
+template <class T>
 void LUFactors<T>::eliminate(const NumericOptions& opt) {
-  using std::abs;
+  ThreadPool pool(opt.num_threads);
+  const bool dag =
+      opt.schedule == Schedule::kTaskDag ||
+      (opt.schedule == Schedule::kAuto && pool.num_threads() > 1);
+  if (dag)
+    eliminate_taskdag(opt, pool);
+  else
+    eliminate_forkjoin(opt, pool);
+  compute_growth();
+}
+
+template <class T>
+void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
+                                      ThreadPool& pool) {
   const symbolic::SymbolicLU& S = *sym_;
   const index_t N = S.nsup;
   dense::PivotPolicy policy;
   policy.tiny_threshold = opt.tiny_threshold;
   policy.aggressive = opt.aggressive_replacement;
 
-  ThreadPool pool(opt.num_threads);
   const int W = pool.num_threads();
   // Per-worker scratch so the update pairs can run concurrently.
   std::vector<std::vector<T>> scratch_w(static_cast<std::size_t>(W));
@@ -164,7 +274,8 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
             dense::trsm_right_upper(diag, b, b,
                                     lnz_[K].data() + l_off_[K][bi], m, m);
           }
-        });
+        },
+        /*grain=*/2);
     // (2') row: U(K,J) <- L(K,K)^{-1} · A(K,J), block columns in parallel.
     pool.parallel_for(
         static_cast<index_t>(S.U[K].size()),
@@ -174,80 +285,156 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
             dense::trsm_left_lower_unit(
                 diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
           }
-        });
+        },
+        /*grain=*/2);
     // (3) rank-b update of the trailing matrix: each (I,J) pair writes a
     // distinct destination block, so pairs fork across threads freely.
     const index_t npairs = static_cast<index_t>(S.L[K].size()) *
                            static_cast<index_t>(S.U[K].size());
-    pool.parallel_for(npairs, [&](index_t lo, index_t hi, int w) {
-      std::vector<T>& scratch = scratch_w[w];
-      std::vector<index_t>& rpos = rpos_w[w];
-      std::vector<index_t>& cpos = cpos_w[w];
-      for (index_t pair = lo; pair < hi; ++pair) {
-        const std::size_t bi = pair / S.U[K].size();
-        const std::size_t uj = pair % S.U[K].size();
-        const index_t I = S.L[K][bi].I;
-        const auto& src_rows = S.L[K][bi].rows;
-        const index_t m = static_cast<index_t>(src_rows.size());
-        const T* lik = lnz_[K].data() + l_off_[K][bi];
-        const index_t J = S.U[K][uj].J;
-        const auto& src_cols = S.U[K][uj].cols;
-        const index_t c = static_cast<index_t>(src_cols.size());
-        const T* ukj = unz_[K].data() + u_off_[K][uj];
-        // tmp = -(L(I,K) · U(K,J)), m-by-c.
-        scratch.assign(static_cast<std::size_t>(m) * c, T{});
-        dense::gemm_minus(m, c, b, lik, m, ukj, b, scratch.data(), m);
-        // Scatter-add into the destination block.
-        if (I == J) {
-          // Diagonal block of supernode I (full storage).
-          T* dst = lnz_[I].data();
-          const index_t bI = S.block_cols(I);
-          const index_t base = S.sn_start[I];
-          for (index_t cc = 0; cc < c; ++cc) {
-            const index_t dc = src_cols[cc] - base;
-            for (index_t rr = 0; rr < m; ++rr)
-              dst[(src_rows[rr] - base) + dc * bI] +=
-                  scratch[rr + cc * static_cast<index_t>(m)];
-          }
-        } else if (I > J) {
-          // L block (I, J): rows are a subset, columns are full width.
-          const index_t dbi = find_block(S.L[J], I);
-          GESP_ASSERT(dbi >= 0, "missing destination L block");
-          const auto& dst_rows = S.L[J][dbi].rows;
-          subset_positions(src_rows, dst_rows, rpos);
-          T* dst = lnz_[J].data() + l_off_[J][dbi];
-          const index_t ldd = static_cast<index_t>(dst_rows.size());
-          const index_t base = S.sn_start[J];
-          for (index_t cc = 0; cc < c; ++cc) {
-            const index_t dc = src_cols[cc] - base;
-            T* dcol = dst + dc * ldd;
-            for (index_t rr = 0; rr < m; ++rr)
-              dcol[rpos[rr]] += scratch[rr + cc * static_cast<index_t>(m)];
-          }
-        } else {
-          // U block (I, J): columns are a subset, rows are full height.
-          const index_t dbj = find_block(S.U[I], J);
-          GESP_ASSERT(dbj >= 0, "missing destination U block");
-          const auto& dst_cols = S.U[I][dbj].cols;
-          subset_positions(src_cols, dst_cols, cpos);
-          T* dst = unz_[I].data() + u_off_[I][dbj];
-          const index_t bI = S.block_cols(I);
-          const index_t base = S.sn_start[I];
-          for (index_t cc = 0; cc < c; ++cc) {
-            T* dcol = dst + cpos[cc] * bI;
-            for (index_t rr = 0; rr < m; ++rr)
-              dcol[src_rows[rr] - base] +=
-                  scratch[rr + cc * static_cast<index_t>(m)];
-          }
-        }
-      }
+    pool.parallel_for(
+        npairs,
+        [&](index_t lo, index_t hi, int w) {
+          for (index_t pair = lo; pair < hi; ++pair)
+            update_pair(K, static_cast<std::size_t>(pair) / S.U[K].size(),
+                        static_cast<std::size_t>(pair) % S.U[K].size(),
+                        scratch_w[w], rpos_w[w], cpos_w[w]);
+        },
+        /*grain=*/2);
+  }
+}
+
+// Task-DAG schedule (the paper's point: static pivoting fixes the whole
+// elimination structure up front, so the numeric phase can be scheduled in
+// advance). Tasks per supernode K: F(K) = diagonal factor, a few
+// panel-solve chunks, a "panels done" milestone M(K), and one update task
+// Upd(K,O) per destination *owner* supernode O — the supernode whose
+// storage the update writes, O = min(I,J) (I>J lands in L's column J,
+// I<J in U's row I, I==J in the diagonal). Grouping the (I,J) pairs by
+// owner keeps the task count proportional to the block structure rather
+// than to the (potentially enormous) number of block pairs, while
+// independent etree subtrees still pipeline with no per-supernode barrier.
+//
+// Bitwise reproducibility: updates into the blocks of one owner are
+// chained through last_owner[] in ascending source-K order — the serial
+// accumulation order — and within one K each destination block receives at
+// most one update (pairs have distinct (I,J)). F(K) depends on the chain
+// of owner K, so the diagonal factors see exactly the serial operand
+// values.
+template <class T>
+void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
+                                     ThreadPool& pool) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = opt.tiny_threshold;
+  policy.aggressive = opt.aggressive_replacement;
+
+  // Per-supernode pivot stats/replacements, merged in K order afterwards
+  // so concurrent F(K) tasks never touch shared state and the recorded
+  // order matches serial.
+  std::vector<dense::PivotStats> stats_k(static_cast<std::size_t>(N));
+  std::vector<std::vector<dense::PivotReplacement<T>>> repl_k(
+      static_cast<std::size_t>(N));
+  const bool record = opt.record_replacements;
+
+  TaskGraph graph;
+  // Last task that wrote into each owner supernode's storage.
+  std::vector<TaskGraph::TaskId> last_owner(static_cast<std::size_t>(N), -1);
+  const index_t P = static_cast<index_t>(pool.num_threads());
+
+  for (index_t K = 0; K < N; ++K) {
+    const index_t b = S.block_cols(K);
+    const index_t nl = static_cast<index_t>(S.L[K].size());
+    const index_t nu = static_cast<index_t>(S.U[K].size());
+    // F(K): factor the diagonal block after the last update into owner K.
+    const auto fk = graph.add_task([this, K, b, &policy, &stats_k, &repl_k,
+                                    record] {
+      dense::getrf(lnz_[K].data(), b, b, policy, stats_k[K], {},
+                   record ? &repl_k[K] : nullptr);
     });
+    if (last_owner[K] >= 0) graph.add_dependency(last_owner[K], fk);
+    // Panel solves in up to P chunks per side (plenty for the pool while
+    // keeping the task count linear in the block structure), then a
+    // milestone M(K) the update tasks hang off.
+    auto mk = fk;
+    if (nl + nu > 0) {
+      mk = graph.add_task([] {});
+      const index_t lchunks = std::min(P, nl), uchunks = std::min(P, nu);
+      for (index_t ch = 0; ch < lchunks; ++ch) {
+        const index_t lo = nl * ch / lchunks, hi = nl * (ch + 1) / lchunks;
+        const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+          for (index_t bi = lo; bi < hi; ++bi) {
+            const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
+            dense::trsm_right_upper(lnz_[K].data(), b, b,
+                                    lnz_[K].data() + l_off_[K][bi], m, m);
+          }
+        });
+        graph.add_dependency(fk, t);
+        graph.add_dependency(t, mk);
+      }
+      for (index_t ch = 0; ch < uchunks; ++ch) {
+        const index_t lo = nu * ch / uchunks, hi = nu * (ch + 1) / uchunks;
+        const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+          for (index_t uj = lo; uj < hi; ++uj) {
+            const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+            dense::trsm_left_lower_unit(
+                lnz_[K].data(), b, b, unz_[K].data() + u_off_[K][uj], c, b);
+          }
+        });
+        graph.add_dependency(fk, t);
+        graph.add_dependency(t, mk);
+      }
+    }
+    // Upd(K,O): all pairs with owner O = min(I,J), walked in ascending
+    // owner order. With L[K] sorted by I and U[K] sorted by J, the pairs
+    // owned by O are (row block I==O) × (all J >= O) plus (col block
+    // J==O) × (all I > O).
+    index_t li = 0, ui = 0;
+    while (li < nl || ui < nu) {
+      const index_t rowI = li < nl ? S.L[K][li].I : N;
+      const index_t colJ = ui < nu ? S.U[K][ui].J : N;
+      const index_t O = std::min(rowI, colJ);
+      const bool has_row = rowI == O;
+      const bool has_col = colJ == O;
+      const auto upd =
+          graph.add_task([this, K, li, ui, nl, nu, has_row, has_col] {
+            thread_local std::vector<T> scratch;
+            thread_local std::vector<index_t> rpos, cpos;
+            if (has_row)
+              for (index_t uj = ui; uj < nu; ++uj)
+                update_pair(K, li, uj, scratch, rpos, cpos);
+            if (has_col)
+              for (index_t bi = li + (has_row ? 1 : 0); bi < nl; ++bi)
+                update_pair(K, bi, ui, scratch, rpos, cpos);
+          });
+      graph.add_dependency(mk, upd);
+      if (last_owner[O] >= 0) graph.add_dependency(last_owner[O], upd);
+      last_owner[O] = upd;
+      if (has_row) ++li;
+      if (has_col) ++ui;
+    }
   }
 
+  graph.run(pool);
+
+  // Merge per-supernode pivot bookkeeping in ascending K — the serial
+  // recording order.
+  for (index_t K = 0; K < N; ++K) {
+    stats_.replaced += stats_k[K].replaced;
+    stats_.swaps += stats_k[K].swaps;
+    for (const auto& r : repl_k[K])
+      replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
+  }
+}
+
+template <class T>
+void LUFactors<T>::compute_growth() {
+  using std::abs;
+  const symbolic::SymbolicLU& S = *sym_;
   // Pivot growth from the final U (diagonal blocks' upper triangles plus
   // the off-diagonal U blocks).
   double umax = 0.0;
-  for (index_t K = 0; K < N; ++K) {
+  for (index_t K = 0; K < S.nsup; ++K) {
     const index_t b = S.block_cols(K);
     for (index_t c = 0; c < b; ++c)
       for (index_t r = 0; r <= c; ++r)

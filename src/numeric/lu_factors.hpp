@@ -18,7 +18,28 @@
 #include "sparse/csc.hpp"
 #include "symbolic/symbolic.hpp"
 
+namespace gesp {
+class ThreadPool;
+}
+
 namespace gesp::numeric {
+
+/// How the shared-memory factorization is scheduled across threads. Both
+/// schedules produce bitwise identical factors (and identical to serial):
+/// every destination block receives its updates in ascending source-K
+/// order, the same order the serial loop uses.
+enum class Schedule {
+  /// kTaskDag when num_threads > 1, plain serial execution otherwise.
+  kAuto,
+  /// Per-phase fork-join barriers at every supernode (the SuperLU_MT-style
+  /// baseline the paper compares against).
+  kForkJoin,
+  /// Dependency-counter task DAG over the supernodal elimination tree:
+  /// diagonal factor / panel solve / block update tasks release their
+  /// successors individually, so independent subtrees pipeline instead of
+  /// synchronizing at every K.
+  kTaskDag,
+};
 
 /// Options for the numeric factorization.
 struct NumericOptions {
@@ -37,6 +58,8 @@ struct NumericOptions {
   /// forked across this many threads with a join per phase, so the result
   /// is bitwise identical to the serial factorization. 1 = serial.
   int num_threads = 1;
+  /// Thread schedule; see Schedule. Ignored when num_threads == 1.
+  Schedule schedule = Schedule::kAuto;
 };
 
 template <class T>
@@ -88,6 +111,14 @@ class LUFactors {
  private:
   void scatter_initial(const sparse::CscMatrix<T>& A);
   void eliminate(const NumericOptions& opt);
+  void eliminate_forkjoin(const NumericOptions& opt, ThreadPool& pool);
+  void eliminate_taskdag(const NumericOptions& opt, ThreadPool& pool);
+  /// One trailing-matrix update: the (bi, uj) block pair of supernode K,
+  /// scratch = -(L(I,K)·U(K,J)) scatter-added into the destination block.
+  void update_pair(index_t K, std::size_t bi, std::size_t uj,
+                   std::vector<T>& scratch, std::vector<index_t>& rpos,
+                   std::vector<index_t>& cpos);
+  void compute_growth();
 
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
   std::vector<std::vector<T>> lnz_;  ///< per block column of L (+diag)

@@ -7,12 +7,15 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 
 #include "common/thread_pool.hpp"
 #include "core/solver.hpp"
 #include "numeric/lu_factors.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/ops.hpp"
+#include "sparse/testbed.hpp"
 #include "symbolic/symbolic.hpp"
 #include "test_helpers.hpp"
 
@@ -58,14 +61,83 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   pool.parallel_for(0, [&](index_t, index_t, int) { FAIL(); });
 }
 
+TEST(ThreadPool, GrainRunsInlineBelowThreshold) {
+  ThreadPool pool(4);
+  pool.parallel_for(
+      3,
+      [&](index_t lo, index_t hi, int w) {
+        EXPECT_EQ(w, 0);  // single inline chunk on the calling thread
+        EXPECT_EQ(lo, 0);
+        EXPECT_EQ(hi, 3);
+      },
+      /*grain=*/4);
+}
+
+TEST(TaskGraph, ChainRunsInOrder) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::vector<int> order;
+  std::mutex mu;
+  TaskGraph::TaskId prev = -1;
+  for (int i = 0; i < 20; ++i) {
+    const auto t = g.add_task([&, i] {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+    });
+    if (prev >= 0) g.add_dependency(prev, t);
+    prev = t;
+  }
+  g.run(pool);
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGraph, FanOutFanIn) {
+  ThreadPool pool(4);
+  TaskGraph g;
+  std::atomic<int> mids{0};
+  bool root_done = false, sink_ok = false;
+  const auto root = g.add_task([&] { root_done = true; });
+  std::vector<TaskGraph::TaskId> mid;
+  for (int i = 0; i < 16; ++i) {
+    mid.push_back(g.add_task([&] {
+      EXPECT_TRUE(root_done);
+      mids++;
+    }));
+    g.add_dependency(root, mid.back());
+  }
+  const auto sink = g.add_task([&] { sink_ok = mids.load() == 16; });
+  for (const auto t : mid) g.add_dependency(t, sink);
+  g.run(pool);
+  EXPECT_TRUE(sink_ok);
+}
+
+TEST(TaskGraph, EmptyGraphIsNoop) {
+  ThreadPool pool(2);
+  TaskGraph g;
+  g.run(pool);
+  EXPECT_EQ(g.size(), 0);
+}
+
+TEST(TaskGraph, PropagatesTaskException) {
+  ThreadPool pool(3);
+  TaskGraph g;
+  const auto a = g.add_task([] { throw std::runtime_error("boom"); });
+  const auto b = g.add_task([] {});
+  g.add_dependency(a, b);
+  EXPECT_THROW(g.run(pool), std::runtime_error);
+}
+
 template <class T>
-void expect_bitwise_equal_factors(const sparse::CscMatrix<T>& A,
-                                  int threads) {
+void expect_bitwise_equal_factors(
+    const sparse::CscMatrix<T>& A, int threads,
+    numeric::Schedule schedule = numeric::Schedule::kAuto) {
   auto sym = std::make_shared<const symbolic::SymbolicLU>(
       symbolic::analyze(A, {}));
   numeric::NumericOptions serial;
   numeric::NumericOptions smp;
   smp.num_threads = threads;
+  smp.schedule = schedule;
   numeric::LUFactors<T> F1(sym, A, serial);
   numeric::LUFactors<T> F2(sym, A, smp);
   EXPECT_EQ(testing::max_abs_diff(F1.l_matrix(), F2.l_matrix()), 0.0);
@@ -91,6 +163,43 @@ TEST(SmpLU, BitwiseEqualCircuit) {
 TEST(SmpLU, BitwiseEqualComplex) {
   expect_bitwise_equal_factors(
       sparse::randomize_phases(sparse::convdiff2d(12, 12, 1.0, 0.5), 5), 3);
+}
+
+// Explicit-schedule determinism: both the fork-join baseline and the
+// etree task DAG must reproduce the serial factors bit for bit.
+TEST(SmpLU, TaskDagBitwiseEqual2Threads) {
+  expect_bitwise_equal_factors(sparse::convdiff2d(16, 14, 1.0, 0.5), 2,
+                               numeric::Schedule::kTaskDag);
+}
+
+TEST(SmpLU, TaskDagBitwiseEqual4Threads) {
+  expect_bitwise_equal_factors(sparse::device_like(12, 16, 100, 3), 4,
+                               numeric::Schedule::kTaskDag);
+}
+
+TEST(SmpLU, TaskDagBitwiseEqual8Threads) {
+  expect_bitwise_equal_factors(sparse::circuit_like(500, 5, 12, 4), 8,
+                               numeric::Schedule::kTaskDag);
+}
+
+TEST(SmpLU, TaskDagBitwiseEqualComplex) {
+  expect_bitwise_equal_factors(
+      sparse::randomize_phases(sparse::convdiff2d(12, 12, 1.0, 0.5), 5), 4,
+      numeric::Schedule::kTaskDag);
+}
+
+TEST(SmpLU, ForkJoinBitwiseEqual4Threads) {
+  expect_bitwise_equal_factors(sparse::convdiff2d(16, 14, 1.0, 0.5), 4,
+                               numeric::Schedule::kForkJoin);
+}
+
+// Same invariant on the testbed matrices (the paper's problem classes).
+TEST(SmpLU, TaskDagBitwiseEqualTestbed) {
+  for (const char* name : {"orsirr-s", "saylr-s", "jpwh991-s", "struct-b-s"}) {
+    SCOPED_TRACE(name);
+    const auto A = sparse::testbed_entry(name).make();
+    expect_bitwise_equal_factors(A, 4, numeric::Schedule::kTaskDag);
+  }
 }
 
 TEST(SmpLU, DriverIntegration) {
