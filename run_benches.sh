@@ -39,3 +39,14 @@ for b in $BENCHES; do
   fi
   echo
 done
+
+echo "###############################################################"
+echo "### observability snapshot (BENCH_trace.json / BENCH_metrics.json)"
+echo "###############################################################"
+# Machine-readable companion to BENCH_kernels.json: a traced 4-thread
+# solve (repeated, so per-call vs cumulative phase times both appear) on
+# the transonic-airfoil proxy, plus the full metrics registry. Open the
+# trace in chrome://tracing; validate with tools/check_trace.py.
+build/tools/gesp_solve testbed:af23560-s --threads=4 --repeat=2 \
+  --trace=BENCH_trace.json --metrics-json=BENCH_metrics.json \
+  || echo "BENCH FAILED: gesp_solve trace"

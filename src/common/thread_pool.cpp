@@ -3,13 +3,23 @@
 #include <algorithm>
 #include <exception>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace gesp {
 
 ThreadPool::ThreadPool(int threads) {
   const int extra = std::max(0, threads - 1);
+  // Workers inherit the spawner's trace rank so their spans land on
+  // "rank R / worker W" tracks even when a pool runs inside a simulated
+  // MiniMPI rank thread.
+  const int rank = trace::thread_rank();
   workers_.reserve(static_cast<std::size_t>(extra));
   for (int i = 0; i < extra; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i + 1); });
+    workers_.emplace_back([this, i, rank] {
+      trace::set_thread_track(rank, i + 1);
+      worker_loop(i + 1);
+    });
 }
 
 ThreadPool::~ThreadPool() {
@@ -100,6 +110,8 @@ void TaskGraph::run(ThreadPool& pool) {
   index_t completed = 0;
   bool stop = false;
   std::exception_ptr err;
+  metrics::Counter& tasks_run = metrics::global().counter("taskgraph.tasks");
+  trace::counter("taskgraph.ready", static_cast<double>(ready.size()));
 
   const std::function<void(index_t, index_t, int)> drain =
       [&](index_t, index_t, int) {
@@ -109,6 +121,8 @@ void TaskGraph::run(ThreadPool& pool) {
           if (stop) return;
           const TaskId t = ready.back();
           ready.pop_back();
+          trace::counter("taskgraph.ready",
+                         static_cast<double>(ready.size()));
           lock.unlock();
           std::exception_ptr e;
           try {
@@ -116,6 +130,7 @@ void TaskGraph::run(ThreadPool& pool) {
           } catch (...) {
             e = std::current_exception();
           }
+          tasks_run.inc();
           lock.lock();
           if (e) {
             if (!err) err = e;
@@ -123,9 +138,15 @@ void TaskGraph::run(ThreadPool& pool) {
             cv.notify_all();
             return;
           }
+          bool pushed = false;
           for (TaskId s : tasks_[static_cast<std::size_t>(t)].successors)
-            if (--pending[static_cast<std::size_t>(s)] == 0)
+            if (--pending[static_cast<std::size_t>(s)] == 0) {
               ready.push_back(s);
+              pushed = true;
+            }
+          if (pushed)
+            trace::counter("taskgraph.ready",
+                           static_cast<double>(ready.size()));
           if (++completed == n) {
             stop = true;
             cv.notify_all();

@@ -3,12 +3,43 @@
 namespace gesp {
 
 void PhaseTimes::add(const std::string& name, double seconds) {
-  times_[name] += seconds;
+  Entry& e = times_[name];
+  if (e.epoch != epoch_) {
+    e.last = 0.0;
+    e.epoch = epoch_;
+  }
+  e.last += seconds;
+  e.total += seconds;
+  ++e.calls;
 }
+
+void PhaseTimes::new_epoch() { ++epoch_; }
 
 double PhaseTimes::get(const std::string& name) const {
   auto it = times_.find(name);
-  return it == times_.end() ? 0.0 : it->second;
+  return it == times_.end() ? 0.0 : it->second.last;
+}
+
+double PhaseTimes::total(const std::string& name) const {
+  auto it = times_.find(name);
+  return it == times_.end() ? 0.0 : it->second.total;
+}
+
+count_t PhaseTimes::calls(const std::string& name) const {
+  auto it = times_.find(name);
+  return it == times_.end() ? 0 : it->second.calls;
+}
+
+std::map<std::string, double> PhaseTimes::all() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, e] : times_) out.emplace(name, e.last);
+  return out;
+}
+
+std::map<std::string, double> PhaseTimes::all_totals() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, e] : times_) out.emplace(name, e.total);
+  return out;
 }
 
 }  // namespace gesp

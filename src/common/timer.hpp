@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 
+#include "common/types.hpp"
+
 namespace gesp {
 
 /// Simple monotonic stopwatch; seconds as double.
@@ -26,18 +28,50 @@ class Timer {
 };
 
 /// Accumulates named phase timings (factor, solve, ...). Used by SolveStats.
+///
+/// Phases are recorded per *epoch* (one epoch == one public driver call:
+/// construction, solve(), refactorize(), ...). get() reports the latest
+/// epoch in which the phase was recorded — "how long did the last solve's
+/// refinement take" — while total() accumulates across the object's whole
+/// life. Several add() calls within one epoch sum (a recovery ladder
+/// factors several times inside one solve); a new epoch restarts the
+/// phase's last-call value at its next add(). Without new_epoch() calls
+/// everything lands in one epoch, so get() == total() — the historical
+/// behaviour.
 class PhaseTimes {
  public:
-  /// Add `seconds` to phase `name`.
+  /// Add `seconds` to phase `name` (in the current epoch).
   void add(const std::string& name, double seconds);
 
-  /// Total recorded for `name` (0 if never recorded).
+  /// Start a new epoch: each phase's next add() replaces its last-call
+  /// value instead of summing into it. Phases untouched afterwards keep
+  /// reporting their most recent recorded epoch.
+  void new_epoch();
+
+  /// Seconds recorded for `name` in its latest epoch (0 if never).
   double get(const std::string& name) const;
 
-  const std::map<std::string, double>& all() const { return times_; }
+  /// Seconds recorded for `name` across all epochs (0 if never).
+  double total(const std::string& name) const;
+
+  /// Number of add() calls for `name` across all epochs.
+  count_t calls(const std::string& name) const;
+
+  /// Latest-epoch value per phase (the per-call report).
+  std::map<std::string, double> all() const;
+
+  /// Cumulative value per phase (safe to sum — no double counting).
+  std::map<std::string, double> all_totals() const;
 
  private:
-  std::map<std::string, double> times_;
+  struct Entry {
+    double last = 0.0;   ///< sum within the latest recorded epoch
+    double total = 0.0;  ///< sum across every epoch
+    count_t calls = 0;
+    long epoch = 0;  ///< epoch `last` belongs to
+  };
+  std::map<std::string, Entry> times_;
+  long epoch_ = 0;
 };
 
 }  // namespace gesp

@@ -1,0 +1,303 @@
+#include "common/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace gesp::trace {
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+std::atomic<bool> g_enabled{false};
+
+/// Capture epoch: buffers stamped with an older epoch are logically empty.
+/// Bumping the epoch in start()/clear() "clears" every thread's buffer
+/// without touching them (threads lazily reset on their next append).
+std::atomic<std::uint64_t> g_epoch{1};
+
+clock::time_point& origin() {
+  static clock::time_point t0 = clock::now();
+  return t0;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                              origin())
+      .count();
+}
+
+/// Per-thread event buffer. Owned jointly by the thread (thread_local
+/// shared_ptr) and the global registry, so buffers survive thread exit and
+/// the exporter can read them after the pool/ranks have joined.
+struct ThreadBuf {
+  std::mutex mu;  ///< uncontended except at export time
+  std::vector<Event> events;
+  std::uint64_t epoch = 0;
+  int rank = 0;
+  int worker = 0;
+};
+
+struct BufRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+};
+
+BufRegistry& registry() {
+  static BufRegistry* r = new BufRegistry;  // leaked: outlives all threads
+  return *r;
+}
+
+ThreadBuf& local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf = [] {
+    auto b = std::make_shared<ThreadBuf>();
+    BufRegistry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.bufs.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+void append(Event e) {
+  ThreadBuf& b = local_buf();
+  e.rank = b.rank;
+  e.worker = b.worker;
+  std::lock_guard<std::mutex> lock(b.mu);
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (b.epoch != epoch) {
+    b.events.clear();
+    b.epoch = epoch;
+  }
+  b.events.push_back(e);
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void start() {
+  clear();
+  origin() = clock::now();
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void stop() { g_enabled.store(false, std::memory_order_release); }
+
+void clear() { g_epoch.fetch_add(1, std::memory_order_acq_rel); }
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out;
+  const std::uint64_t epoch = g_epoch.load(std::memory_order_acquire);
+  BufRegistry& r = registry();
+  std::lock_guard<std::mutex> rlock(r.mu);
+  for (const auto& b : r.bufs) {
+    std::lock_guard<std::mutex> lock(b->mu);
+    if (b->epoch != epoch) continue;
+    out.insert(out.end(), b->events.begin(), b->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return out;
+}
+
+std::size_t event_count() { return snapshot().size(); }
+
+void set_thread_track(int rank, int worker) noexcept {
+  ThreadBuf& b = local_buf();
+  if (rank >= 0) b.rank = rank;
+  if (worker >= 0) b.worker = worker;
+}
+
+int thread_rank() noexcept { return local_buf().rank; }
+int thread_worker() noexcept { return local_buf().worker; }
+
+Span::Span(const char* cat, const char* name, std::int64_t id) noexcept {
+  if (!enabled()) return;
+  cat_ = cat;
+  name_ = name;
+  id_ = id;
+  active_ = true;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = 'B';
+  e.ts_ns = now_ns();
+  e.id = id;
+  append(e);
+}
+
+Span::~Span() { end(); }
+
+void Span::end() {
+  // The end marker is emitted even if tracing stopped mid-span, so every
+  // 'B' in a capture has a matching 'E' (the balance the validator checks).
+  if (!active_) return;
+  active_ = false;
+  Event e;
+  e.cat = cat_;
+  e.name = name_;
+  e.ph = 'E';
+  e.ts_ns = now_ns();
+  e.id = id_;
+  append(e);
+}
+
+void instant(const char* cat, const char* name, std::int64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = 'i';
+  e.ts_ns = now_ns();
+  e.id = id;
+  append(e);
+}
+
+void instant_value(const char* cat, const char* name, double value,
+                   std::int64_t id) {
+  if (!enabled()) return;
+  Event e;
+  e.cat = cat;
+  e.name = name;
+  e.ph = 'i';
+  e.ts_ns = now_ns();
+  e.id = id;
+  e.value = value;
+  e.has_value = true;
+  append(e);
+}
+
+void counter(const char* name, double value) {
+  if (!enabled()) return;
+  Event e;
+  e.cat = "counter";
+  e.name = name;
+  e.ph = 'C';
+  e.ts_ns = now_ns();
+  e.value = value;
+  e.has_value = true;
+  append(e);
+}
+
+std::string to_chrome_json(const std::string& extra_json) {
+  const std::vector<Event> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96 + 1024);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // Track-name metadata so the viewer labels pids/tids like the paper's
+  // timelines: one process per simulated rank, one thread per pool worker.
+  std::map<int, std::vector<int>> tracks;  // rank -> workers seen
+  for (const Event& e : events) tracks[e.rank].push_back(e.worker);
+  bool first = true;
+  char buf[64];
+  for (auto& [rank, workers] : tracks) {
+    std::sort(workers.begin(), workers.end());
+    workers.erase(std::unique(workers.begin(), workers.end()),
+                  workers.end());
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof buf, "%d", rank);
+    out += "{\"ph\":\"M\",\"pid\":";
+    out += buf;
+    out += ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"rank ";
+    out += buf;
+    out += "\"}}";
+    for (const int w : workers) {
+      out += ",{\"ph\":\"M\",\"pid\":";
+      out += buf;
+      out += ",\"tid\":";
+      char wbuf[32];
+      std::snprintf(wbuf, sizeof wbuf, "%d", w);
+      out += wbuf;
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"worker ";
+      out += wbuf;
+      out += "\"}}";
+    }
+  }
+  for (const Event& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ph\":\"";
+    out += e.ph;
+    out += "\",\"name\":\"";
+    append_json_escaped(out, e.name ? e.name : "?");
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.cat ? e.cat : "gesp");
+    out += "\"";
+    // Chrome wants microseconds; keep nanosecond resolution as a fraction.
+    std::snprintf(buf, sizeof buf, ",\"ts\":%lld.%03lld",
+                  static_cast<long long>(e.ts_ns / 1000),
+                  static_cast<long long>(e.ts_ns % 1000));
+    out += buf;
+    std::snprintf(buf, sizeof buf, ",\"pid\":%d,\"tid\":%d", e.rank,
+                  e.worker);
+    out += buf;
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    if (e.id >= 0 || e.has_value) {
+      out += ",\"args\":{";
+      bool acomma = false;
+      if (e.id >= 0) {
+        std::snprintf(buf, sizeof buf, "\"id\":%lld",
+                      static_cast<long long>(e.id));
+        out += buf;
+        acomma = true;
+      }
+      if (e.has_value) {
+        if (acomma) out += ',';
+        std::snprintf(buf, sizeof buf, "\"value\":%.17g", e.value);
+        out += buf;
+      }
+      out += '}';
+    } else if (e.ph == 'C') {
+      // Counters need an args payload even when zero.
+      out += ",\"args\":{\"value\":0}";
+    }
+    out += '}';
+  }
+  out += ']';
+  if (!extra_json.empty()) {
+    out += ',';
+    out += extra_json;
+  }
+  out += '}';
+  return out;
+}
+
+void write_chrome_json(const std::string& path,
+                       const std::string& extra_json) {
+  const std::string json = to_chrome_json(extra_json);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  GESP_CHECK(f != nullptr, Errc::io, "cannot open trace file " + path);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const int rc = std::fclose(f);
+  GESP_CHECK(written == json.size() && rc == 0, Errc::io,
+             "short write to trace file " + path);
+}
+
+}  // namespace gesp::trace

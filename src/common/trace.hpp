@@ -1,0 +1,123 @@
+// Structured event tracing — the measurement substrate behind the paper's
+// Figure 8/9 performance story (per-phase and per-task timing via
+// Apprentice on the T3E; chrome://tracing JSON here).
+//
+// Design constraints, in priority order:
+//   * Zero overhead when off: every public entry point is a single relaxed
+//     atomic load plus a predictable branch. Tracing never touches the
+//     numeric data, so factors are bitwise identical with tracing on, off,
+//     or toggled mid-run (test_observability pins this down).
+//   * Thread safety without contention: each thread appends to its own
+//     buffer (guarded by a per-buffer mutex that only the exporter ever
+//     contends on), so concurrent task-DAG workers and MiniMPI ranks never
+//     serialize against each other.
+//   * Track identity: events carry a (rank, worker) pair mapped to Chrome's
+//     (pid, tid). ThreadPool workers tag themselves with a worker id and
+//     simulated MiniMPI ranks with a rank id, giving one track per worker
+//     and per rank in the viewer — the layout of the paper's timelines.
+//
+// Span names must be string literals (or otherwise outlive the trace): the
+// tracer stores the pointer, never a copy, keeping the hot path allocation
+// free. The integer `id` (supernode, destination rank, ...) and double
+// `value` (berr, bytes, ...) ride along as Chrome `args`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gesp::trace {
+
+/// One recorded event. `ph` follows the Chrome trace format: 'B'egin /
+/// 'E'nd span markers, 'i'nstant, 'C'ounter.
+struct Event {
+  const char* cat = nullptr;   ///< category (static string)
+  const char* name = nullptr;  ///< event name (static string)
+  char ph = 'i';
+  std::int64_t ts_ns = 0;  ///< nanoseconds since collection started
+  int rank = 0;            ///< simulated MPI rank (pid track)
+  int worker = 0;          ///< ThreadPool worker (tid track)
+  std::int64_t id = -1;    ///< optional integer arg (-1 = absent)
+  double value = 0.0;      ///< counter / instant payload
+  bool has_value = false;
+};
+
+/// True while events are being collected (single relaxed atomic load).
+bool enabled() noexcept;
+
+/// Clear any previous capture and start collecting.
+void start();
+
+/// Stop collecting; recorded events stay available for export.
+void stop();
+
+/// Drop all recorded events (does not change enabled()).
+void clear();
+
+/// Number of events recorded so far (exporter-side; takes the buffer locks).
+std::size_t event_count();
+
+/// Snapshot of every recorded event, merged across threads in timestamp
+/// order — the validation hook for tests.
+std::vector<Event> snapshot();
+
+/// Serialize the capture as Chrome trace JSON ({"traceEvents":[...]}).
+/// `extra_json` — optional extra top-level members (e.g. a "metrics"
+/// object), spliced verbatim; must be either empty or a comma-led fragment
+/// produced by the caller, e.g. R"("metrics":{...})".
+std::string to_chrome_json(const std::string& extra_json = {});
+
+/// Write to_chrome_json() to `path`; throws Errc::io on failure.
+void write_chrome_json(const std::string& path,
+                       const std::string& extra_json = {});
+
+/// Tag the calling thread's track. ThreadPool workers set `worker`,
+/// simulated MiniMPI rank threads set `rank`; a value of -1 leaves the
+/// respective id unchanged. Cheap enough to call unconditionally.
+void set_thread_track(int rank, int worker) noexcept;
+
+/// The calling thread's current (rank, worker) track.
+int thread_rank() noexcept;
+int thread_worker() noexcept;
+
+/// RAII scoped span: emits 'B' on construction and 'E' on destruction when
+/// tracing is enabled (both on the calling thread's track, so spans nest
+/// per track by construction). Inert when tracing is off.
+class Span {
+ public:
+  Span(const char* cat, const char* name, std::int64_t id = -1) noexcept;
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Close the span now (for phases that do not map onto a C++ scope);
+  /// the destructor then does nothing.
+  void end();
+
+ private:
+  const char* cat_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t id_ = -1;
+  bool active_ = false;
+};
+
+/// Point event (pivot replaced, recovery escalation, refinement step...).
+void instant(const char* cat, const char* name, std::int64_t id = -1);
+/// Point event carrying a numeric payload (berr value, bytes...).
+void instant_value(const char* cat, const char* name, double value,
+                   std::int64_t id = -1);
+/// Counter track sample (queue depth, in-flight messages...).
+void counter(const char* name, double value);
+
+}  // namespace gesp::trace
+
+/// Scoped span with a unique local name; expands to nothing observable when
+/// tracing is off (one relaxed load in the Span constructor).
+#define GESP_TRACE_CONCAT2(a, b) a##b
+#define GESP_TRACE_CONCAT(a, b) GESP_TRACE_CONCAT2(a, b)
+#define GESP_TRACE_SPAN(cat, name) \
+  ::gesp::trace::Span GESP_TRACE_CONCAT(gesp_trace_span_, __LINE__)(cat, name)
+#define GESP_TRACE_SPAN_ID(cat, name, id)                                  \
+  ::gesp::trace::Span GESP_TRACE_CONCAT(gesp_trace_span_, __LINE__)(cat,   \
+                                                                    name, \
+                                                                    id)

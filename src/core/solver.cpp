@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "matching/matching.hpp"
 #include "ordering/amd.hpp"
 #include "ordering/nested_dissection.hpp"
@@ -30,6 +32,32 @@ std::string format_sci(const char* what, double value, double limit) {
 }
 
 }  // namespace
+
+void SolveStats::export_metrics(metrics::Registry& reg) const {
+  reg.gauge("solver.nnz_l").set(static_cast<double>(nnz_l));
+  reg.gauge("solver.nnz_u").set(static_cast<double>(nnz_u));
+  reg.gauge("solver.stored_l").set(static_cast<double>(stored_l));
+  reg.gauge("solver.stored_u").set(static_cast<double>(stored_u));
+  reg.gauge("solver.flops").set(static_cast<double>(flops));
+  reg.gauge("solver.nsup").set(static_cast<double>(nsup));
+  reg.gauge("solver.pivots_replaced")
+      .set(static_cast<double>(pivots_replaced));
+  reg.gauge("solver.pivot_growth").set(pivot_growth);
+  reg.gauge("solver.refine_iterations")
+      .set(static_cast<double>(refine_iterations));
+  reg.gauge("solver.berr").set(berr);
+  if (ferr >= 0.0) reg.gauge("solver.ferr").set(ferr);
+  if (rcond >= 0.0) reg.gauge("solver.rcond").set(rcond);
+  reg.gauge("solver.recovery_attempts")
+      .set(static_cast<double>(recovery.attempts.size()));
+  reg.gauge("solver.recovery_final_rung")
+      .set(static_cast<double>(recovery.final_rung));
+  reg.gauge("solver.recovered").set(recovery.recovered ? 1.0 : 0.0);
+  for (const auto& [phase, seconds] : times.all())
+    reg.gauge("solver.time." + phase).set(seconds);
+  for (const auto& [phase, seconds] : times.all_totals())
+    reg.gauge("solver.time_total." + phase).set(seconds);
+}
 
 const char* recovery_rung_name(RecoveryRung r) noexcept {
   switch (r) {
@@ -106,6 +134,10 @@ bool Solver<T>::advance_rung() {
 
 template <class T>
 void Solver<T>::apply_rung() {
+  if (rung_ != RecoveryRung::gesp) {
+    trace::instant("solver", "recovery_escalate", static_cast<int>(rung_));
+    metrics::global().counter("solver.recovery_escalations").inc();
+  }
   switch (rung_) {
     case RecoveryRung::gesp:
       factor();
@@ -120,9 +152,22 @@ void Solver<T>::apply_rung() {
       transform(A_keep_);
       factor();
       break;
-    case RecoveryRung::gepp:
+    case RecoveryRung::gepp: {
+      GESP_TRACE_SPAN("solver", "factor_gepp");
+      Timer t;
       gepp_ = std::make_unique<numeric::GeppLU<T>>(A_keep_);
+      stats_.times.add("factor", t.seconds());
+      // The static factors no longer produce the answer: make SolveStats
+      // describe the factorization that does (GEPP swaps, never perturbs).
+      stats_.pivots_replaced = 0;
+      stats_.pivot_growth = gepp_->pivot_growth();
+      stats_.nnz_l = gepp_->nnz_l();
+      stats_.nnz_u = gepp_->nnz_u();
+      stats_.stored_l = gepp_->nnz_l();
+      stats_.stored_u = gepp_->nnz_u();
+      stats_.nsup = 0;
       break;
+    }
   }
 }
 
@@ -135,12 +180,14 @@ double Solver<T>::berr_threshold() const {
 
 template <class T>
 void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
+  GESP_TRACE_SPAN("solver", "transform");
   Timer t;
   // --- step (1a): equilibration.
   row_scale_.assign(static_cast<std::size_t>(n_), 1.0);
   col_scale_.assign(static_cast<std::size_t>(n_), 1.0);
   sparse::CscMatrix<T> As = A;
   if (opt_.equilibrate) {
+    GESP_TRACE_SPAN("solver", "equilibrate");
     const sparse::Scaling s = sparse::equilibrate(A);
     row_scale_ = s.row;
     col_scale_ = s.col;
@@ -150,6 +197,7 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
 
   // --- step (1b): permutation moving large entries onto the diagonal.
   t.reset();
+  trace::Span rowperm_span("solver", "rowperm");
   std::vector<index_t> pr;
   switch (opt_.row_perm) {
     case RowPermOption::none:
@@ -180,10 +228,12 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   }
   sparse::CscMatrix<T> Ap = sparse::permute(As, pr, {});
   stats_.times.add("rowperm", t.seconds());
+  rowperm_span.end();
 
   // --- step (2): fill-reducing column ordering, applied symmetrically so
   // the large diagonal stays on the diagonal.
   t.reset();
+  trace::Span colorder_span("solver", "colorder");
   std::vector<index_t> pc;
   switch (opt_.col_order) {
     case ColOrderOption::natural:
@@ -207,6 +257,7 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   const std::vector<index_t> pe = symbolic::etree_postorder(Ao);
   At_ = sparse::permute(Ao, pe, pe);
   stats_.times.add("colorder", t.seconds());
+  colorder_span.end();
 
   // Combined new-from-old transforms.
   row_perm_.resize(static_cast<std::size_t>(n_));
@@ -219,16 +270,19 @@ template <class T>
 void Solver<T>::factor() {
   Timer t;
   if (!sym_) {
+    GESP_TRACE_SPAN("solver", "symbolic");
     sym_ = std::make_shared<const symbolic::SymbolicLU>(
         symbolic::analyze(At_, opt_.symbolic));
     stats_.times.add("symbolic", t.seconds());
-    stats_.nnz_l = sym_->nnz_L;
-    stats_.nnz_u = sym_->nnz_U;
-    stats_.stored_l = sym_->stored_L;
-    stats_.stored_u = sym_->stored_U;
-    stats_.flops = sym_->flops;
-    stats_.nsup = sym_->nsup;
   }
+  // Refresh on every factorization, not just the first analysis: a GEPP
+  // recovery rung may have overwritten these with the fallback's counts.
+  stats_.nnz_l = sym_->nnz_L;
+  stats_.nnz_u = sym_->nnz_U;
+  stats_.stored_l = sym_->stored_L;
+  stats_.stored_u = sym_->stored_U;
+  stats_.flops = sym_->flops;
+  stats_.nsup = sym_->nsup;
 
   numeric::NumericOptions nopt;
   nopt.num_threads = opt_.num_threads;
@@ -242,11 +296,15 @@ void Solver<T>::factor() {
     nopt.record_replacements = true;
   }
   t.reset();
-  smw_.reset();  // holds a reference into factors_: drop it first
-  factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
+  {
+    GESP_TRACE_SPAN("solver", "factor");
+    smw_.reset();  // holds a reference into factors_: drop it first
+    factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
+  }
   stats_.times.add("factor", t.seconds());
   stats_.pivots_replaced = factors_->pivots_replaced();
   stats_.pivot_growth = factors_->pivot_growth();
+  metrics::global().counter("solver.factorizations").inc();
   if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw &&
       !factors_->replacements().empty())
     smw_ = std::make_unique<refine::SmwSolver<T>>(*factors_);
@@ -264,8 +322,14 @@ template <class T>
 void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
   GESP_CHECK(b.size() == static_cast<std::size_t>(n_) && x.size() == b.size(),
              Errc::invalid_argument, "solve dimension mismatch");
+  // One public call == one timing epoch: get() then reports this call's
+  // phase times while total() keeps the cumulative sums.
+  stats_.times.new_epoch();
+  metrics::global().counter("solver.solves").inc();
+  GESP_TRACE_SPAN("solver", "solve_call");
   if (!opt_.recovery.enabled) {
     solve_once(b, x);
+    stats_.export_metrics(metrics::global());
     return;
   }
   RecoveryTrail& trail = stats_.recovery;
@@ -307,6 +371,7 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
     if (success) {
       trail.final_rung = rung_;
       trail.recovered = true;
+      stats_.export_metrics(metrics::global());
       return;
     }
     // Escalate: find the next rung whose factorization succeeds.
@@ -331,6 +396,7 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
       trail.recovered = false;
       GESP_CHECK(have_solution, Errc::unstable,
                  "recovery ladder exhausted without a usable solution");
+      stats_.export_metrics(metrics::global());
       return;
     }
   }
@@ -341,9 +407,13 @@ void Solver<T>::solve_gepp(std::span<const T> b, std::span<T> x) {
   // Rung (c) bypasses the static pipeline entirely: GEPP factors the
   // original A, so b and x stay in the user's variables.
   Timer t;
-  gepp_->solve(b, x);
+  {
+    GESP_TRACE_SPAN("solver", "solve_gepp");
+    gepp_->solve(b, x);
+  }
   stats_.times.add("solve", t.seconds());
   t.reset();
+  GESP_TRACE_SPAN("solver", "refine");
   const auto rres = refine::iterative_refinement<T>(
       A_keep_, b, x,
       [this](std::span<T> v) {
@@ -365,12 +435,16 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
   std::vector<T> xhat = bhat;
 
   Timer t;
-  apply_solver(xhat);
+  {
+    GESP_TRACE_SPAN("solver", "solve");
+    apply_solver(xhat);
+  }
   stats_.times.add("solve", t.seconds());
 
   // Time one residual evaluation (reported separately in Figure 6).
   t.reset();
   {
+    GESP_TRACE_SPAN("solver", "residual");
     std::vector<T> r(static_cast<std::size_t>(n_));
     sparse::residual<T>(At_, xhat, bhat, r);
   }
@@ -378,9 +452,11 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
 
   // --- step (4): iterative refinement.
   t.reset();
+  trace::Span refine_span("solver", "refine");
   const auto rres = refine::iterative_refinement<T>(
       At_, bhat, xhat, [this](std::span<T> v) { apply_solver(v); },
       opt_.refine);
+  refine_span.end();
   stats_.times.add("refine", t.seconds());
   stats_.refine_iterations = rres.iterations;
   stats_.berr = rres.final_berr;
@@ -388,6 +464,7 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
 
   // Optional expensive diagnostics.
   if (opt_.estimate_ferr || opt_.estimate_rcond) {
+    GESP_TRACE_SPAN("solver", "ferr");
     t.reset();
     refine::SolveOps<T> ops;
     ops.solve = [this](std::span<T> v) { apply_solver(v); };
@@ -429,6 +506,7 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
                  B.size() == static_cast<std::size_t>(n_) * nrhs &&
                  X.size() == B.size(),
              Errc::invalid_argument, "solve_multi dimension mismatch");
+  stats_.times.new_epoch();
   if (opt_.recovery.enabled) {
     // Route each column through the ladder; once escalated, later columns
     // reuse the surviving rung so the blocked fast path is only lost when
@@ -481,6 +559,10 @@ template <class T>
 void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
   GESP_CHECK(A_new.nrows == n_ && A_new.ncols == n_, Errc::invalid_argument,
              "refactorize dimension mismatch");
+  // New epoch: "factor" reports this refactorization, not the sum of every
+  // factorization this Solver ever ran.
+  stats_.times.new_epoch();
+  GESP_TRACE_SPAN("solver", "refactorize");
   // Reuse every static decision: scalings, permutations, symbolic structure.
   sparse::CscMatrix<T> As =
       sparse::apply_scaling(A_new, row_scale_, col_scale_);

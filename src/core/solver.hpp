@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "numeric/gepp.hpp"
@@ -139,6 +140,13 @@ struct SolveStats {
   /// How the answer was obtained: every ladder rung attempted, in order.
   /// Empty attempts == recovery disabled or never triggered.
   RecoveryTrail recovery;
+
+  /// Publish every field into `reg` as typed metrics under "solver.*"
+  /// (gauges for snapshots, "solver.time.<phase>" for the last call's
+  /// phase seconds, "solver.time_total.<phase>" for the cumulative sums).
+  /// The solver calls this on the global registry after each solve; tools
+  /// can call it on a private registry to serialize a SolveStats as JSON.
+  void export_metrics(metrics::Registry& reg) const;
 };
 
 /// GESP solver: construction runs steps (1)-(3) (analysis + factorization);

@@ -5,6 +5,9 @@
 #include <memory>
 #include <thread>
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace gesp::minimpi {
 namespace {
 
@@ -14,6 +17,34 @@ std::string envelope(int src, int tag) {
   };
   return "(src=" + name(src, kAnySource) + ", tag=" + name(tag, kAnyTag) +
          ")";
+}
+
+/// Process-wide transport counters, resolved once (references stay valid
+/// for the registry's lifetime, so the hot path is pure atomics).
+struct TransportMetrics {
+  metrics::Counter& messages_sent;
+  metrics::Counter& bytes_sent;
+  metrics::Counter& messages_received;
+  metrics::Counter& bytes_received;
+  metrics::Counter& checksum_failures;
+  metrics::Counter& timeouts;
+  metrics::Counter& poisonings;
+  metrics::Counter& faults_injected;
+  metrics::Histogram& message_bytes;
+};
+
+TransportMetrics& tm() {
+  metrics::Registry& r = metrics::global();
+  static TransportMetrics m{r.counter("minimpi.messages_sent"),
+                            r.counter("minimpi.bytes_sent"),
+                            r.counter("minimpi.messages_received"),
+                            r.counter("minimpi.bytes_received"),
+                            r.counter("minimpi.checksum_failures"),
+                            r.counter("minimpi.timeouts"),
+                            r.counter("minimpi.poisonings"),
+                            r.counter("minimpi.faults_injected"),
+                            r.histogram("minimpi.message_bytes")};
+  return m;
 }
 
 }  // namespace
@@ -63,10 +94,18 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
   const count_t ordinal = stats_.messages_sent;
   stats_.messages_sent++;
   stats_.bytes_sent += static_cast<count_t>(bytes);
+  tm().messages_sent.inc();
+  tm().bytes_sent.inc(static_cast<count_t>(bytes));
+  tm().message_bytes.record(static_cast<double>(bytes));
+  trace::instant_value("mpi", "send", static_cast<double>(bytes), dst);
   FaultInjector& fi = world_->opt_.fault;
   if (fi.armed()) {
     // The checksum was stamped above, so corruption below is detectable.
     const FaultSpec fired = fi.on_send(rank_, ordinal, msg.data);
+    if (fired.kind != FaultKind::none) {
+      tm().faults_injected.inc();
+      trace::instant("mpi", "fault", static_cast<int>(fired.kind));
+    }
     switch (fired.kind) {
       case FaultKind::drop:
         return;
@@ -90,6 +129,7 @@ void Comm::send(int dst, int tag, const void* data, std::size_t bytes) {
 }
 
 Message Comm::recv(int src, int tag) {
+  GESP_TRACE_SPAN_ID("mpi", "recv", tag >= 0 ? tag : -1);
   auto& box = *world_->mailboxes_[rank_];
   std::unique_lock<std::mutex> lock(box.mu);
   auto match = [&](const Message& m) {
@@ -108,9 +148,12 @@ Message Comm::recv(int src, int tag) {
         box.queue.erase(it);
         stats_.messages_received++;
         stats_.bytes_received += static_cast<count_t>(m.data.size());
-        GESP_CHECK(payload_checksum(m.data.data(), m.data.size()) ==
-                       m.checksum,
-                   Errc::comm,
+        tm().messages_received.inc();
+        tm().bytes_received.inc(static_cast<count_t>(m.data.size()));
+        const bool checksum_ok =
+            payload_checksum(m.data.data(), m.data.size()) == m.checksum;
+        if (!checksum_ok) tm().checksum_failures.inc();
+        GESP_CHECK(checksum_ok, Errc::comm,
                    "payload checksum mismatch on rank " +
                        std::to_string(rank_) + " for message " +
                        envelope(m.src, m.tag) + ", " +
@@ -129,11 +172,13 @@ Message Comm::recv(int src, int tag) {
           !box.poisoned) {
         bool matched = false;
         for (const auto& m : box.queue) matched = matched || match(m);
-        if (!matched)
+        if (!matched) {
+          tm().timeouts.inc();
           throw_error(Errc::comm,
                       "recv timeout on rank " + std::to_string(rank_) +
                           " waiting for " + envelope(src, tag) + " after " +
                           std::to_string(timeout) + "s");
+        }
       }
     } else {
       box.cv.wait(lock);
@@ -153,6 +198,7 @@ bool Comm::probe(int src, int tag) const {
 }
 
 void Comm::barrier() {
+  GESP_TRACE_SPAN("mpi", "barrier");
   std::unique_lock<std::mutex> lock(world_->barrier_mu_);
   auto check_poisoned = [&] {
     if (world_->failed_rank_.load() >= 0)
@@ -176,10 +222,12 @@ void Comm::barrier() {
         lock, std::chrono::duration<double>(timeout),
         [&] { return arrived() || world_->failed_rank_.load() >= 0; });
     if (!arrived()) {
-      if (!ok)
+      if (!ok) {
+        tm().timeouts.inc();
         throw_error(Errc::comm, "barrier timeout on rank " +
                                     std::to_string(rank_) + " after " +
                                     std::to_string(timeout) + "s");
+      }
       check_poisoned();
     }
   } else {
@@ -222,7 +270,10 @@ void World::deliver(int dst, Message msg) {
 
 void World::poison(int src) {
   int expected = -1;
-  failed_rank_.compare_exchange_strong(expected, src);
+  if (failed_rank_.compare_exchange_strong(expected, src)) {
+    tm().poisonings.inc();
+    trace::instant("mpi", "poison", src);
+  }
   for (auto& box : mailboxes_) {
     {
       std::lock_guard<std::mutex> lock(box->mu);
@@ -255,6 +306,9 @@ std::vector<RankReport> World::run_report(
   threads.reserve(static_cast<std::size_t>(P));
   for (int r = 0; r < P; ++r) {
     threads.emplace_back([&, r] {
+      // One trace track per simulated rank (pid = rank in the viewer).
+      trace::set_thread_track(r, 0);
+      GESP_TRACE_SPAN_ID("mpi", "rank", r);
       Comm comm(*this, r);
       try {
         body(comm);

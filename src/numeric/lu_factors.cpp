@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "sparse/coo.hpp"
 
 namespace gesp::numeric {
@@ -238,6 +240,20 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
   else
     eliminate_forkjoin(opt, pool);
   compute_growth();
+  if (stats_.replaced > 0)
+    metrics::global().counter("numeric.pivots_replaced").inc(stats_.replaced);
+  metrics::global().gauge("numeric.pivot_growth").set(growth_);
+  if (trace::enabled()) {
+    // One point event per perturbed pivot — the paper's step (3) made
+    // visible on the timeline (column id; delta magnitude as the value).
+    using std::abs;
+    for (const auto& [col, delta] : replacements_)
+      trace::instant_value("factor", "pivot_replaced",
+                           static_cast<double>(abs(delta)), col);
+    if (replacements_.empty() && stats_.replaced > 0)
+      trace::instant("factor", "pivots_replaced_unrecorded",
+                     stats_.replaced);
+  }
 }
 
 template <class T>
@@ -261,36 +277,43 @@ void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
     T* diag = lnz_[K].data();
     // (1) factor the diagonal block (static pivots, tiny replacement).
     block_repl.clear();
-    dense::getrf(diag, b, b, policy, stats_, {},
-                 opt.record_replacements ? &block_repl : nullptr);
+    {
+      GESP_TRACE_SPAN_ID("factor", "F", K);
+      dense::getrf(diag, b, b, policy, stats_, {},
+                   opt.record_replacements ? &block_repl : nullptr);
+    }
     for (const auto& r : block_repl)
       replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
     // (2) panel: L(I,K) <- A(I,K) · U(K,K)^{-1}, block rows in parallel.
-    pool.parallel_for(
-        static_cast<index_t>(S.L[K].size()),
-        [&](index_t lo, index_t hi, int) {
-          for (index_t bi = lo; bi < hi; ++bi) {
-            const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
-            dense::trsm_right_upper(diag, b, b,
-                                    lnz_[K].data() + l_off_[K][bi], m, m);
-          }
-        },
-        /*grain=*/2);
-    // (2') row: U(K,J) <- L(K,K)^{-1} · A(K,J), block columns in parallel.
-    pool.parallel_for(
-        static_cast<index_t>(S.U[K].size()),
-        [&](index_t lo, index_t hi, int) {
-          for (index_t uj = lo; uj < hi; ++uj) {
-            const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
-            dense::trsm_left_lower_unit(
-                diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
-          }
-        },
-        /*grain=*/2);
+    {
+      GESP_TRACE_SPAN_ID("factor", "panel", K);
+      pool.parallel_for(
+          static_cast<index_t>(S.L[K].size()),
+          [&](index_t lo, index_t hi, int) {
+            for (index_t bi = lo; bi < hi; ++bi) {
+              const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
+              dense::trsm_right_upper(diag, b, b,
+                                      lnz_[K].data() + l_off_[K][bi], m, m);
+            }
+          },
+          /*grain=*/2);
+      // (2') row: U(K,J) <- L(K,K)^{-1} · A(K,J), block columns in parallel.
+      pool.parallel_for(
+          static_cast<index_t>(S.U[K].size()),
+          [&](index_t lo, index_t hi, int) {
+            for (index_t uj = lo; uj < hi; ++uj) {
+              const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+              dense::trsm_left_lower_unit(
+                  diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
+            }
+          },
+          /*grain=*/2);
+    }
     // (3) rank-b update of the trailing matrix: each (I,J) pair writes a
     // distinct destination block, so pairs fork across threads freely.
     const index_t npairs = static_cast<index_t>(S.L[K].size()) *
                            static_cast<index_t>(S.U[K].size());
+    GESP_TRACE_SPAN_ID("factor", "update", K);
     pool.parallel_for(
         npairs,
         [&](index_t lo, index_t hi, int w) {
@@ -349,6 +372,7 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
     // F(K): factor the diagonal block after the last update into owner K.
     const auto fk = graph.add_task([this, K, b, &policy, &stats_k, &repl_k,
                                     record] {
+      GESP_TRACE_SPAN_ID("factor", "F", K);
       dense::getrf(lnz_[K].data(), b, b, policy, stats_k[K], {},
                    record ? &repl_k[K] : nullptr);
     });
@@ -363,6 +387,7 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
       for (index_t ch = 0; ch < lchunks; ++ch) {
         const index_t lo = nl * ch / lchunks, hi = nl * (ch + 1) / lchunks;
         const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+          GESP_TRACE_SPAN_ID("factor", "panelL", K);
           for (index_t bi = lo; bi < hi; ++bi) {
             const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
             dense::trsm_right_upper(lnz_[K].data(), b, b,
@@ -375,6 +400,7 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
       for (index_t ch = 0; ch < uchunks; ++ch) {
         const index_t lo = nu * ch / uchunks, hi = nu * (ch + 1) / uchunks;
         const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+          GESP_TRACE_SPAN_ID("factor", "panelU", K);
           for (index_t uj = lo; uj < hi; ++uj) {
             const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
             dense::trsm_left_lower_unit(
@@ -397,7 +423,8 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
       const bool has_row = rowI == O;
       const bool has_col = colJ == O;
       const auto upd =
-          graph.add_task([this, K, li, ui, nl, nu, has_row, has_col] {
+          graph.add_task([this, K, li, ui, nl, nu, has_row, has_col, O] {
+            GESP_TRACE_SPAN_ID("factor", "update", O);
             thread_local std::vector<T> scratch;
             thread_local std::vector<index_t> rpos, cpos;
             if (has_row)

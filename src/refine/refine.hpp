@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "common/types.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/ops.hpp"
@@ -57,6 +58,7 @@ RefineResult iterative_refinement(const sparse::CscMatrix<T>& A,
 
   double berr = compute_berr();
   res.berr_history.push_back(berr);
+  trace::instant_value("refine", "berr", berr, res.iterations);
   double prev = std::numeric_limits<double>::infinity();
   while (res.iterations < opt.max_iters && berr > opt.target_berr &&
          berr <= prev / 2.0) {
@@ -67,6 +69,7 @@ RefineResult iterative_refinement(const sparse::CscMatrix<T>& A,
     ++res.iterations;
     berr = compute_berr();
     res.berr_history.push_back(berr);
+    trace::instant_value("refine", "berr", berr, res.iterations);
   }
   res.final_berr = berr;
   res.converged = berr <= opt.target_berr;

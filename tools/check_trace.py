@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a gesp chrome://tracing capture (and embedded metrics).
+
+Usage: check_trace.py TRACE.json [--min-events N]
+
+Checks the invariants the exporter promises (INTERNALS.md sec. 12), so a
+broken exporter fails CI instead of a user staring at an empty viewer:
+
+  * the file is a single JSON object with a "traceEvents" list;
+  * every event has ph/name/pid/tid (+ ts for non-metadata events) with
+    the right types, and ph is one of B E i C M;
+  * B/E spans obey stack discipline per (pid, tid) track — every E closes
+    the most recent open B with the same name, and no span stays open;
+  * counter ('C') events carry a numeric args.value;
+  * an embedded top-level "metrics" object (from --metrics-json pointing
+    at the trace file) has well-typed counter/gauge/histogram entries.
+
+Exit code 0 on success (prints a one-line summary), 1 on any violation.
+"""
+
+import argparse
+import json
+import sys
+
+ALLOWED_PH = {"B", "E", "i", "C", "M"}
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_events(events, min_events):
+    if not isinstance(events, list):
+        fail('"traceEvents" is not a list')
+    if len(events) < min_events:
+        fail(f"only {len(events)} events (expected >= {min_events})")
+    stacks = {}  # (pid, tid) -> [open span names]
+    counts = {ph: 0 for ph in ALLOWED_PH}
+    for k, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"event {k} is not an object")
+        ph = e.get("ph")
+        if ph not in ALLOWED_PH:
+            fail(f"event {k}: bad ph {ph!r}")
+        counts[ph] += 1
+        for key in ("name",):
+            if not isinstance(e.get(key), str):
+                fail(f"event {k}: missing/invalid {key!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(e.get(key), int):
+                fail(f"event {k}: missing/invalid {key!r}")
+        if ph != "M" and not isinstance(e.get("ts"), (int, float)):
+            fail(f"event {k}: missing/invalid 'ts'")
+        track = (e["pid"], e["tid"])
+        if ph == "B":
+            stacks.setdefault(track, []).append(e["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                fail(f"event {k}: 'E' {e['name']!r} on track {track} "
+                     "with no open span")
+            if stack[-1] != e["name"]:
+                fail(f"event {k}: 'E' {e['name']!r} closes {stack[-1]!r} "
+                     f"on track {track} (spans must nest)")
+            stack.pop()
+        elif ph == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not isinstance(
+                    args.get("value"), (int, float)):
+                fail(f"event {k}: counter without numeric args.value")
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"track {track}: unclosed span(s) {stack}")
+    return counts
+
+
+def check_metrics(metrics):
+    if not isinstance(metrics, dict):
+        fail('"metrics" is not an object')
+    for name, m in metrics.items():
+        if not isinstance(m, dict):
+            fail(f"metric {name!r} is not an object")
+        kind = m.get("type")
+        if kind == "counter":
+            if not isinstance(m.get("value"), int):
+                fail(f"counter {name!r}: non-integer value")
+        elif kind == "gauge":
+            if not isinstance(m.get("value"), (int, float)):
+                fail(f"gauge {name!r}: non-numeric value")
+        elif kind == "histogram":
+            if not isinstance(m.get("count"), int):
+                fail(f"histogram {name!r}: non-integer count")
+            for key in ("sum", "min", "max"):
+                if not isinstance(m.get(key), (int, float)):
+                    fail(f"histogram {name!r}: missing/invalid {key!r}")
+            if not isinstance(m.get("buckets"), dict):
+                fail(f"histogram {name!r}: missing buckets object")
+        else:
+            fail(f"metric {name!r}: unknown type {kind!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace")
+    ap.add_argument("--min-events", type=int, default=1,
+                    help="fail if fewer than N trace events (default 1)")
+    opts = ap.parse_args()
+
+    try:
+        with open(opts.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {opts.trace}: {e}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail('top level is not an object with "traceEvents"')
+
+    counts = check_events(doc["traceEvents"], opts.min_events)
+    nmetrics = 0
+    if "metrics" in doc:
+        check_metrics(doc["metrics"])
+        nmetrics = len(doc["metrics"])
+
+    print(f"check_trace: OK: {sum(counts.values())} events "
+          f"({counts['B']} spans, {counts['i']} instants, "
+          f"{counts['C']} counter samples), {nmetrics} metrics")
+
+
+if __name__ == "__main__":
+    main()

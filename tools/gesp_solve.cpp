@@ -19,26 +19,46 @@
 //   --recover             arm the graceful-degradation ladder (GESP ->
 //                         aggressive SMW -> unscaled -> GEPP) and print the
 //                         recovery trail
+//   --threads=N           shared-memory factorization threads (default 1)
+//   --repeat=N            call solve() N times on the same system; the
+//                         report then shows per-call AND cumulative phase
+//                         times (they differ: factorization is amortized)
+//   --dist=P              additionally factor/solve the transformed matrix
+//                         on P simulated MiniMPI ranks (near-square grid)
+//                         and cross-check; comm spans land in the trace
+//   --trace=FILE          write a chrome://tracing JSON capture of the run
+//   --metrics-json=FILE   write the metrics registry as JSON; if FILE is
+//                         the same as --trace, metrics embed in the trace
+//                         object under a top-level "metrics" key
 //   --list                print the testbed inventory and exit
 //
 // Exit codes map the library's failure categories so scripts can react
 // without parsing stderr:
 //   0 solved        2 usage error          3 invalid argument
 //   4 io error      5 structurally singular  6 numerically singular
-//   7 unstable      8 transport fault (comm)  9 internal error
+//   7 unstable (incl. --recover runs whose final answer missed the policy
+//     thresholds — the report prints the best-effort trail either way)
+//   8 transport fault (comm)  9 internal error
 //   70 unexpected non-library exception
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/trace.hpp"
 #include "core/solver.hpp"
+#include "dist/dist_lu.hpp"
+#include "dist/grid.hpp"
+#include "dist/minimpi.hpp"
 #include "io/harwell_boeing.hpp"
 #include "io/matrix_market.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/testbed.hpp"
+#include "symbolic/symbolic.hpp"
 
 namespace {
 
@@ -52,10 +72,12 @@ using namespace gesp;
                "       [--colorder=amd|amd-apa|rcm|nd|natural] [--no-equil] "
                "[--no-mc64-scaling]\n"
                "       [--tiny=replace|fail|smw] [--max-block=N] "
-               "[--relax=N] [--ferr] [--rcond] [--recover] [--list]\n"
+               "[--relax=N] [--ferr] [--rcond] [--recover]\n"
+               "       [--threads=N] [--repeat=N] [--dist=P] "
+               "[--trace=FILE] [--metrics-json=FILE] [--list]\n"
                "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
                "            5/6 structurally/numerically singular, "
-               "7 unstable, 8 comm, 9 internal\n");
+               "7 unstable/not recovered, 8 comm, 9 internal\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -105,6 +127,9 @@ const char* value_of(const char* arg, const char* key) {
 int main(int argc, char** argv) {
   std::string path;
   std::string rhs_mode = "ones";
+  std::string trace_path, metrics_path;
+  int repeat = 1;
+  int dist_p = 0;
   SolverOptions opt;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -164,6 +189,19 @@ int main(int argc, char** argv) {
       opt.symbolic.max_block = std::atoi(v5);
     } else if (const char* v6 = value_of(a, "--relax")) {
       opt.symbolic.relax = std::atoi(v6);
+    } else if (const char* v7 = value_of(a, "--threads")) {
+      opt.num_threads = std::atoi(v7);
+      if (opt.num_threads < 1) usage("--threads must be >= 1");
+    } else if (const char* v8 = value_of(a, "--repeat")) {
+      repeat = std::atoi(v8);
+      if (repeat < 1) usage("--repeat must be >= 1");
+    } else if (const char* v9 = value_of(a, "--dist")) {
+      dist_p = std::atoi(v9);
+      if (dist_p < 1) usage("--dist must be >= 1");
+    } else if (const char* v10 = value_of(a, "--trace")) {
+      trace_path = v10;
+    } else if (const char* v11 = value_of(a, "--metrics-json")) {
+      metrics_path = v11;
     } else if (a[0] == '-') {
       usage((std::string("unknown option ") + a).c_str());
     } else if (path.empty()) {
@@ -173,6 +211,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) usage("no matrix given");
+
+  if (!trace_path.empty()) trace::start();
 
   try {
     Timer total;
@@ -197,10 +237,43 @@ int main(int argc, char** argv) {
     }
 
     Solver<double> solver(A, opt);
-    solver.solve(b, x);
+    for (int r = 0; r < repeat; ++r) solver.solve(b, x);
     const SolveStats& s = solver.stats();
 
-    std::printf("status      solved in %.3f s total\n", total.seconds());
+    if (dist_p > 0) {
+      // Demonstration rung for the distributed path: factor the already
+      // transformed (statically pivoted) matrix on a near-square grid and
+      // cross-check the replicated solution. Runs after the main solve so
+      // its comm spans/counters append to the same capture.
+      const auto& At = solver.transformed_matrix();
+      auto sym = std::make_shared<const symbolic::SymbolicLU>(
+          symbolic::analyze(At, opt.symbolic));
+      const dist::ProcessGrid grid = dist::ProcessGrid::near_square(dist_p);
+      std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
+      std::vector<double> bt(ones.size());
+      sparse::spmv<double>(At, ones, bt);
+      minimpi::World world(grid.nprocs());
+      double dist_err = 0.0;
+      const auto comm_stats = world.run([&](minimpi::Comm& comm) {
+        dist::DistributedLU<double> dlu(comm, grid, sym, At, {});
+        const auto xd = dlu.solve(comm, bt);
+        if (comm.rank() == 0)
+          dist_err = sparse::relative_error_inf<double>(ones, xd);
+      });
+      long long msgs = 0, bytes = 0;
+      for (const auto& cs : comm_stats) {
+        msgs += cs.messages_sent;
+        bytes += cs.bytes_sent;
+      }
+      std::printf("dist        %dx%d grid: err %.3e, %lld msgs, %lld bytes\n",
+                  grid.pr, grid.pc, dist_err, msgs, bytes);
+    }
+
+    const bool recovered_ok =
+        s.recovery.attempts.empty() || s.recovery.recovered;
+    std::printf("status      %s in %.3f s total\n",
+                recovered_ok ? "solved" : "NOT RECOVERED (best effort)",
+                total.seconds());
     if (know_truth)
       std::printf("error       %.3e (vs known solution)\n",
                   sparse::relative_error_inf<double>(x_true, x));
@@ -233,8 +306,37 @@ int main(int argc, char** argv) {
     std::printf("phases      ");
     for (const auto& [phase, t] : s.times.all())
       std::printf("%s %.3fs  ", phase.c_str(), t);
-    std::printf("\n");
-    return 0;
+    std::printf("%s\n", repeat > 1 ? "(last call)" : "");
+    if (repeat > 1) {
+      std::printf("phases all  ");
+      for (const auto& [phase, t] : s.times.all_totals())
+        std::printf("%s %.3fs  ", phase.c_str(), t);
+      std::printf("(cumulative over %d calls)\n", repeat);
+    }
+
+    if (!trace_path.empty()) {
+      trace::stop();
+      // Same file for both flags → one combined JSON object; Chrome's
+      // viewer ignores the extra top-level "metrics" member.
+      std::string extra;
+      if (metrics_path == trace_path)
+        extra = "\"metrics\":" + metrics::global().to_json();
+      trace::write_chrome_json(trace_path, extra);
+      std::fprintf(stderr, "trace       %zu events -> %s\n",
+                   trace::event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty() && metrics_path != trace_path) {
+      const std::string json = metrics::global().to_json();
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      GESP_CHECK(f != nullptr, Errc::io,
+                 "cannot open metrics file " + metrics_path);
+      std::fwrite(json.data(), 1, json.size(), f);
+      GESP_CHECK(std::fclose(f) == 0, Errc::io,
+                 "short write to metrics file " + metrics_path);
+    }
+    // A --recover run that exhausted the ladder still printed its best
+    // effort above, but scripts must see the failure category.
+    return recovered_ok ? 0 : 7;
   } catch (const Error& e) {
     std::fprintf(stderr, "gesp_solve: %s\n", e.what());
     return exit_code_for(e.code());
