@@ -48,7 +48,7 @@ int main() {
 
   // Grid shape matters too: compare shapes at P = 64.
   std::printf("\ngrid-shape sensitivity at P = 64:\n");
-  for (const auto [pr, pc] : {std::pair{1, 64}, {2, 32}, {4, 16}, {8, 8},
+  for (const auto& [pr, pc] : {std::pair{1, 64}, {2, 32}, {4, 16}, {8, 8},
                               {16, 4}, {32, 2}, {64, 1}}) {
     const dist::ProcessGrid grid{pr, pc};
     const auto f = dist::simulate_factorization(S, grid, machine, {});

@@ -39,7 +39,8 @@ int main() {
   std::vector<double> x;
   const auto stats = world.run([&](minimpi::Comm& comm) {
     dist::DistributedLU<double> lu(comm, grid, sym, A, {});
-    auto sol = lu.solve(comm, b);
+    std::vector<double> sol(b.size());
+    lu.solve(comm, b, sol);
     if (comm.rank() == 0) x = std::move(sol);
   });
 

@@ -22,13 +22,19 @@ bench_smp_vs_dist
 bench_ablation_relax
 bench_ablation_blocksize
 bench_machine_epochs
+bench_dist_backend
 bench_kernels
 "
 for b in $BENCHES; do
   echo "###############################################################"
   echo "### $b"
   echo "###############################################################"
-  if [ "$b" = "bench_kernels" ]; then
+  if [ "$b" = "bench_dist_backend" ]; then
+    # Distributed backend: pipelined-vs-strict makespan model, real
+    # message/byte counters and look-ahead hits per grid shape, recorded
+    # machine-readable next to this script.
+    "build/bench/$b" --out=BENCH_dist.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_kernels" ]; then
     # google-benchmark binary: also record the machine-readable perf
     # trajectory (GEMM GFLOP/s per block size, factorization per schedule
     # and thread count) next to this script.

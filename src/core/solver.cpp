@@ -59,6 +59,18 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
     reg.gauge("solver.time_total." + phase).set(seconds);
 }
 
+const char* backend_name(Backend b) noexcept {
+  switch (b) {
+    case Backend::serial:
+      return "serial";
+    case Backend::threaded:
+      return "threaded";
+    case Backend::dist:
+      return "dist";
+  }
+  return "unknown";
+}
+
 const char* recovery_rung_name(RecoveryRung r) noexcept {
   switch (r) {
     case RecoveryRung::gesp:
@@ -78,6 +90,10 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
     : opt_(opt) {
   GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
              "GESP needs a square matrix");
+  GESP_CHECK(opt_.backend != Backend::dist, Errc::invalid_argument,
+             "Backend::dist is driven by gesp::dist::solve or "
+             "dist::DistSolver, not core::Solver");
+  if (opt_.backend == Backend::serial) opt_.num_threads = 1;
   n_ = A.ncols;
   if (opt_.recovery.enabled) A_keep_ = A;
   transform(A);
@@ -179,42 +195,46 @@ double Solver<T>::berr_threshold() const {
 }
 
 template <class T>
-void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
+TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
+                                     const SolverOptions& opt,
+                                     PhaseTimes* times) {
   GESP_TRACE_SPAN("solver", "transform");
+  const index_t n = A.ncols;
+  TransformResult<T> out;
   Timer t;
   // --- step (1a): equilibration.
-  row_scale_.assign(static_cast<std::size_t>(n_), 1.0);
-  col_scale_.assign(static_cast<std::size_t>(n_), 1.0);
+  out.row_scale.assign(static_cast<std::size_t>(n), 1.0);
+  out.col_scale.assign(static_cast<std::size_t>(n), 1.0);
   sparse::CscMatrix<T> As = A;
-  if (opt_.equilibrate) {
+  if (opt.equilibrate) {
     GESP_TRACE_SPAN("solver", "equilibrate");
     const sparse::Scaling s = sparse::equilibrate(A);
-    row_scale_ = s.row;
-    col_scale_ = s.col;
-    As = sparse::apply_scaling(A, row_scale_, col_scale_);
+    out.row_scale = s.row;
+    out.col_scale = s.col;
+    As = sparse::apply_scaling(A, out.row_scale, out.col_scale);
   }
-  stats_.times.add("equilibrate", t.seconds());
+  if (times) times->add("equilibrate", t.seconds());
 
   // --- step (1b): permutation moving large entries onto the diagonal.
   t.reset();
   trace::Span rowperm_span("solver", "rowperm");
   std::vector<index_t> pr;
-  switch (opt_.row_perm) {
+  switch (opt.row_perm) {
     case RowPermOption::none:
-      pr = ordering::natural_order(n_);
+      pr = ordering::natural_order(n);
       break;
     case RowPermOption::mc21: {
       const auto m = matching::max_transversal(As);
-      GESP_CHECK(m.size == n_, Errc::structurally_singular,
+      GESP_CHECK(m.size == n, Errc::structurally_singular,
                  "no zero-free diagonal exists");
       pr = matching::matching_to_row_perm(m.row_of_col);
       break;
     }
     case RowPermOption::mc64: {
       const auto m = matching::mc64_product_matching(As);
-      if (opt_.mc64_scaling) {
-        for (index_t i = 0; i < n_; ++i) row_scale_[i] *= m.row_scale[i];
-        for (index_t j = 0; j < n_; ++j) col_scale_[j] *= m.col_scale[j];
+      if (opt.mc64_scaling) {
+        for (index_t i = 0; i < n; ++i) out.row_scale[i] *= m.row_scale[i];
+        for (index_t j = 0; j < n; ++j) out.col_scale[j] *= m.col_scale[j];
         As = sparse::apply_scaling(As, m.row_scale, m.col_scale);
       }
       pr = matching::matching_to_row_perm(m.row_of_col);
@@ -227,7 +247,7 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
     }
   }
   sparse::CscMatrix<T> Ap = sparse::permute(As, pr, {});
-  stats_.times.add("rowperm", t.seconds());
+  if (times) times->add("rowperm", t.seconds());
   rowperm_span.end();
 
   // --- step (2): fill-reducing column ordering, applied symmetrically so
@@ -235,9 +255,9 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   t.reset();
   trace::Span colorder_span("solver", "colorder");
   std::vector<index_t> pc;
-  switch (opt_.col_order) {
+  switch (opt.col_order) {
     case ColOrderOption::natural:
-      pc = ordering::natural_order(n_);
+      pc = ordering::natural_order(n);
       break;
     case ColOrderOption::amd_ata:
       pc = ordering::amd_order(ordering::ata_pattern(Ap));
@@ -255,15 +275,26 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   sparse::CscMatrix<T> Ao = sparse::permute(Ap, pc, pc);
   // Etree postorder refinement (fill-neutral, makes supernodes contiguous).
   const std::vector<index_t> pe = symbolic::etree_postorder(Ao);
-  At_ = sparse::permute(Ao, pe, pe);
-  stats_.times.add("colorder", t.seconds());
+  out.At = sparse::permute(Ao, pe, pe);
+  if (times) times->add("colorder", t.seconds());
   colorder_span.end();
 
   // Combined new-from-old transforms.
-  row_perm_.resize(static_cast<std::size_t>(n_));
-  col_perm_.resize(static_cast<std::size_t>(n_));
-  for (index_t i = 0; i < n_; ++i) row_perm_[i] = pe[pc[pr[i]]];
-  for (index_t j = 0; j < n_; ++j) col_perm_[j] = pe[pc[j]];
+  out.row_perm.resize(static_cast<std::size_t>(n));
+  out.col_perm.resize(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) out.row_perm[i] = pe[pc[pr[i]]];
+  for (index_t j = 0; j < n; ++j) out.col_perm[j] = pe[pc[j]];
+  return out;
+}
+
+template <class T>
+void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
+  TransformResult<T> r = compute_transform(A, opt_, &stats_.times);
+  row_scale_ = std::move(r.row_scale);
+  col_scale_ = std::move(r.col_scale);
+  row_perm_ = std::move(r.row_perm);
+  col_perm_ = std::move(r.col_perm);
+  At_ = std::move(r.At);
 }
 
 template <class T>
@@ -590,6 +621,12 @@ std::vector<T> solve(const sparse::CscMatrix<T>& A, std::span<const T> b,
   return x;
 }
 
+template struct TransformResult<double>;
+template struct TransformResult<Complex>;
+template TransformResult<double> compute_transform(
+    const sparse::CscMatrix<double>&, const SolverOptions&, PhaseTimes*);
+template TransformResult<Complex> compute_transform(
+    const sparse::CscMatrix<Complex>&, const SolverOptions&, PhaseTimes*);
 template class Solver<double>;
 template class Solver<Complex>;
 template std::vector<double> solve(const sparse::CscMatrix<double>&,

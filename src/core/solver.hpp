@@ -98,7 +98,35 @@ struct RecoveryTrail {
   bool recovered = true;  ///< final answer met the policy thresholds
 };
 
+/// Which engine executes the numeric factorization + solves. The analysis
+/// pipeline (equilibrate → row perm → column order → symbolic) is identical
+/// and bitwise-deterministic for all three.
+enum class Backend {
+  serial,    ///< single-threaded in-process factorization
+  threaded,  ///< shared-memory task-DAG factorization (num_threads)
+  dist,      ///< 2-D block-cyclic message-passing factorization over
+             ///< MiniMPI — handled by gesp::dist::solve / dist::DistSolver;
+             ///< core::Solver rejects it (it cannot run inside World::run)
+};
+
+const char* backend_name(Backend b) noexcept;
+
+/// Knobs specific to Backend::dist (plain data here so core carries no
+/// dependency on the dist layer).
+struct DistBackendOptions {
+  int nprocs = 4;  ///< simulated ranks when pr/pc are not both set
+  int pr = 0, pc = 0;  ///< explicit grid shape; 0 = near-square from nprocs
+  bool pipelined = true;      ///< look-ahead schedule (Fig 8); false = strict
+  bool edag_pruning = true;   ///< prune panel broadcasts via the EDAG rule
+  double recv_timeout_s = 0.0;  ///< transport watchdog; 0 = no timeout
+};
+
 struct SolverOptions {
+  /// Execution engine. serial/threaded run in-process via Solver;
+  /// Backend::dist is driven by gesp::dist::solve (one-shot) or
+  /// dist::DistSolver inside minimpi::World::run.
+  Backend backend = Backend::threaded;
+  DistBackendOptions dist;
   bool equilibrate = true;
   RowPermOption row_perm = RowPermOption::mc64;
   /// Apply the Dr/Dc scalings produced by the mc64 duals. The paper notes
@@ -148,6 +176,26 @@ struct SolveStats {
   /// can call it on a private registry to serialize a SolveStats as JSON.
   void export_metrics(metrics::Registry& reg) const;
 };
+
+/// Result of GESP steps (1)-(2): the combined transforms and the fully
+/// transformed matrix Â = P·(Dr·A·Dc)·Pᵀ ready for static-pivot
+/// factorization. Shared by core::Solver and dist::DistSolver (the
+/// pre-factorization pipeline is cheap, deterministic, and replicated on
+/// every rank in the distributed driver).
+template <class T>
+struct TransformResult {
+  std::vector<double> row_scale, col_scale;
+  std::vector<index_t> row_perm, col_perm;  ///< new-from-old, combined
+  sparse::CscMatrix<T> At;
+};
+
+/// Run equilibration, the row permutation and the column ordering exactly
+/// as Solver's analysis does; `times` (optional) receives the
+/// "equilibrate"/"rowperm"/"colorder" phase entries.
+template <class T>
+TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
+                                     const SolverOptions& opt,
+                                     PhaseTimes* times = nullptr);
 
 /// GESP solver: construction runs steps (1)-(3) (analysis + factorization);
 /// solve() runs step (4) per right-hand side.
@@ -218,6 +266,12 @@ std::vector<T> solve(const sparse::CscMatrix<T>& A, std::span<const T> b,
                      const SolverOptions& opt = {},
                      SolveStats* stats_out = nullptr);
 
+extern template struct TransformResult<double>;
+extern template struct TransformResult<Complex>;
+extern template TransformResult<double> compute_transform(
+    const sparse::CscMatrix<double>&, const SolverOptions&, PhaseTimes*);
+extern template TransformResult<Complex> compute_transform(
+    const sparse::CscMatrix<Complex>&, const SolverOptions&, PhaseTimes*);
 extern template class Solver<double>;
 extern template class Solver<Complex>;
 extern template std::vector<double> solve(const sparse::CscMatrix<double>&,

@@ -1,9 +1,15 @@
 #include "dist/dist_lu.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <functional>
+#include <queue>
 #include <set>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "dense/kernels.hpp"
 #include "sparse/coo.hpp"
 
@@ -17,21 +23,26 @@ constexpr int kTagLIndex = 1;
 constexpr int kTagLValue = 2;
 constexpr int kTagUIndex = 3;
 constexpr int kTagUValue = 4;
+constexpr int kNumFactTags = 5;
 
 int fact_tag(index_t K, int type) { return static_cast<int>(K) * 8 + type; }
 
 struct SolveTags {
-  int x_base, sum_base, gather_base, bcast;
+  int x_base, sum_base;
 };
 
 SolveTags lower_tags(index_t nsup) {
   const int n = static_cast<int>(nsup);
-  return {n * 8, n * 9, n * 12, n * 16};
+  return {n * 8, n * 9};
 }
 SolveTags upper_tags(index_t nsup) {
   const int n = static_cast<int>(nsup);
-  return {n * 10, n * 11, n * 14, n * 16 + 1};
+  return {n * 10, n * 11};
 }
+// Vector gather/broadcast tags (shared by the lower/upper replication —
+// gather phases are barrier-separated, so reuse is safe).
+int gather_vec_tag(index_t nsup) { return static_cast<int>(nsup) * 12; }
+int bcast_vec_tag(index_t nsup) { return static_cast<int>(nsup) * 16; }
 // Factor-gather tags (above everything else).
 int gather_l_tag(index_t nsup) { return static_cast<int>(nsup) * 16 + 2; }
 int gather_u_tag(index_t nsup) { return static_cast<int>(nsup) * 16 + 3; }
@@ -50,6 +61,22 @@ void subset_positions(std::span<const index_t> sub,
   }
 }
 
+// Task types of the factorization schedule, in strict program order per K.
+// kUpdNear(K) covers the update pairs whose destination lies in panel K+1
+// (the blocks the next panel reads); kUpdRest(K) covers the remainder.
+// Splitting them is what enables look-ahead: panel K+1 only depends on
+// kUpdNear(K), while kUpdRest(K) may drain later. Every destination block
+// still receives its updates in ascending source order (the kUpdRest chain
+// plus the near/rest classification — see docs/INTERNALS.md §13), so the
+// factors are bitwise identical under any interleaving.
+enum TaskType {
+  kDfac = 0,    // GETRF of my diagonal block (K,K)
+  kLpan = 1,    // TRSM of my L blocks of column K + panel broadcast
+  kUpan = 2,    // TRSM of my U blocks of row K + panel broadcast
+  kUpdNear = 3, // update pairs with min(I,J) == K+1
+  kUpdRest = 4, // update pairs with min(I,J) >  K+1
+};
+
 }  // namespace
 
 template <class T>
@@ -57,13 +84,23 @@ DistributedLU<T>::DistributedLU(minimpi::Comm& comm, const ProcessGrid& grid,
                                 std::shared_ptr<const symbolic::SymbolicLU> sym,
                                 const sparse::CscMatrix<T>& A,
                                 const DistOptions& opt)
-    : grid_(grid), sym_(std::move(sym)) {
+    : grid_(grid), sym_(std::move(sym)), opt_(opt) {
   GESP_CHECK(grid_.nprocs() == comm.size(), Errc::invalid_argument,
              "process grid does not match communicator size");
   myrow_ = grid_.rank_row(comm.rank());
   mycol_ = grid_.rank_col(comm.rank());
   scatter_initial(A);
-  factorize(comm, opt);
+  factorize(comm, opt_);
+  comm.barrier();
+}
+
+template <class T>
+void DistributedLU<T>::refactorize(minimpi::Comm& comm,
+                                   const sparse::CscMatrix<T>& A,
+                                   const DistOptions& opt) {
+  opt_ = opt;
+  scatter_initial(A);  // resets owned blocks to zero, then scatters A
+  factorize(comm, opt_);
   comm.barrier();
 }
 
@@ -132,9 +169,12 @@ template <class T>
 void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
   const symbolic::SymbolicLU& S = *sym_;
   const index_t N = S.nsup;
+  const count_t msgs0 = comm.stats().messages_sent;
+  const count_t bytes0 = comm.stats().bytes_sent;
+  pivot_stats_ = {};
+  lookahead_hits_ = 0;
   dense::PivotPolicy policy;
   policy.tiny_threshold = opt.tiny_threshold;
-  dense::PivotStats stats;
 
   // Static predicates — every rank evaluates these identically, which is
   // why no handshaking is ever needed.
@@ -148,145 +188,318 @@ void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
       if (grid_.pcol_of(blk.J) == c) return true;
     return false;
   };
+  auto l_needed_by_col = [&](index_t K, int c) {
+    return opt.edag_pruning ? col_has_u(K, c) : true;
+  };
+  auto u_needed_by_row = [&](index_t K, int r) {
+    return opt.edag_pruning ? row_has_l(K, r) : true;
+  };
 
-  std::vector<T> scratch, lrecv, urecv, diag_buf;
-  std::vector<index_t> rpos, cpos, idx;
-
+  // ---- build this rank's task list (construction order == the strict
+  // program order: per K, DFAC < LPAN < UPAN < UPD-near < UPD-rest).
+  struct Task {
+    int type;
+    index_t K;
+    int pending = 0;
+  };
+  std::vector<Task> tasks;
+  std::vector<int> task_of(static_cast<std::size_t>(N) * kNumFactTags, -1);
+  auto tid = [&](index_t K, int type) -> int {
+    return task_of[static_cast<std::size_t>(K) * kNumFactTags + type];
+  };
+  auto add_task = [&](int type, index_t K) {
+    task_of[static_cast<std::size_t>(K) * kNumFactTags + type] =
+        static_cast<int>(tasks.size());
+    tasks.push_back({type, K, 0});
+  };
   for (index_t K = 0; K < N; ++K) {
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    if (myrow_ == kr && mycol_ == kc) add_task(kDfac, K);
+    if (mycol_ == kc && row_has_l(K, myrow_)) add_task(kLpan, K);
+    if (myrow_ == kr && col_has_u(K, mycol_)) add_task(kUpan, K);
+    bool near = false, rest = false;
+    for (const auto& lb : S.L[K]) {
+      if (grid_.prow_of(lb.I) != myrow_) continue;
+      for (const auto& ub : S.U[K]) {
+        if (grid_.pcol_of(ub.J) != mycol_) continue;
+        (std::min(lb.I, ub.J) == K + 1 ? near : rest) = true;
+      }
+    }
+    if (near) add_task(kUpdNear, K);
+    if (rest) add_task(kUpdRest, K);
+  }
+
+  // ---- dependency counters.
+  // Availability slots: a panel TRSM waits for its diagonal (local DFAC or
+  // a diag message); an update task waits for the L and U panel data
+  // (local LPAN/UPAN or the broadcast messages).
+  for (auto& t : tasks) {
+    if (t.type == kLpan || t.type == kUpan) t.pending += 1;
+    if (t.type == kUpdNear || t.type == kUpdRest) t.pending += 2;
+  }
+  // The kUpdRest chain: this rank's rest-updates execute in ascending K,
+  // and a near-update (or any later rest-update) waits for the last
+  // rest-update with a smaller source. Combined with the near/rest split
+  // this guarantees every destination block accumulates its updates in
+  // ascending source order — the bitwise-determinism invariant.
+  std::vector<index_t> rest_Ks;
+  for (const auto& t : tasks)
+    if (t.type == kUpdRest) rest_Ks.push_back(t.K);
+  std::vector<std::vector<int>> chain_succ(tasks.size());
+  for (std::size_t p = 0; p + 1 < rest_Ks.size(); ++p) {
+    const int pred = tid(rest_Ks[p], kUpdRest);
+    const int succ = tid(rest_Ks[p + 1], kUpdRest);
+    chain_succ[pred].push_back(succ);
+    tasks[succ].pending++;
+  }
+  for (const auto& t : tasks) {
+    if (t.type != kUpdNear) continue;
+    // Largest rest source strictly below this near-update's source.
+    const auto it = std::lower_bound(rest_Ks.begin(), rest_Ks.end(), t.K);
+    if (it == rest_Ks.begin()) continue;
+    const int pred = tid(*(it - 1), kUpdRest);
+    const int self = tid(t.K, kUpdNear);
+    chain_succ[pred].push_back(self);
+    tasks[self].pending++;
+  }
+  // Pair edges: each update pair writing a block of panel M blocks the
+  // panel task of M that reads it (pair-granular: the update task
+  // decrements once per pair as it applies them).
+  for (index_t K = 0; K < N; ++K) {
+    if (tid(K, kUpdNear) < 0 && tid(K, kUpdRest) < 0) continue;
+    for (const auto& lb : S.L[K]) {
+      if (grid_.prow_of(lb.I) != myrow_) continue;
+      for (const auto& ub : S.U[K]) {
+        if (grid_.pcol_of(ub.J) != mycol_) continue;
+        int dest;
+        if (lb.I == ub.J)
+          dest = tid(lb.I, kDfac);
+        else if (lb.I > ub.J)
+          dest = tid(ub.J, kLpan);
+        else
+          dest = tid(lb.I, kUpan);
+        GESP_ASSERT(dest >= 0, "update destination panel task missing");
+        tasks[dest].pending++;
+      }
+    }
+  }
+
+  // ---- ready queue (pipelined mode): min-heap on the look-ahead priority.
+  // Panel tasks of K+1 outrank the rest-updates of K ((K+1)*8+7 > (K+1)*8+2)
+  // — that preference IS the look-ahead.
+  auto prio = [](const Task& t) -> long {
+    const long K = t.K;
+    switch (t.type) {
+      case kDfac: return K * 8 + 0;
+      case kLpan: return K * 8 + 1;
+      case kUpan: return K * 8 + 2;
+      case kUpdNear: return K * 8 + 3;
+      default: return (K + 1) * 8 + 7;  // kUpdRest yields to panel K+1
+    }
+  };
+  using HeapItem = std::pair<long, int>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<HeapItem>>
+      ready;
+  auto dec = [&](int id) {
+    if (id < 0) return;
+    if (--tasks[id].pending == 0)
+      ready.push({prio(tasks[id]), id});
+  };
+
+  // ---- message bookkeeping. First arrival wins (a duplicated chaos
+  // delivery must not double-decrement a counter); index messages carry
+  // structure every rank already knows statically, so they are drained
+  // and discarded.
+  //
+  // Static pivoting means every rank can enumerate, without communication,
+  // exactly which factorization messages will be addressed to it (the
+  // paper's scalability property). The schedule stops *blocking* once its
+  // tasks are done, so any message it was sent but never needed (e.g.
+  // un-pruned broadcasts with edag_pruning off, or index messages) is
+  // drained at the end — nothing may linger in the mailbox to pollute the
+  // wildcard receives of the solve phase, and a dropped message is always
+  // detected as a missing expected arrival.
+  std::vector<std::vector<T>> diag_recv(static_cast<std::size_t>(N));
+  std::vector<std::vector<T>> lrecv(static_cast<std::size_t>(N));
+  std::vector<std::vector<T>> urecv(static_cast<std::size_t>(N));
+  std::vector<unsigned char> seen(static_cast<std::size_t>(N) * kNumFactTags,
+                                  0);
+  std::size_t nexpected = 0;
+  for (index_t K = 0; K < N; ++K) {
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    if ((mycol_ == kc && myrow_ != kr && row_has_l(K, myrow_)) ||
+        (myrow_ == kr && mycol_ != kc && col_has_u(K, mycol_)))
+      nexpected += 1;  // the factored diagonal block
+    if (mycol_ != kc && row_has_l(K, myrow_) && l_needed_by_col(K, mycol_))
+      nexpected += 2;  // L index + values from my process row's panel rank
+    if (myrow_ != kr && col_has_u(K, mycol_) && u_needed_by_row(K, myrow_))
+      nexpected += 2;  // U index + values from my process column's panel rank
+  }
+  std::size_t nseen = 0;
+  auto handle = [&](minimpi::Message msg) {
+    GESP_ASSERT(msg.tag >= 0 && msg.tag < static_cast<int>(N) * 8,
+                "non-factorization message during factorize");
+    const index_t K = static_cast<index_t>(msg.tag / 8);
+    const int type = msg.tag % 8;
+    auto& flag = seen[static_cast<std::size_t>(K) * kNumFactTags + type];
+    if (flag) return;
+    flag = 1;
+    nseen++;
+    switch (type) {
+      case kTagDiag:
+        diag_recv[K] = msg.template as<T>();
+        dec(tid(K, kLpan));
+        dec(tid(K, kUpan));
+        break;
+      case kTagLValue:
+        lrecv[K] = msg.template as<T>();
+        dec(tid(K, kUpdNear));
+        dec(tid(K, kUpdRest));
+        break;
+      case kTagUValue:
+        urecv[K] = msg.template as<T>();
+        dec(tid(K, kUpdNear));
+        dec(tid(K, kUpdRest));
+        break;
+      default:  // kTagLIndex / kTagUIndex: static structure, nothing to do
+        break;
+    }
+  };
+
+  // ---- task bodies (the arithmetic is identical to the strict loop:
+  // same kernels, same scratch handling, same scatter-add order).
+  std::vector<T> scratch;
+  std::vector<index_t> rpos, cpos, idx;
+  std::size_t rest_ptr = 0;  // rest-updates complete in ascending K
+
+  auto note_lookahead = [&](index_t K) {
+    if (rest_ptr < rest_Ks.size() && rest_Ks[rest_ptr] < K)
+      lookahead_hits_++;
+  };
+
+  auto exec_dfac = [&](index_t K) {
+    GESP_TRACE_SPAN_ID("dist", "panel", K);
+    note_lookahead(K);
+    const index_t b = S.block_cols(K);
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    dense::getrf(diag_[K].data(), b, b, policy, pivot_stats_);
+    // Ship the factored diagonal block to the column / row peers that
+    // hold L / U blocks of this panel.
+    for (int r = 0; r < grid_.pr; ++r)
+      if (r != kr && row_has_l(K, r))
+        comm.send_vec(grid_.rank_of(r, kc), fact_tag(K, kTagDiag), diag_[K]);
+    for (int c = 0; c < grid_.pc; ++c)
+      if (c != kc && col_has_u(K, c))
+        comm.send_vec(grid_.rank_of(kr, c), fact_tag(K, kTagDiag), diag_[K]);
+    dec(tid(K, kLpan));
+    dec(tid(K, kUpan));
+  };
+
+  auto exec_lpan = [&](index_t K) {
+    GESP_TRACE_SPAN_ID("dist", "panel", K);
+    note_lookahead(K);
     const index_t b = S.block_cols(K);
     const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
     const bool own_diag = (myrow_ == kr && mycol_ == kc);
-    const bool in_kcol = (mycol_ == kc) && row_has_l(K, myrow_);
-    const bool in_krow = (myrow_ == kr) && col_has_u(K, mycol_);
+    const T* diag = own_diag ? diag_[K].data() : diag_recv[K].data();
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      if (lblocks_[K][bi].empty()) continue;
+      const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
+      dense::trsm_right_upper(diag, b, b, lblocks_[K][bi].data(), m, m);
+    }
+    // Pack my L blocks of column K (they are conceptually contiguous;
+    // index[] and nzval[] travel as the paper's two messages).
+    idx.clear();
+    std::size_t total = 0;
+    for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
+      if (lblocks_[K][bi].empty()) continue;
+      idx.push_back(S.L[K][bi].I);
+      idx.push_back(static_cast<index_t>(S.L[K][bi].rows.size()));
+      total += lblocks_[K][bi].size();
+    }
+    std::vector<T> packed;
+    packed.reserve(total);
+    for (const auto& blk : lblocks_[K])
+      packed.insert(packed.end(), blk.begin(), blk.end());
+    for (int c = 0; c < grid_.pc; ++c) {
+      if (c == kc || !l_needed_by_col(K, c)) continue;
+      comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLIndex), idx);
+      comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLValue),
+                    packed);
+    }
+    if (!own_diag) diag_recv[K] = {};  // sole local user of the copy
+    dec(tid(K, kUpdNear));
+    dec(tid(K, kUpdRest));
+  };
 
-    // ---- step (1): factor the panel.
-    if (own_diag) {
-      dense::getrf(diag_[K].data(), b, b, policy, stats);
-      // Ship the factored diagonal block to the column / row peers that
-      // hold L / U blocks of this panel.
-      for (int r = 0; r < grid_.pr; ++r)
-        if (r != kr && row_has_l(K, r))
-          comm.send_vec(grid_.rank_of(r, kc), fact_tag(K, kTagDiag),
-                        diag_[K]);
-      for (int c = 0; c < grid_.pc; ++c)
-        if (c != kc && col_has_u(K, c))
-          comm.send_vec(grid_.rank_of(kr, c), fact_tag(K, kTagDiag),
-                        diag_[K]);
+  auto exec_upan = [&](index_t K) {
+    GESP_TRACE_SPAN_ID("dist", "panel", K);
+    note_lookahead(K);
+    const index_t b = S.block_cols(K);
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    const bool own_diag = (myrow_ == kr && mycol_ == kc);
+    const T* diag = own_diag ? diag_[K].data() : diag_recv[K].data();
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      if (ublocks_[K][uj].empty()) continue;
+      const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+      dense::trsm_left_lower_unit(diag, b, b, ublocks_[K][uj].data(), c, b);
     }
-    const std::vector<T>* diag_ptr = nullptr;
-    if (own_diag) {
-      diag_ptr = &diag_[K];
-    } else if (in_kcol || in_krow) {
-      diag_buf = comm.recv(grid_.rank_of(kr, kc), fact_tag(K, kTagDiag))
-                     .template as<T>();
-      diag_ptr = &diag_buf;
+    idx.clear();
+    std::size_t total = 0;
+    for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
+      if (ublocks_[K][uj].empty()) continue;
+      idx.push_back(S.U[K][uj].J);
+      idx.push_back(static_cast<index_t>(S.U[K][uj].cols.size()));
+      total += ublocks_[K][uj].size();
     }
-    if (in_kcol) {
-      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
-        if (lblocks_[K][bi].empty()) continue;
-        const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
-        dense::trsm_right_upper(diag_ptr->data(), b, b,
-                                lblocks_[K][bi].data(), m, m);
-      }
+    std::vector<T> packed;
+    packed.reserve(total);
+    for (const auto& blk : ublocks_[K])
+      packed.insert(packed.end(), blk.begin(), blk.end());
+    for (int r = 0; r < grid_.pr; ++r) {
+      if (r == kr || !u_needed_by_row(K, r)) continue;
+      comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUIndex), idx);
+      comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUValue),
+                    packed);
     }
-    // ---- step (2): triangular solves for the U row.
-    if (in_krow) {
-      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
-        if (ublocks_[K][uj].empty()) continue;
-        const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
-        dense::trsm_left_lower_unit(diag_ptr->data(), b, b,
-                                    ublocks_[K][uj].data(), c, b);
-      }
-    }
+    if (!own_diag) diag_recv[K] = {};
+    dec(tid(K, kUpdNear));
+    dec(tid(K, kUpdRest));
+  };
 
-    // ---- communicate the panel: L across the process row, U down the
-    // process column, pruned to the processes that own affected blocks.
-    auto l_needed_by_col = [&](int c) {
-      return opt.edag_pruning ? col_has_u(K, c) : true;
-    };
-    auto u_needed_by_row = [&](int r) {
-      return opt.edag_pruning ? row_has_l(K, r) : true;
-    };
-    if (in_kcol) {
-      // Pack my L blocks of column K (they are conceptually contiguous;
-      // index[] and nzval[] travel as the paper's two messages).
-      idx.clear();
-      std::size_t total = 0;
-      for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
-        if (lblocks_[K][bi].empty()) continue;
-        idx.push_back(S.L[K][bi].I);
-        idx.push_back(static_cast<index_t>(S.L[K][bi].rows.size()));
-        total += lblocks_[K][bi].size();
-      }
-      std::vector<T> packed;
-      packed.reserve(total);
-      for (const auto& blk : lblocks_[K])
-        packed.insert(packed.end(), blk.begin(), blk.end());
-      for (int c = 0; c < grid_.pc; ++c) {
-        if (c == kc || !l_needed_by_col(c)) continue;
-        comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLIndex), idx);
-        comm.send_vec(grid_.rank_of(myrow_, c), fact_tag(K, kTagLValue),
-                      packed);
-      }
-    }
-    if (in_krow) {
-      idx.clear();
-      std::size_t total = 0;
-      for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
-        if (ublocks_[K][uj].empty()) continue;
-        idx.push_back(S.U[K][uj].J);
-        idx.push_back(static_cast<index_t>(S.U[K][uj].cols.size()));
-        total += ublocks_[K][uj].size();
-      }
-      std::vector<T> packed;
-      packed.reserve(total);
-      for (const auto& blk : ublocks_[K])
-        packed.insert(packed.end(), blk.begin(), blk.end());
-      for (int r = 0; r < grid_.pr; ++r) {
-        if (r == kr || !u_needed_by_row(r)) continue;
-        comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUIndex), idx);
-        comm.send_vec(grid_.rank_of(r, mycol_), fact_tag(K, kTagUValue),
-                      packed);
-      }
-    }
-
-    // ---- receive the panel pieces this rank needs.
-    const bool recv_l = (mycol_ != kc) && row_has_l(K, myrow_) &&
-                        l_needed_by_col(mycol_);
-    const bool recv_u = (myrow_ != kr) && col_has_u(K, mycol_) &&
-                        u_needed_by_row(myrow_);
+  auto exec_upd = [&](index_t K, bool near_class, int self_id) {
+    GESP_TRACE_SPAN_ID("dist", "update", K);
+    const index_t b = S.block_cols(K);
+    const int kr = grid_.prow_of(K), kc = grid_.pcol_of(K);
+    // Panel data pointers: my own TRSM'd blocks when in the panel's
+    // process column/row, else the packed broadcast payloads.
     std::vector<const T*> lptr(S.L[K].size(), nullptr);
     std::vector<const T*> uptr(S.U[K].size(), nullptr);
     if (mycol_ == kc) {
       for (std::size_t bi = 0; bi < S.L[K].size(); ++bi)
         if (!lblocks_[K][bi].empty()) lptr[bi] = lblocks_[K][bi].data();
-    } else if (recv_l) {
-      (void)comm.recv(grid_.rank_of(myrow_, kc), fact_tag(K, kTagLIndex));
-      lrecv = comm.recv(grid_.rank_of(myrow_, kc), fact_tag(K, kTagLValue))
-                  .template as<T>();
+    } else {
       std::size_t off = 0;
       for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
         if (grid_.prow_of(S.L[K][bi].I) != myrow_) continue;
-        lptr[bi] = lrecv.data() + off;
+        lptr[bi] = lrecv[K].data() + off;
         off += S.L[K][bi].rows.size() * static_cast<std::size_t>(b);
       }
     }
     if (myrow_ == kr) {
       for (std::size_t uj = 0; uj < S.U[K].size(); ++uj)
         if (!ublocks_[K][uj].empty()) uptr[uj] = ublocks_[K][uj].data();
-    } else if (recv_u) {
-      (void)comm.recv(grid_.rank_of(kr, mycol_), fact_tag(K, kTagUIndex));
-      urecv = comm.recv(grid_.rank_of(kr, mycol_), fact_tag(K, kTagUValue))
-                  .template as<T>();
+    } else {
       std::size_t off = 0;
       for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
         if (grid_.pcol_of(S.U[K][uj].J) != mycol_) continue;
-        uptr[uj] = urecv.data() + off;
+        uptr[uj] = urecv[K].data() + off;
         off += S.U[K][uj].cols.size() * static_cast<std::size_t>(b);
       }
     }
-
-    // ---- step (3): rank-b update of the owned trailing blocks.
+    // Rank-b update of the owned trailing blocks in this class. Distinct
+    // pairs write distinct destinations, so the near/rest split cannot
+    // change any accumulation order within one source K.
     for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
       const index_t I = S.L[K][bi].I;
       if (grid_.prow_of(I) != myrow_ || lptr[bi] == nullptr) continue;
@@ -295,6 +508,7 @@ void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
       for (std::size_t uj = 0; uj < S.U[K].size(); ++uj) {
         const index_t J = S.U[K][uj].J;
         if (grid_.pcol_of(J) != mycol_ || uptr[uj] == nullptr) continue;
+        if ((std::min(I, J) == K + 1) != near_class) continue;
         const auto& src_cols = S.U[K][uj].cols;
         const index_t c = static_cast<index_t>(src_cols.size());
         scratch.assign(static_cast<std::size_t>(m) * c, T{});
@@ -308,6 +522,7 @@ void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
             for (index_t rr = 0; rr < m; ++rr)
               dst[(src_rows[rr] - base) + (src_cols[cc] - base) * bI] +=
                   scratch[rr + cc * m];
+          dec(tid(I, kDfac));
         } else if (I > J) {
           // destination L block (I, J).
           std::size_t dbi = 0;
@@ -322,6 +537,7 @@ void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
             for (index_t rr = 0; rr < m; ++rr)
               dcol[rpos[rr]] += scratch[rr + cc * m];
           }
+          dec(tid(J, kLpan));
         } else {
           std::size_t dbj = 0;
           while (S.U[I][dbj].J != J) ++dbj;
@@ -335,25 +551,163 @@ void DistributedLU<T>::factorize(minimpi::Comm& comm, const DistOptions& opt) {
             for (index_t rr = 0; rr < m; ++rr)
               dcol[src_rows[rr] - base] += scratch[rr + cc * m];
           }
+          dec(tid(I, kUpan));
         }
       }
     }
+    if (!near_class) rest_ptr++;
+    for (int succ : chain_succ[self_id]) dec(succ);
+    // Free the broadcast payloads once both update classes for K are done.
+    const int other = near_class ? tid(K, kUpdRest) : tid(K, kUpdNear);
+    if (other < 0 || tasks[other].pending < 0) {
+      lrecv[K] = {};
+      urecv[K] = {};
+    }
+  };
+
+  auto execute = [&](int id) {
+    Task& t = tasks[id];
+    switch (t.type) {
+      case kDfac: exec_dfac(t.K); break;
+      case kLpan: exec_lpan(t.K); break;
+      case kUpan: exec_upan(t.K); break;
+      case kUpdNear: exec_upd(t.K, true, id); break;
+      default: exec_upd(t.K, false, id); break;
+    }
+    t.pending = -1;  // mark done (distinguishes from ready)
+  };
+
+  // Seed the queue with the tasks that start ready.
+  for (int id = 0; id < static_cast<int>(tasks.size()); ++id)
+    if (tasks[id].pending == 0) ready.push({prio(tasks[id]), id});
+
+  if (opt.pipelined) {
+    // Message-driven scheduler: drain arrivals, then run the lowest-key
+    // ready task; block for a message only when nothing is runnable.
+    // Execution linearizes to the strict order (every dependency edge
+    // points forward in the strict keys), so the loop cannot deadlock.
+    std::size_t ndone = 0;
+    while (ndone < tasks.size()) {
+      while (comm.probe()) handle(comm.recv());
+      if (!ready.empty()) {
+        const int id = ready.top().second;
+        ready.pop();
+        execute(id);
+        ndone++;
+      } else {
+        handle(comm.recv());
+      }
+    }
+  } else {
+    // Strict mode: replay the tasks in program order (the construction
+    // order), blocking on messages until the head task is runnable — the
+    // original per-K loop, expressed over the same task graph.
+    for (int id = 0; id < static_cast<int>(tasks.size()); ++id) {
+      while (tasks[id].pending > 0) handle(comm.recv());
+      execute(id);
+    }
+  }
+
+  // Drain every remaining message addressed to this rank (see above): the
+  // mailbox must be empty of factorization traffic before the solve phase.
+  while (nseen < nexpected) handle(comm.recv());
+
+  metrics::global().counter("dist.msgs").inc(comm.stats().messages_sent -
+                                             msgs0);
+  metrics::global().counter("dist.bytes").inc(comm.stats().bytes_sent -
+                                              bytes0);
+  metrics::global().counter("dist.lookahead_hits").inc(lookahead_hits_);
+}
+
+template <class T>
+double DistributedLU<T>::factor_entry_max() const {
+  using std::abs;
+  const symbolic::SymbolicLU& S = *sym_;
+  double m = 0.0;
+  for (index_t K = 0; K < S.nsup; ++K) {
+    const index_t b = S.block_cols(K);
+    if (!diag_[K].empty()) {
+      for (index_t c = 0; c < b; ++c)
+        for (index_t r = 0; r <= c; ++r)
+          m = std::max(m, static_cast<double>(abs(diag_[K][r + c * b])));
+    }
+    for (const auto& blk : ublocks_[K])
+      for (const T& v : blk)
+        m = std::max(m, static_cast<double>(abs(v)));
+  }
+  return m;
+}
+
+template <class T>
+void DistributedLU<T>::solve(minimpi::Comm& comm, std::span<const T> b,
+                             std::span<T> x) {
+  GESP_CHECK(b.size() == static_cast<std::size_t>(sym_->n) &&
+                 x.size() == b.size(),
+             Errc::invalid_argument, "solve dimension mismatch");
+  BlockVector xb;
+  scatter_vector(b, xb);
+  solve_lower_dist(comm, xb);
+  comm.barrier();
+  solve_upper_dist(comm, xb);
+  comm.barrier();
+  gather_vector(comm, xb, x);
+  comm.barrier();
+}
+
+template <class T>
+void DistributedLU<T>::scatter_vector(std::span<const T> full,
+                                      BlockVector& xb) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  const int me = grid_.rank_of(myrow_, mycol_);
+  xb.assign(static_cast<std::size_t>(N), {});
+  for (index_t K = 0; K < N; ++K)
+    if (grid_.owner(K, K) == me)
+      xb[K].assign(full.begin() + S.sn_start[K],
+                   full.begin() + S.sn_start[K + 1]);
+}
+
+template <class T>
+void DistributedLU<T>::gather_vector(minimpi::Comm& comm,
+                                     const BlockVector& xb,
+                                     std::span<T> full) const {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  const int me = comm.rank();
+  const int gbase = gather_vec_tag(N);
+  const int btag = bcast_vec_tag(N);
+  if (me == 0) {
+    std::fill(full.begin(), full.end(), T{});
+    index_t expect = 0;
+    for (index_t K = 0; K < N; ++K) {
+      if (grid_.owner(K, K) == me)
+        std::copy(xb[K].begin(), xb[K].end(), full.begin() + S.sn_start[K]);
+      else
+        expect++;
+    }
+    for (index_t k = 0; k < expect; ++k) {
+      const minimpi::Message msg = comm.recv(minimpi::kAnySource,
+                                             minimpi::kAnyTag);
+      GESP_ASSERT(msg.tag >= gbase && msg.tag < gbase + static_cast<int>(N),
+                  "unexpected message during vector gather");
+      const index_t K = static_cast<index_t>(msg.tag - gbase);
+      const auto vals = msg.template as<T>();
+      std::copy(vals.begin(), vals.end(), full.begin() + S.sn_start[K]);
+    }
+    std::vector<T> fv(full.begin(), full.end());
+    for (int r = 1; r < comm.size(); ++r) comm.send_vec(r, btag, fv);
+  } else {
+    for (index_t K = 0; K < N; ++K)
+      if (grid_.owner(K, K) == me)
+        comm.send_vec(0, gbase + static_cast<int>(K), xb[K]);
+    const auto fv = comm.recv(0, btag).template as<T>();
+    std::copy(fv.begin(), fv.end(), full.begin());
   }
 }
 
 template <class T>
-std::vector<T> DistributedLU<T>::solve(minimpi::Comm& comm,
-                                       const std::vector<T>& b) {
-  std::vector<T> y = solve_lower(comm, b);
-  comm.barrier();
-  std::vector<T> x = solve_upper(comm, y);
-  comm.barrier();
-  return x;
-}
-
-template <class T>
-std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
-                                             const std::vector<T>& b) {
+void DistributedLU<T>::solve_lower_dist(minimpi::Comm& comm,
+                                        BlockVector& xb) const {
   const symbolic::SymbolicLU& S = *sym_;
   const index_t N = S.nsup;
   const SolveTags tags = lower_tags(N);
@@ -385,15 +739,10 @@ std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
     pending[K] = static_cast<index_t>(contributors[K].size());
   }
 
-  // Solution slices for diag-owned blocks, initialized with b.
-  std::vector<std::vector<T>> xsol(static_cast<std::size_t>(N));
   std::vector<std::vector<T>> lsum(static_cast<std::size_t>(N));
-  for (index_t K = 0; K < N; ++K) {
-    if (grid_.owner(K, K) == me)
-      xsol[K].assign(b.begin() + S.sn_start[K], b.begin() + S.sn_start[K + 1]);
+  for (index_t K = 0; K < N; ++K)
     if (fmod[K] > 0)
       lsum[K].assign(static_cast<std::size_t>(S.block_cols(K)), T{});
-  }
 
   index_t solved = 0;
   count_t processed = 0;
@@ -406,7 +755,7 @@ std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
     const int owner = grid_.owner(I, I);
     if (owner == me) {
       for (std::size_t r = 0; r < lsum[I].size(); ++r)
-        xsol[I][r] += lsum[I][r];
+        xb[I][r] += lsum[I][r];
       pending[I]--;
       try_solve(I);
     } else {
@@ -436,10 +785,10 @@ std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
   };
 
   try_solve = [&](index_t K) {
-    if (pending[K] != 0 || xsol[K].empty()) return;
+    if (pending[K] != 0 || xb[K].empty()) return;
     pending[K] = -1;  // mark solved
     dense::trsv_lower_unit(diag_[K].data(), S.block_cols(K),
-                           S.block_cols(K), xsol[K].data());
+                           S.block_cols(K), xb[K].data());
     solved++;
     // Ship x(K) to the process rows that own blocks (I, K).
     std::set<int> dests;
@@ -448,25 +797,23 @@ std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
       if (owner != me) dests.insert(owner);
     }
     for (int d : dests)
-      comm.send_vec(d, tags.x_base + static_cast<int>(K), xsol[K]);
-    process_x(K, xsol[K]);
+      comm.send_vec(d, tags.x_base + static_cast<int>(K), xb[K]);
+    process_x(K, xb[K]);
   };
 
   for (index_t K = 0; K < N; ++K)
     if (grid_.owner(K, K) == me) try_solve(K);
 
   // Message-driven main loop (line (*) of Fig 9): act on whichever message
-  // type arrives. Gather messages from ranks that finished early are
-  // stashed for the gather phase below.
-  std::vector<minimpi::Message> stash;
+  // type arrives. The loop consumes exactly the messages addressed to this
+  // phase (every x / lsum destined here is counted by processed / solved),
+  // so the mailbox is clean on exit — callers barrier between phases.
   while (processed < my_blocks || solved < my_diags) {
     minimpi::Message msg = comm.recv();
-    if (msg.tag >= tags.gather_base) {
-      stash.push_back(std::move(msg));
-    } else if (msg.tag >= tags.sum_base) {
+    if (msg.tag >= tags.sum_base) {
       const index_t K = static_cast<index_t>(msg.tag - tags.sum_base);
       const auto vals = msg.template as<T>();
-      for (std::size_t r = 0; r < vals.size(); ++r) xsol[K][r] += vals[r];
+      for (std::size_t r = 0; r < vals.size(); ++r) xb[K][r] += vals[r];
       pending[K]--;
       try_solve(K);
     } else {
@@ -474,41 +821,11 @@ std::vector<T> DistributedLU<T>::solve_lower(minimpi::Comm& comm,
       process_x(K, msg.template as<T>());
     }
   }
-
-  // Gather the block solutions on rank 0, then replicate everywhere.
-  std::vector<T> full(b.size(), T{});
-  if (me == 0) {
-    index_t expect = 0;
-    for (index_t K = 0; K < N; ++K) {
-      if (grid_.owner(K, K) == me)
-        std::copy(xsol[K].begin(), xsol[K].end(),
-                  full.begin() + S.sn_start[K]);
-      else
-        expect++;
-    }
-    auto place = [&](const minimpi::Message& msg) {
-      const index_t K = static_cast<index_t>(msg.tag - tags.gather_base);
-      const auto vals = msg.template as<T>();
-      std::copy(vals.begin(), vals.end(), full.begin() + S.sn_start[K]);
-    };
-    for (const auto& msg : stash) place(msg);
-    for (index_t k = static_cast<index_t>(stash.size()); k < expect; ++k)
-      place(comm.recv(minimpi::kAnySource, minimpi::kAnyTag));
-    for (int r = 1; r < comm.size(); ++r)
-      comm.send_vec(r, tags.bcast, full);
-  } else {
-    GESP_ASSERT(stash.empty(), "unexpected stashed message on non-root");
-    for (index_t K = 0; K < N; ++K)
-      if (grid_.owner(K, K) == me)
-        comm.send_vec(0, tags.gather_base + static_cast<int>(K), xsol[K]);
-    full = comm.recv(0, tags.bcast).template as<T>();
-  }
-  return full;
 }
 
 template <class T>
-std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
-                                             const std::vector<T>& y) {
+void DistributedLU<T>::solve_upper_dist(minimpi::Comm& comm,
+                                        BlockVector& xb) const {
   const symbolic::SymbolicLU& S = *sym_;
   const index_t N = S.nsup;
   const SolveTags tags = upper_tags(N);
@@ -546,14 +863,10 @@ std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
     pending[K] = static_cast<index_t>(contributors[K].size());
   }
 
-  std::vector<std::vector<T>> xsol(static_cast<std::size_t>(N));
   std::vector<std::vector<T>> usum(static_cast<std::size_t>(N));
-  for (index_t K = 0; K < N; ++K) {
-    if (grid_.owner(K, K) == me)
-      xsol[K].assign(y.begin() + S.sn_start[K], y.begin() + S.sn_start[K + 1]);
+  for (index_t K = 0; K < N; ++K)
     if (bmod[K] > 0)
       usum[K].assign(static_cast<std::size_t>(S.block_cols(K)), T{});
-  }
 
   index_t solved = 0;
   count_t processed = 0;
@@ -564,7 +877,7 @@ std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
     const int owner = grid_.owner(K, K);
     if (owner == me) {
       for (std::size_t r = 0; r < usum[K].size(); ++r)
-        xsol[K][r] += usum[K][r];
+        xb[K][r] += usum[K][r];
       pending[K]--;
       try_solve(K);
     } else {
@@ -592,29 +905,26 @@ std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
   };
 
   try_solve = [&](index_t K) {
-    if (pending[K] != 0 || xsol[K].empty()) return;
+    if (pending[K] != 0 || xb[K].empty()) return;
     pending[K] = -1;
     dense::trsv_upper(diag_[K].data(), S.block_cols(K), S.block_cols(K),
-                      xsol[K].data());
+                      xb[K].data());
     solved++;
     for (int d : xdest[K])
       if (d != me) comm.send_vec(d, tags.x_base + static_cast<int>(K),
-                                 xsol[K]);
-    process_x(K, xsol[K]);
+                                 xb[K]);
+    process_x(K, xb[K]);
   };
 
   for (index_t K = N - 1; K >= 0; --K)
     if (grid_.owner(K, K) == me) try_solve(K);
 
-  std::vector<minimpi::Message> stash;
   while (processed < my_blocks || solved < my_diags) {
     minimpi::Message msg = comm.recv();
-    if (msg.tag >= tags.gather_base) {
-      stash.push_back(std::move(msg));
-    } else if (msg.tag >= tags.sum_base) {
+    if (msg.tag >= tags.sum_base) {
       const index_t K = static_cast<index_t>(msg.tag - tags.sum_base);
       const auto vals = msg.template as<T>();
-      for (std::size_t r = 0; r < vals.size(); ++r) xsol[K][r] += vals[r];
+      for (std::size_t r = 0; r < vals.size(); ++r) xb[K][r] += vals[r];
       pending[K]--;
       try_solve(K);
     } else {
@@ -622,35 +932,6 @@ std::vector<T> DistributedLU<T>::solve_upper(minimpi::Comm& comm,
       process_x(K, msg.template as<T>());
     }
   }
-
-  std::vector<T> full(y.size(), T{});
-  if (me == 0) {
-    index_t expect = 0;
-    for (index_t K = 0; K < N; ++K) {
-      if (grid_.owner(K, K) == me)
-        std::copy(xsol[K].begin(), xsol[K].end(),
-                  full.begin() + S.sn_start[K]);
-      else
-        expect++;
-    }
-    auto place = [&](const minimpi::Message& msg) {
-      const index_t K = static_cast<index_t>(msg.tag - tags.gather_base);
-      const auto vals = msg.template as<T>();
-      std::copy(vals.begin(), vals.end(), full.begin() + S.sn_start[K]);
-    };
-    for (const auto& msg : stash) place(msg);
-    for (index_t k = static_cast<index_t>(stash.size()); k < expect; ++k)
-      place(comm.recv(minimpi::kAnySource, minimpi::kAnyTag));
-    for (int r = 1; r < comm.size(); ++r)
-      comm.send_vec(r, tags.bcast, full);
-  } else {
-    GESP_ASSERT(stash.empty(), "unexpected stashed message on non-root");
-    for (index_t K = 0; K < N; ++K)
-      if (grid_.owner(K, K) == me)
-        comm.send_vec(0, tags.gather_base + static_cast<int>(K), xsol[K]);
-    full = comm.recv(0, tags.bcast).template as<T>();
-  }
-  return full;
 }
 
 template <class T>

@@ -14,16 +14,27 @@
 //       that actually own an affected trailing block (the EDAG rule) —
 //       and every owner applies its rank-b updates.
 //
+// With opt.pipelined (the default) the iterations are not executed in
+// strict order: each rank runs a message-driven ready-task scheduler with
+// look-ahead, so a process column can factor panel K+1 while the trailing
+// update of K is still draining — the paper's Fig 8 pipelining. The
+// schedule is constrained so every destination block still receives its
+// updates in ascending source order, keeping the factors bitwise identical
+// to the strict schedule (docs/INTERNALS.md §13).
+//
 // Triangular solves (Fig 9) are message-driven with the paper's fmod/frecv
-// counters; the upper solve pre-builds the per-block-column access lists
-// the paper calls "two vertical linked lists".
+// counters and operate on block-cyclic distributed vectors; the upper solve
+// pre-builds the per-block-column access lists the paper calls "two
+// vertical linked lists".
 #pragma once
 
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
+#include "dense/kernels.hpp"
 #include "dist/grid.hpp"
 #include "dist/minimpi.hpp"
 #include "sparse/csc.hpp"
@@ -33,6 +44,8 @@ namespace gesp::dist {
 
 struct DistOptions {
   bool edag_pruning = true;    ///< prune broadcasts to needed procs only
+  bool pipelined = true;       ///< look-ahead task schedule (Fig 8); false
+                               ///< replays the strict per-K order
   double tiny_threshold = 0.0; ///< GESP tiny-pivot replacement threshold
 };
 
@@ -41,13 +54,43 @@ struct DistOptions {
 template <class T>
 class DistributedLU {
  public:
+  /// Block-cyclic distributed vector: xb[K] holds the slice for supernode
+  /// K iff this rank owns the diagonal block (K, K); empty otherwise.
+  using BlockVector = std::vector<std::vector<T>>;
+
   DistributedLU(minimpi::Comm& comm, const ProcessGrid& grid,
                 std::shared_ptr<const symbolic::SymbolicLU> sym,
                 const sparse::CscMatrix<T>& A, const DistOptions& opt = {});
 
-  /// Collective message-driven solve of L·U·x = b; b is replicated on entry
-  /// and the full solution is replicated on exit (gathered then broadcast).
-  std::vector<T> solve(minimpi::Comm& comm, const std::vector<T>& b);
+  /// Collective message-driven solve of L·U·x = b with block-cyclic
+  /// intermediate vectors; b and x are replicated on every rank (the full
+  /// solution is written to x on every rank on exit).
+  void solve(minimpi::Comm& comm, std::span<const T> b, std::span<T> x);
+
+  /// Deprecated replicated-vector shim over the std::span overload.
+  [[deprecated("use the std::span overload of solve()")]]
+  std::vector<T> solve(minimpi::Comm& comm, const std::vector<T>& b) {
+    std::vector<T> x(b.size());
+    solve(comm, std::span<const T>(b.data(), b.size()), std::span<T>(x));
+    return x;
+  }
+
+  /// Re-factorize for a matrix with the SAME nonzero pattern but new
+  /// values (the repeated-solve workload the paper amortizes the ordering
+  /// over): re-scatter the owned entries and run the factorization again.
+  void refactorize(minimpi::Comm& comm, const sparse::CscMatrix<T>& A,
+                   const DistOptions& opt);
+
+  /// Distributed-vector entry points (the building blocks of solve() and
+  /// of the distributed refinement loop in DistSolver). scatter_vector is
+  /// local; the solves and gather are collective.
+  void scatter_vector(std::span<const T> full, BlockVector& xb) const;
+  void solve_lower_dist(minimpi::Comm& comm, BlockVector& xb) const;
+  void solve_upper_dist(minimpi::Comm& comm, BlockVector& xb) const;
+  /// Gather a distributed vector onto rank 0 and replicate it everywhere.
+  /// Callers must barrier() before this (no other messages in flight).
+  void gather_vector(minimpi::Comm& comm, const BlockVector& xb,
+                     std::span<T> full) const;
 
   /// Gather the distributed factors onto rank 0 as explicit matrices for
   /// verification; other ranks receive empty matrices.
@@ -56,17 +99,30 @@ class DistributedLU {
 
   const ProcessGrid& grid() const { return grid_; }
   const symbolic::SymbolicLU& sym() const { return *sym_; }
+  const DistOptions& options() const { return opt_; }
+
+  /// Local tiny-pivot counters from the last factorization (this rank's
+  /// diagonal blocks only; reduce across ranks for the global count).
+  const dense::PivotStats& pivot_stats() const { return pivot_stats_; }
+  /// Local max |entry| over this rank's U (diagonal upper triangles and
+  /// off-diagonal U blocks) — the numerator of the pivot-growth estimate,
+  /// mirroring LUFactors::compute_growth.
+  double factor_entry_max() const;
+  /// Panel tasks (GETRF / panel TRSM) this rank executed while an
+  /// earlier-K trailing update was still pending — the Fig 8 look-ahead
+  /// counter. Always 0 when opt.pipelined is false.
+  count_t lookahead_hits() const { return lookahead_hits_; }
 
  private:
   void scatter_initial(const sparse::CscMatrix<T>& A);
   void factorize(minimpi::Comm& comm, const DistOptions& opt);
 
-  std::vector<T> solve_lower(minimpi::Comm& comm, const std::vector<T>& b);
-  std::vector<T> solve_upper(minimpi::Comm& comm, const std::vector<T>& y);
-
   ProcessGrid grid_;
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
+  DistOptions opt_;
   int myrow_ = 0, mycol_ = 0;
+  dense::PivotStats pivot_stats_;
+  count_t lookahead_hits_ = 0;
 
   // Owned storage. diag_[K] nonempty iff this rank owns (K,K).
   // lblocks_[K][bi] nonempty iff this rank owns the bi-th L block of

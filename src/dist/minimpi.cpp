@@ -1,6 +1,8 @@
 #include "dist/minimpi.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <exception>
 #include <memory>
 #include <thread>
@@ -247,6 +249,24 @@ double Comm::reduce_sum(int root, int tag, double value) {
       sum += v;
     }
     return sum;
+  }
+  send_value(root, tag, value);
+  return value;
+}
+
+double Comm::reduce_max(int root, int tag, double value) {
+  if (rank_ == root) {
+    double best = value;
+    for (int r = 0; r < size() - 1; ++r) {
+      const Message m = recv(kAnySource, tag);
+      double v = 0;
+      std::memcpy(&v, m.data.data(), sizeof(double));
+      if (std::isnan(v))
+        best = v;
+      else if (!std::isnan(best))
+        best = std::max(best, v);
+    }
+    return best;
   }
   send_value(root, tag, value);
   return value;

@@ -130,6 +130,9 @@ class Comm {
 
   /// Sum-reduce a double across ranks onto root.
   double reduce_sum(int root, int tag, double value);
+  /// Max-reduction onto `root` (other ranks return their own value).
+  /// NaN-propagating: if any contribution is NaN the root result is NaN.
+  double reduce_max(int root, int tag, double value);
 
   const CommStats& stats() const { return stats_; }
 

@@ -299,13 +299,100 @@ TEST(ChaosDistLU, DroppedMessageDuringTriangularSolve) {
   const double elapsed = run_seconds([&] {
     reports = world.run_report([&](Comm& comm) {
       DistributedLU<double> dlu(comm, grid, sym, A, {});
-      (void)dlu.solve(comm, b);
+      std::vector<double> x(b.size());
+      dlu.solve(comm, b, x);
     });
   });
   EXPECT_LT(elapsed, 10.0);
   EXPECT_GE(comm_failures(reports), 1);
-  for (const auto& r : reports)
-    if (r.failed()) EXPECT_EQ(r.error_code(), Errc::comm);
+  for (const auto& r : reports) {
+    if (r.failed()) {
+      EXPECT_EQ(r.error_code(), Errc::comm);
+    }
+  }
+}
+
+TEST(ChaosDistLU, DroppedMessageStrictOrderSurfacesComm) {
+  // Same fault as above but with the strict per-K loop: the recv timeout
+  // still fires and every rank surfaces the transport error.
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 0.5;
+  FaultSpec spec;
+  spec.kind = FaultKind::drop;
+  spec.rank = 0;
+  spec.nth_send = 2;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  std::vector<RankReport> reports;
+  const double elapsed = run_seconds([&] {
+    reports = world.run_report([&](Comm& comm) {
+      DistOptions opt;
+      opt.pipelined = false;
+      DistributedLU<double> dlu(comm, grid, sym, A, opt);
+    });
+  });
+  EXPECT_LT(elapsed, 10.0);
+  EXPECT_EQ(comm_failures(reports), grid.nprocs());
+}
+
+TEST(ChaosDistLU, DelayedPanelPipelinedStillBitwiseCorrect) {
+  // A delayed broadcast reorders message arrival; the pipelined scheduler
+  // must absorb it (dependency counters, not arrival order, gate execution)
+  // and still produce factors bitwise-identical to serial.
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  numeric::LUFactors<double> serial(sym, A, {});
+  const auto Lref = serial.l_matrix();
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 10.0;
+  FaultSpec spec;
+  spec.kind = FaultKind::delay;
+  spec.rank = 0;
+  spec.nth_send = 2;
+  spec.delay_s = 0.05;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  sparse::CscMatrix<double> Ldist;
+  world.run([&](Comm& comm) {
+    DistributedLU<double> dlu(comm, grid, sym, A, {});
+    auto L = dlu.gather_l(comm);
+    if (comm.rank() == 0) Ldist = std::move(L);
+    dlu.gather_u(comm);
+  });
+  EXPECT_EQ(world.options().fault.fired(), 1);
+  EXPECT_EQ(testing::max_abs_diff(Lref, Ldist), 0.0);
+}
+
+TEST(ChaosDistLU, DuplicatedPanelPipelinedAppliedOnce) {
+  // A duplicated broadcast must not be scattered twice: the first-arrival
+  // guard in the pipelined handler drops the copy, so the factors stay
+  // bitwise-identical to serial.
+  const auto A = sparse::convdiff2d(12, 12, 1.0, 0.5);
+  auto sym = analyze_shared(A);
+  numeric::LUFactors<double> serial(sym, A, {});
+  const auto Lref = serial.l_matrix();
+  const ProcessGrid grid{2, 2};
+  WorldOptions opts;
+  opts.recv_timeout_s = 10.0;
+  FaultSpec spec;
+  spec.kind = FaultKind::duplicate;
+  spec.rank = 0;
+  spec.nth_send = 2;
+  opts.fault.schedule(spec);
+  World world(grid.nprocs(), opts);
+  sparse::CscMatrix<double> Ldist;
+  world.run([&](Comm& comm) {
+    DistributedLU<double> dlu(comm, grid, sym, A, {});
+    auto L = dlu.gather_l(comm);
+    if (comm.rank() == 0) Ldist = std::move(L);
+    dlu.gather_u(comm);
+  });
+  EXPECT_EQ(world.options().fault.fired(), 1);
+  EXPECT_EQ(testing::max_abs_diff(Lref, Ldist), 0.0);
 }
 
 TEST(ChaosDistLU, CleanRunStillBitwiseCorrectWithChecksumsOn) {

@@ -7,6 +7,7 @@
 
 #include <memory>
 #include <numeric>
+#include <tuple>
 
 #include "dist/dist_lu.hpp"
 #include "dist/minimpi.hpp"
@@ -59,7 +60,9 @@ TEST(MiniMpi, BarrierAndReduce) {
   world.run([](minimpi::Comm& comm) {
     comm.barrier();
     const double sum = comm.reduce_sum(0, 99, comm.rank() + 1.0);
-    if (comm.rank() == 0) EXPECT_DOUBLE_EQ(sum, 10.0);
+    if (comm.rank() == 0) {
+      EXPECT_DOUBLE_EQ(sum, 10.0);
+    }
     comm.barrier();
   });
 }
@@ -82,7 +85,8 @@ TEST(MiniMpi, StatsCountMessages) {
 /// Factor A on a pr x pc grid, verify LU == serial LU bitwise, and check
 /// the distributed solve against a known solution.
 void check_distributed(const CscMatrix<double>& A, int pr, int pc,
-                       bool edag_pruning, double solve_tol = 1e-10) {
+                       bool edag_pruning, double solve_tol = 1e-10,
+                       bool pipelined = true) {
   auto sym = std::make_shared<const symbolic::SymbolicLU>(
       symbolic::analyze(A, {}));
   // Serial reference.
@@ -101,10 +105,12 @@ void check_distributed(const CscMatrix<double>& A, int pr, int pc,
   world.run([&](minimpi::Comm& comm) {
     DistOptions opt;
     opt.edag_pruning = edag_pruning;
+    opt.pipelined = pipelined;
     DistributedLU<double> dlu(comm, grid, sym, A, opt);
     const auto L = dlu.gather_l(comm);
     const auto U = dlu.gather_u(comm);
-    const auto x = dlu.solve(comm, b);
+    std::vector<double> x(b.size());
+    dlu.solve(comm, b, x);
     if (comm.rank() == 0) {
       Ldist = L;
       Udist = U;
@@ -144,6 +150,53 @@ TEST(DistLU, Grid3x3MatchesSerial) {
 TEST(DistLU, NoPruningSameResult) {
   // EDAG pruning changes the communication, never the numbers.
   check_distributed(sparse::convdiff2d(12, 12, 1.0, 0.5), 2, 2, false);
+}
+
+TEST(DistLU, StrictOrderSameResult) {
+  // Disabling the pipelined schedule replays the per-K loop; the factors
+  // must still be bitwise-identical to serial.
+  check_distributed(sparse::convdiff2d(12, 12, 1.0, 0.5), 2, 2, true, 1e-10,
+                    /*pipelined=*/false);
+}
+
+TEST(DistLU, StrictOrderNoPruningSameResult) {
+  check_distributed(sparse::convdiff2d(12, 12, 1.0, 0.5), 2, 3, false, 1e-10,
+                    /*pipelined=*/false);
+}
+
+TEST(DistLU, PipelinedMatchesStrictBitwise) {
+  // The message-driven pipelined schedule and the strict per-K loop must
+  // produce bitwise-identical factors (deterministic tie-break, ascending K).
+  const auto A = sparse::convdiff2d(14, 12, 1.0, 0.5);
+  auto sym = std::make_shared<const symbolic::SymbolicLU>(
+      symbolic::analyze(A, {}));
+  const ProcessGrid grid{2, 2};
+  auto factor_gather = [&](bool pipelined) {
+    minimpi::World world(grid.nprocs());
+    CscMatrix<double> L, U;
+    count_t lookahead = 0;
+    world.run([&](minimpi::Comm& comm) {
+      DistOptions opt;
+      opt.pipelined = pipelined;
+      DistributedLU<double> dlu(comm, grid, sym, A, opt);
+      auto Lg = dlu.gather_l(comm);
+      auto Ug = dlu.gather_u(comm);
+      const count_t hits = comm.reduce_sum(
+          0, 12345, static_cast<double>(dlu.lookahead_hits()));
+      if (comm.rank() == 0) {
+        L = std::move(Lg);
+        U = std::move(Ug);
+        lookahead = static_cast<count_t>(hits);
+      }
+    });
+    return std::tuple{std::move(L), std::move(U), lookahead};
+  };
+  const auto [Lp, Up, hits_p] = factor_gather(true);
+  const auto [Ls, Us, hits_s] = factor_gather(false);
+  EXPECT_EQ(testing::max_abs_diff(Lp, Ls), 0.0);
+  EXPECT_EQ(testing::max_abs_diff(Up, Us), 0.0);
+  EXPECT_GT(hits_p, 0);  // look-ahead actually engaged on a 2x2 grid
+  EXPECT_EQ(hits_s, 0);  // strict mode never looks ahead
 }
 
 TEST(DistLU, DeviceMatrixWideSupernodes) {

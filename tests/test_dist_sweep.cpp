@@ -61,7 +61,8 @@ TEST_P(DistSweep, FactorsMatchSerialBitwise) {
     dist::DistributedLU<double> lu(comm, grid, sym, A, {});
     auto L = lu.gather_l(comm);
     auto U = lu.gather_u(comm);
-    auto x = lu.solve(comm, b);
+    std::vector<double> x(b.size());
+    lu.solve(comm, b, x);
     if (comm.rank() == 0) {
       Ld = std::move(L);
       Ud = std::move(U);

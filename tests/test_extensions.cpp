@@ -153,8 +153,9 @@ TEST(DenseTail, ThresholdMonotonicity) {
   const auto& S = solver.factors().sym();
   const auto lo = symbolic::analyze_dense_tail(S, 0.4);
   const auto hi = symbolic::analyze_dense_tail(S, 0.9);
-  if (lo.switch_supernode >= 0 && hi.switch_supernode >= 0)
+  if (lo.switch_supernode >= 0 && hi.switch_supernode >= 0) {
     EXPECT_LE(lo.switch_supernode, hi.switch_supernode);
+  }
   EXPECT_THROW(symbolic::analyze_dense_tail(S, 0.0), Error);
 }
 

@@ -83,8 +83,11 @@ TEST(Etree, PostorderIsValidPermutation) {
   const auto post = postorder(parent);
   EXPECT_TRUE(sparse::is_permutation(post));
   // Children must come before parents.
-  for (index_t v = 0; v < A.ncols; ++v)
-    if (parent[v] != -1) EXPECT_LT(post[v], post[parent[v]]);
+  for (index_t v = 0; v < A.ncols; ++v) {
+    if (parent[v] != -1) {
+      EXPECT_LT(post[v], post[parent[v]]);
+    }
+  }
 }
 
 TEST(Etree, SubtreeSizesSumAtRoots) {
@@ -104,8 +107,11 @@ TEST(Etree, SymEtreeMatchesColumnEtreeOnSymmetricPattern) {
   // For a symmetric positive-pattern matrix, the column etree of A equals
   // the etree of AᵀA which is a supergraph; just verify both are forests
   // with child < parent.
-  for (index_t v = 0; v < P.n; ++v)
-    if (p1[v] != -1) EXPECT_GT(p1[v], v);
+  for (index_t v = 0; v < P.n; ++v) {
+    if (p1[v] != -1) {
+      EXPECT_GT(p1[v], v);
+    }
+  }
 }
 
 TEST(Amd, ValidPermutation) {

@@ -174,8 +174,11 @@ TEST(Symbolic, BlockStructureClosedUnderUpdates) {
 TEST(Symbolic, SupernodeEtreeParentsAreLater) {
   const auto A = sparse::convdiff2d(13, 9, 1.5, 0.0);
   const auto S = analyze(A, {});
-  for (index_t K = 0; K < S.nsup; ++K)
-    if (S.sn_parent[K] != -1) EXPECT_GT(S.sn_parent[K], K);
+  for (index_t K = 0; K < S.nsup; ++K) {
+    if (S.sn_parent[K] != -1) {
+      EXPECT_GT(S.sn_parent[K], K);
+    }
+  }
 }
 
 TEST(Symbolic, FlopsGrowWithFill) {

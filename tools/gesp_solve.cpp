@@ -20,12 +20,21 @@
 //                         aggressive SMW -> unscaled -> GEPP) and print the
 //                         recovery trail
 //   --threads=N           shared-memory factorization threads (default 1)
+//   --backend=serial|threaded|dist
+//                         execution engine; every other flag (--recover,
+//                         --repeat, --tiny, ...) means the same thing on
+//                         each backend and the exit codes match
 //   --repeat=N            call solve() N times on the same system; the
 //                         report then shows per-call AND cumulative phase
 //                         times (they differ: factorization is amortized)
-//   --dist=P              additionally factor/solve the transformed matrix
-//                         on P simulated MiniMPI ranks (near-square grid)
-//                         and cross-check; comm spans land in the trace
+//   --dist=P              shorthand for --backend=dist with P simulated
+//                         MiniMPI ranks (near-square grid); comm spans and
+//                         dist.* counters land in the trace
+//   --grid=RxC            explicit process grid for the dist backend
+//   --no-pipeline         dist backend: strict per-K schedule (no
+//                         look-ahead) instead of the pipelined default
+//   --no-edag             dist backend: broadcast panels to every process
+//                         row/column instead of EDAG-pruned destinations
 //   --trace=FILE          write a chrome://tracing JSON capture of the run
 //   --metrics-json=FILE   write the metrics registry as JSON; if FILE is
 //                         the same as --trace, metrics embed in the trace
@@ -51,7 +60,7 @@
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "core/solver.hpp"
-#include "dist/dist_lu.hpp"
+#include "dist/dist_solver.hpp"
 #include "dist/grid.hpp"
 #include "dist/minimpi.hpp"
 #include "io/harwell_boeing.hpp"
@@ -73,7 +82,9 @@ using namespace gesp;
                "[--no-mc64-scaling]\n"
                "       [--tiny=replace|fail|smw] [--max-block=N] "
                "[--relax=N] [--ferr] [--rcond] [--recover]\n"
-               "       [--threads=N] [--repeat=N] [--dist=P] "
+               "       [--backend=serial|threaded|dist] [--threads=N] "
+               "[--repeat=N] [--dist=P] [--grid=RxC]\n"
+               "       [--no-pipeline] [--no-edag] "
                "[--trace=FILE] [--metrics-json=FILE] [--list]\n"
                "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
                "            5/6 structurally/numerically singular, "
@@ -198,6 +209,29 @@ int main(int argc, char** argv) {
     } else if (const char* v9 = value_of(a, "--dist")) {
       dist_p = std::atoi(v9);
       if (dist_p < 1) usage("--dist must be >= 1");
+      opt.backend = Backend::dist;
+      opt.dist.nprocs = dist_p;
+    } else if (const char* vb = value_of(a, "--backend")) {
+      const std::string s = vb;
+      if (s == "serial")
+        opt.backend = Backend::serial;
+      else if (s == "threaded")
+        opt.backend = Backend::threaded;
+      else if (s == "dist")
+        opt.backend = Backend::dist;
+      else
+        usage("unknown --backend value");
+    } else if (const char* vg = value_of(a, "--grid")) {
+      int pr = 0, pc = 0;
+      if (std::sscanf(vg, "%dx%d", &pr, &pc) != 2 || pr < 1 || pc < 1)
+        usage("--grid must be RxC with R,C >= 1");
+      opt.backend = Backend::dist;
+      opt.dist.pr = pr;
+      opt.dist.pc = pc;
+    } else if (std::strcmp(a, "--no-pipeline") == 0) {
+      opt.dist.pipelined = false;
+    } else if (std::strcmp(a, "--no-edag") == 0) {
+      opt.dist.edag_pruning = false;
     } else if (const char* v10 = value_of(a, "--trace")) {
       trace_path = v10;
     } else if (const char* v11 = value_of(a, "--metrics-json")) {
@@ -236,37 +270,58 @@ int main(int argc, char** argv) {
       usage("unknown --rhs value");
     }
 
-    Solver<double> solver(A, opt);
-    for (int r = 0; r < repeat; ++r) solver.solve(b, x);
-    const SolveStats& s = solver.stats();
-
-    if (dist_p > 0) {
-      // Demonstration rung for the distributed path: factor the already
-      // transformed (statically pivoted) matrix on a near-square grid and
-      // cross-check the replicated solution. Runs after the main solve so
-      // its comm spans/counters append to the same capture.
-      const auto& At = solver.transformed_matrix();
-      auto sym = std::make_shared<const symbolic::SymbolicLU>(
-          symbolic::analyze(At, opt.symbolic));
-      const dist::ProcessGrid grid = dist::ProcessGrid::near_square(dist_p);
-      std::vector<double> ones(static_cast<std::size_t>(n), 1.0);
-      std::vector<double> bt(ones.size());
-      sparse::spmv<double>(At, ones, bt);
-      minimpi::World world(grid.nprocs());
-      double dist_err = 0.0;
-      const auto comm_stats = world.run([&](minimpi::Comm& comm) {
-        dist::DistributedLU<double> dlu(comm, grid, sym, At, {});
-        const auto xd = dlu.solve(comm, bt);
-        if (comm.rank() == 0)
-          dist_err = sparse::relative_error_inf<double>(ones, xd);
-      });
-      long long msgs = 0, bytes = 0;
-      for (const auto& cs : comm_stats) {
-        msgs += cs.messages_sent;
-        bytes += cs.bytes_sent;
+    SolveStats s;
+    if (opt.backend == Backend::dist) {
+      const dist::ProcessGrid grid = dist::grid_from(opt.dist);
+      std::printf("backend     dist, %dx%d grid%s%s\n", grid.pr, grid.pc,
+                  opt.dist.pipelined ? ", pipelined" : ", strict order",
+                  opt.dist.edag_pruning ? "" : ", no EDAG pruning");
+      if (opt.recovery.enabled) {
+        // The one-shot wrapper owns the fallback-to-in-process ladder and
+        // its recovery trail; each call spins its own world.
+        for (int r = 0; r < repeat; ++r) {
+          const auto xr = dist::solve<double>(A, b, opt, &s);
+          std::copy(xr.begin(), xr.end(), x.begin());
+        }
+      } else {
+        // One world, one factorization, `repeat` collective solves — the
+        // same amortization --repeat shows on the in-process backends.
+        minimpi::World world(grid.nprocs());
+        long long msgs = 0, bytes = 0;
+        const auto reports = world.run_report([&](minimpi::Comm& comm) {
+          dist::DistSolver<double> solver(comm, A, opt);
+          std::vector<double> xl(static_cast<std::size_t>(n));
+          for (int r = 0; r < repeat; ++r) solver.solve(comm, b, xl);
+          if (comm.rank() == 0) {
+            std::copy(xl.begin(), xl.end(), x.begin());
+            s = solver.stats();
+          }
+        });
+        // Root-cause any rank failure: peers of a dead rank report
+        // Errc::comm, so surface the non-comm code when one exists.
+        Errc code = Errc::comm;
+        std::string msg;
+        bool failed = false;
+        for (const auto& rep : reports) {
+          if (!rep.failed()) continue;
+          failed = true;
+          if (msg.empty() ||
+              (code == Errc::comm && rep.error_code() != Errc::comm)) {
+            code = rep.error_code();
+            msg = rep.error_message();
+          }
+        }
+        if (failed) throw_error(code, "dist backend: " + msg);
+        for (const auto& rep : reports) {
+          msgs += static_cast<long long>(rep.stats.messages_sent);
+          bytes += static_cast<long long>(rep.stats.bytes_sent);
+        }
+        std::printf("dist comm   %lld msgs, %lld bytes\n", msgs, bytes);
       }
-      std::printf("dist        %dx%d grid: err %.3e, %lld msgs, %lld bytes\n",
-                  grid.pr, grid.pc, dist_err, msgs, bytes);
+    } else {
+      Solver<double> solver(A, opt);
+      for (int r = 0; r < repeat; ++r) solver.solve(b, x);
+      s = solver.stats();
     }
 
     const bool recovered_ok =
