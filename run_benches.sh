@@ -23,13 +23,19 @@ bench_ablation_relax
 bench_ablation_blocksize
 bench_machine_epochs
 bench_dist_backend
+bench_serve
 bench_kernels
 "
 for b in $BENCHES; do
   echo "###############################################################"
   echo "### $b"
   echo "###############################################################"
-  if [ "$b" = "bench_dist_backend" ]; then
+  if [ "$b" = "bench_serve" ]; then
+    # Serving layer: cold vs pattern-hit vs value-hit per-request cost and
+    # batched vs unbatched throughput, recorded machine-readable next to
+    # this script (the CI serve-smoke artifact).
+    "build/bench/$b" --out=BENCH_serve.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_dist_backend" ]; then
     # Distributed backend: pipelined-vs-strict makespan model, real
     # message/byte counters and look-ahead hits per grid shape, recorded
     # machine-readable next to this script.

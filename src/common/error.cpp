@@ -16,6 +16,8 @@ const char* errc_name(Errc c) noexcept {
       return "unstable";
     case Errc::comm:
       return "comm_error";
+    case Errc::overloaded:
+      return "overloaded";
     case Errc::internal:
       return "internal_error";
   }

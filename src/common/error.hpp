@@ -20,6 +20,8 @@ enum class Errc {
   numerically_singular,   ///< exact zero pivot with replacement disabled
   unstable,            ///< pivot growth too large; solution unreliable
   comm,                ///< transport fault: timeout, lost rank, bad payload
+  overloaded,          ///< serving layer shed the request: queue full,
+                       ///< deadline expired, or service shutting down
   internal,            ///< broken internal invariant (library bug)
 };
 

@@ -47,6 +47,32 @@ void Histogram::record(double v) noexcept {
       1, std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  const count_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested sample (1-based, ceil as in nearest-rank).
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (int k = 0; k < kBuckets; ++k) {
+    const double c = static_cast<double>(bucket(k));
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      // Bucket k covers (2^(k-1), 2^k]; bucket 0 covers (-inf, 1].
+      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, k - 1);
+      const double hi = std::ldexp(1.0, k);
+      const double frac = (rank - cum) / c;
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, min());
+      v = std::min(v, max());
+      return v;
+    }
+    cum += c;
+  }
+  return max();
+}
+
 void Histogram::reset() noexcept {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);

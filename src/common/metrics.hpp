@@ -73,6 +73,14 @@ class Histogram {
     return buckets_[static_cast<std::size_t>(k)].load(
         std::memory_order_relaxed);
   }
+
+  /// Approximate q-quantile (q in [0,1]) from the power-of-two buckets:
+  /// linear interpolation inside the bucket where the cumulative count
+  /// crosses q·count, clamped to the exact [min, max]. Resolution is a
+  /// factor of two, so record latencies in microseconds (not seconds) to
+  /// keep sub-second tails distinguishable. Returns 0 when empty.
+  double quantile(double q) const noexcept;
+
   void reset() noexcept;
 
  private:

@@ -53,6 +53,9 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
   reg.gauge("solver.recovery_final_rung")
       .set(static_cast<double>(recovery.final_rung));
   reg.gauge("solver.recovered").set(recovery.recovered ? 1.0 : 0.0);
+  reg.gauge("solver.solve_wall_seconds").set(solve_wall_seconds);
+  reg.gauge("solver.solve_wall_total_seconds").set(solve_wall_total_seconds);
+  reg.gauge("solver.solve_calls").set(static_cast<double>(solve_calls));
   for (const auto& [phase, seconds] : times.all())
     reg.gauge("solver.time." + phase).set(seconds);
   for (const auto& [phase, seconds] : times.all_totals())
@@ -95,6 +98,7 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
              "dist::DistSolver, not core::Solver");
   if (opt_.backend == Backend::serial) opt_.num_threads = 1;
   n_ = A.ncols;
+  pattern_ = sparse::pattern_key(A);
   if (opt_.recovery.enabled) A_keep_ = A;
   transform(A);
   if (!opt_.recovery.enabled) {
@@ -275,7 +279,6 @@ TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
   sparse::CscMatrix<T> Ao = sparse::permute(Ap, pc, pc);
   // Etree postorder refinement (fill-neutral, makes supernodes contiguous).
   const std::vector<index_t> pe = symbolic::etree_postorder(Ao);
-  out.At = sparse::permute(Ao, pe, pe);
   if (times) times->add("colorder", t.seconds());
   colorder_span.end();
 
@@ -284,6 +287,17 @@ TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
   out.col_perm.resize(static_cast<std::size_t>(n));
   for (index_t i = 0; i < n; ++i) out.row_perm[i] = pe[pc[pr[i]]];
   for (index_t j = 0; j < n; ++j) out.col_perm[j] = pe[pc[j]];
+  // Build the transformed matrix from the ORIGINAL A with the combined
+  // scalings and permutations — the exact arithmetic refactorize() uses.
+  // The staged pipeline above scales twice when MC64 scaling is stacked on
+  // equilibration (a·(r1c1) then ·(r2c2)), which rounds differently from
+  // the combined a·((r1r2)·(c1c2)); factoring the staged matrix would make
+  // a refactorize with identical values differ from the original
+  // factorization in the last bits, i.e. the factors would depend on the
+  // call history rather than only on (analysis, values).
+  sparse::CscMatrix<T> Asc =
+      sparse::apply_scaling(A, out.row_scale, out.col_scale);
+  out.At = sparse::permute(Asc, out.row_perm, out.col_perm);
   return out;
 }
 
@@ -350,7 +364,16 @@ void Solver<T>::apply_solver(std::span<T> x) const {
 }
 
 template <class T>
-void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
+void Solver<T>::finish_solve(const Timer& wall) {
+  stats_.solve_wall_seconds = wall.seconds();
+  stats_.solve_wall_total_seconds += stats_.solve_wall_seconds;
+  ++stats_.solve_calls;
+  stats_.export_metrics(metrics::global());
+}
+
+template <class T>
+void Solver<T>::solve(std::span<const T> b, std::span<T> x,
+                      const refine::RefineOptions* refine_override) {
   GESP_CHECK(b.size() == static_cast<std::size_t>(n_) && x.size() == b.size(),
              Errc::invalid_argument, "solve dimension mismatch");
   // One public call == one timing epoch: get() then reports this call's
@@ -358,9 +381,10 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
   stats_.times.new_epoch();
   metrics::global().counter("solver.solves").inc();
   GESP_TRACE_SPAN("solver", "solve_call");
+  Timer wall;
   if (!opt_.recovery.enabled) {
-    solve_once(b, x);
-    stats_.export_metrics(metrics::global());
+    solve_once(b, x, refine_override);
+    finish_solve(wall);
     return;
   }
   RecoveryTrail& trail = stats_.recovery;
@@ -379,7 +403,9 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
         if (!a.success)
           a.detail = format_sci("berr", a.berr, threshold);
       } else {
-        solve_once(b, x);
+        // The ladder's berr thresholds assume refinement ran: ignore any
+        // per-call override here.
+        solve_once(b, x, nullptr);
         have_solution = true;
         a.berr = stats_.berr;
         a.pivot_growth = stats_.pivot_growth;
@@ -402,7 +428,7 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
     if (success) {
       trail.final_rung = rung_;
       trail.recovered = true;
-      stats_.export_metrics(metrics::global());
+      finish_solve(wall);
       return;
     }
     // Escalate: find the next rung whose factorization succeeds.
@@ -427,7 +453,7 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x) {
       trail.recovered = false;
       GESP_CHECK(have_solution, Errc::unstable,
                  "recovery ladder exhausted without a usable solution");
-      stats_.export_metrics(metrics::global());
+      finish_solve(wall);
       return;
     }
   }
@@ -459,7 +485,8 @@ void Solver<T>::solve_gepp(std::span<const T> b, std::span<T> x) {
 }
 
 template <class T>
-void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
+void Solver<T>::solve_once(std::span<const T> b, std::span<T> x,
+                           const refine::RefineOptions* ov) {
   // Transform the right-hand side into the factored space.
   std::vector<T> bhat(static_cast<std::size_t>(n_));
   for (index_t i = 0; i < n_; ++i) bhat[row_perm_[i]] = b[i] * T{row_scale_[i]};
@@ -486,7 +513,7 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
   trace::Span refine_span("solver", "refine");
   const auto rres = refine::iterative_refinement<T>(
       At_, bhat, xhat, [this](std::span<T> v) { apply_solver(v); },
-      opt_.refine);
+      ov ? *ov : opt_.refine);
   refine_span.end();
   stats_.times.add("refine", t.seconds());
   stats_.refine_iterations = rres.iterations;
@@ -532,7 +559,8 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x) {
 
 template <class T>
 void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
-                            index_t nrhs) {
+                            index_t nrhs,
+                            const refine::RefineOptions* refine_override) {
   GESP_CHECK(nrhs >= 1 &&
                  B.size() == static_cast<std::size_t>(n_) * nrhs &&
                  X.size() == B.size(),
@@ -541,7 +569,8 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
   if (opt_.recovery.enabled) {
     // Route each column through the ladder; once escalated, later columns
     // reuse the surviving rung so the blocked fast path is only lost when
-    // recovery is actually in play.
+    // recovery is actually in play. Each column is its own solve() call
+    // for stats purposes (wall latency, epochs).
     for (index_t c = 0; c < nrhs; ++c) {
       std::span<const T> bc(B.data() + c * static_cast<std::size_t>(n_),
                             static_cast<std::size_t>(n_));
@@ -551,6 +580,8 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
     }
     return;
   }
+  metrics::global().counter("solver.solves").inc();
+  Timer wall;
   // Transform all right-hand sides into the factored space.
   std::vector<T> Bhat(B.size());
   for (index_t c = 0; c < nrhs; ++c) {
@@ -572,7 +603,7 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
                           static_cast<std::size_t>(n_));
     const auto rres = refine::iterative_refinement<T>(
         At_, bc, xc, [this](std::span<T> v) { apply_solver(v); },
-        opt_.refine);
+        refine_override ? *refine_override : opt_.refine);
     stats_.refine_iterations = rres.iterations;
     stats_.berr = rres.final_berr;
     stats_.berr_history = rres.berr_history;
@@ -584,12 +615,19 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
     for (index_t j = 0; j < n_; ++j)
       xc[j] = xh[col_perm_[j]] * T{col_scale_[j]};
   }
+  finish_solve(wall);
 }
 
 template <class T>
 void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
   GESP_CHECK(A_new.nrows == n_ && A_new.ncols == n_, Errc::invalid_argument,
              "refactorize dimension mismatch");
+  // Same dimensions are not enough: the scalings, permutations and symbolic
+  // structure being reused below are only valid for the analysed sparsity
+  // pattern. A different pattern must fail loudly, not solve wrongly.
+  GESP_CHECK(sparse::pattern_key(A_new) == pattern_, Errc::invalid_argument,
+             "refactorize: matrix sparsity pattern differs from the "
+             "analysed pattern (same-size is not same-structure)");
   // New epoch: "factor" reports this refactorization, not the sum of every
   // factorization this Solver ever ran.
   stats_.times.new_epoch();

@@ -165,6 +165,19 @@ struct SolveStats {
   std::vector<double> berr_history;  ///< per refinement step
   double ferr = -1.0;   ///< forward error bound (-1 = not requested)
   double rcond = -1.0;  ///< reciprocal condition estimate (-1 = not requested)
+  /// Monotonic wall-clock duration of the last solve()/solve_multi() call,
+  /// end to end — the per-request latency a serving layer histograms.
+  /// Relationship to `times`: each public call opens a new PhaseTimes
+  /// epoch, so the same call's instrumented phases are times.get("solve"),
+  /// times.get("refine"), ...; solve_wall_seconds covers the whole call
+  /// (RHS permutation/scaling, stats export, everything between phases),
+  /// hence solve_wall_seconds >= the sum of that epoch's phase times,
+  /// while times.total(p) keeps the cumulative per-phase sums. With the
+  /// recovery ladder enabled, solve_multi routes each column through
+  /// solve(), and these fields describe the last column's call.
+  double solve_wall_seconds = 0.0;
+  double solve_wall_total_seconds = 0.0;  ///< summed over all solve calls
+  count_t solve_calls = 0;                ///< solve()/solve_multi() calls
   /// How the answer was obtained: every ladder rung attempted, in order.
   /// Empty attempts == recovery disabled or never triggered.
   RecoveryTrail recovery;
@@ -208,22 +221,37 @@ class Solver {
   const SolverOptions& options() const { return opt_; }
   const SolveStats& stats() const { return stats_; }
 
+  /// Structural fingerprint of the analysed matrix. refactorize() accepts
+  /// only matrices with this key; the serve-layer cache uses it to route
+  /// requests to an existing analysis.
+  const sparse::PatternKey& pattern() const { return pattern_; }
+
   /// Solve A·x = b with iterative refinement; updates the refinement and
   /// error fields of stats(). With recovery enabled, escalates down the
   /// ladder until the policy thresholds are met (stats().recovery records
   /// every rung attempted); an escalated configuration persists for later
   /// solves and refactorizations.
-  void solve(std::span<const T> b, std::span<T> x);
+  ///
+  /// `refine_override`, when non-null, replaces opt_.refine for THIS call
+  /// only (the serve layer's shed mode passes max_iters = 0 to skip
+  /// refinement under load). The recovery ladder ignores the override:
+  /// its berr thresholds are meaningless without refinement.
+  void solve(std::span<const T> b, std::span<T> x,
+             const refine::RefineOptions* refine_override = nullptr);
 
   /// Multiple right-hand sides: B and X are n-by-nrhs column-major. The
   /// triangular solves run blocked over all columns (matrix-matrix
   /// kernels); refinement then polishes each column. stats() reflects the
-  /// last column's refinement.
-  void solve_multi(std::span<const T> B, std::span<T> X, index_t nrhs);
+  /// last column's refinement. `refine_override` as in solve().
+  void solve_multi(std::span<const T> B, std::span<T> X, index_t nrhs,
+                   const refine::RefineOptions* refine_override = nullptr);
 
   /// Re-factorize for a matrix with the SAME nonzero pattern but new values
   /// (the repeated-solve scenario the paper amortizes the ordering over).
-  /// All permutations, scalings and the symbolic structure are reused.
+  /// All permutations, scalings and the symbolic structure are reused —
+  /// which is exactly why the pattern is validated here: a same-size matrix
+  /// with a different pattern would silently reuse a wrong symbolic
+  /// structure. Throws Errc::invalid_argument on a pattern() mismatch.
   void refactorize(const sparse::CscMatrix<T>& A_new);
 
   /// The factored, fully transformed matrix Â = P·(Dr·A·Dc)·Pᵀ (testing).
@@ -238,13 +266,16 @@ class Solver {
   void factor_ladder();  ///< factor via apply_rung, escalating on throw
   bool advance_rung();   ///< move to the next policy-enabled rung
   void apply_rung();     ///< reconfigure + refactor for the current rung
-  void solve_once(std::span<const T> b, std::span<T> x);  ///< static path
+  void solve_once(std::span<const T> b, std::span<T> x,
+                  const refine::RefineOptions* ov);       ///< static path
   void solve_gepp(std::span<const T> b, std::span<T> x);  ///< rung (c) path
+  void finish_solve(const Timer& wall);  ///< wall latency + metrics export
   double berr_threshold() const;
 
   SolverOptions opt_;
   SolveStats stats_;
   index_t n_ = 0;
+  sparse::PatternKey pattern_;  ///< fingerprint of the analysed matrix
   // Combined transforms: x solves A·x = b via
   //   b̂[row_perm_[i]] = row_scale_[i]·b[i];  Â·x̂ = b̂;
   //   x[j] = col_scale_[j]·x̂[col_perm_[j]].

@@ -253,6 +253,7 @@ void DistSolver<T>::solve(minimpi::Comm& comm, std::span<const T> b,
              Errc::invalid_argument, "solve dimension mismatch");
   stats_.times.new_epoch();
   GESP_TRACE_SPAN("solver", "solve_call");
+  Timer wall;
 
   // Transform the right-hand side into the factored space (replicated).
   std::vector<T> bhat(static_cast<std::size_t>(n_));
@@ -315,6 +316,9 @@ void DistSolver<T>::solve(minimpi::Comm& comm, std::span<const T> b,
   comm.barrier();
   for (index_t j = 0; j < n_; ++j)
     x[j] = xhat[col_perm_[j]] * T{col_scale_[j]};
+  stats_.solve_wall_seconds = wall.seconds();
+  stats_.solve_wall_total_seconds += stats_.solve_wall_seconds;
+  ++stats_.solve_calls;
   if (comm.rank() == 0) stats_.export_metrics(metrics::global());
 }
 

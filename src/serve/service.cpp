@@ -1,0 +1,348 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace gesp::serve {
+namespace {
+
+/// Failures the PR-1 recovery ladder can do something about; everything
+/// else (bad input, library bug) is rethrown to the client as-is.
+bool recoverable(Errc c) noexcept {
+  return c == Errc::numerically_singular || c == Errc::unstable;
+}
+
+/// Footprint estimate for one cache entry: the factors (stored supernodal
+/// values + structure), the retained transformed copy of A, and the O(n)
+/// transform vectors. Deliberately an estimate — the byte budget is a
+/// pressure valve, not an allocator.
+template <class T>
+std::size_t estimate_bytes(const Solver<T>& s, const sparse::CscMatrix<T>& A) {
+  const SolveStats& st = s.stats();
+  const auto n = static_cast<std::size_t>(A.ncols);
+  std::size_t b = 0;
+  b += static_cast<std::size_t>(st.stored_l + st.stored_u) * sizeof(T);
+  b += static_cast<std::size_t>(st.nnz_l + st.nnz_u) * sizeof(index_t);
+  b += static_cast<std::size_t>(A.nnz()) * (sizeof(T) + sizeof(index_t));
+  b += (n + 1) * sizeof(index_t);
+  b += 6 * n * sizeof(double);  // row/col scales + permutations + workspace
+  return b;
+}
+
+[[noreturn]] void reject(const char* why) {
+  metrics::global().counter("serve.rejected").inc();
+  trace::instant("serve", "reject");
+  throw_error(Errc::overloaded, why);
+}
+
+}  // namespace
+
+template <class T>
+SolverService<T>::SolverService(const ServiceOptions& opt)
+    : opt_(opt), cache_(opt.cache_max_entries, opt.cache_max_bytes) {
+  GESP_CHECK(opt_.solver.backend != Backend::dist, Errc::invalid_argument,
+             "SolverService: Backend::dist cannot run inside request "
+             "threads; use Backend::serial or Backend::threaded");
+  opt_.num_workers = std::max(1, opt_.num_workers);
+  opt_.max_queue = std::max<std::size_t>(1, opt_.max_queue);
+  opt_.max_batch = std::max<index_t>(1, opt_.max_batch);
+  workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
+  for (int i = 0; i < opt_.num_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+template <class T>
+SolverService<T>::~SolverService() {
+  stop();
+}
+
+template <class T>
+Response<T> SolverService<T>::solve(const sparse::CscMatrix<T>& A,
+                                    std::span<const T> b,
+                                    const RequestOptions& ropt) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "SolverService::solve: matrix must be square");
+  GESP_CHECK(b.size() == static_cast<std::size_t>(A.ncols),
+             Errc::invalid_argument,
+             "SolverService::solve: b size must equal the matrix dimension");
+  auto p = std::make_unique<Pending>();
+  p->A = &A;
+  // Routing cost, paid once per request on the client thread: one FNV pass
+  // over the pattern and one over the values.
+  p->key = sparse::pattern_key(A);
+  p->vhash = sparse::value_hash(A);
+  p->b = b;
+  p->enqueued = Clock::now();
+  p->deadline = ropt.deadline_s > 0
+                    ? p->enqueued + std::chrono::duration_cast<Clock::duration>(
+                                        std::chrono::duration<double>(
+                                            ropt.deadline_s))
+                    : Clock::time_point::max();
+  std::future<Outcome> fut = p->promise.get_future();
+  {
+    std::lock_guard lk(mu_);
+    metrics::global().counter("serve.requests").inc();
+    if (stop_) reject("service stopped");
+    if (queue_.size() >= opt_.max_queue)
+      reject("request queue full; retry later or raise max_queue");
+    queue_.push_back(std::move(p));
+    metrics::global().counter("serve.admitted").inc();
+    const auto depth = static_cast<double>(queue_.size());
+    metrics::global().gauge("serve.queue.depth").set(depth);
+    trace::counter("serve.queue.depth", depth);
+  }
+  cv_.notify_all();
+  Outcome out = fut.get();
+  // Worker-side rejection / solver failure, rethrown on the client thread.
+  if (!out.ok) throw Error(out.code, std::move(out.message));
+  return std::move(out.resp);
+}
+
+template <class T>
+void SolverService<T>::warm(const sparse::CscMatrix<T>& A) {
+  GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
+             "SolverService::warm: matrix must be square");
+  bool matched = false;
+  auto e = cache_.acquire(A, &matched);
+  std::lock_guard elk(e->mu);
+  prepare_entry(*e, A, sparse::value_hash(A), /*arm_recovery=*/false);
+  cache_.update_bytes(e, estimate_bytes(*e->solver, A));
+}
+
+template <class T>
+void SolverService<T>::stop() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  workers_.clear();
+  // The workers drain the queue before exiting; anything still here lost a
+  // pop race against shutdown and must not hang its client.
+  std::list<PendingPtr> leftover;
+  {
+    std::lock_guard lk(mu_);
+    leftover.swap(queue_);
+  }
+  for (auto& p : leftover)
+    p->promise.set_value(Outcome{{}, false, Errc::overloaded,
+                                 "service stopped before execution"});
+}
+
+template <class T>
+std::size_t SolverService<T>::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+template <class T>
+void SolverService<T>::worker_loop() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and fully drained
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+      collect_matches_locked(batch);
+      // Linger: hold a non-full batch briefly so concurrent same-
+      // factorization arrivals coalesce. Other workers keep draining the
+      // queue meanwhile — the lock is released inside wait_until.
+      if (opt_.max_batch > 1 && opt_.batch_linger_s > 0 &&
+          static_cast<index_t>(batch.size()) < opt_.max_batch && !stop_) {
+        const auto linger_until =
+            Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   opt_.batch_linger_s));
+        while (static_cast<index_t>(batch.size()) < opt_.max_batch &&
+               !stop_) {
+          if (cv_.wait_until(lk, linger_until) == std::cv_status::timeout) {
+            collect_matches_locked(batch);
+            break;
+          }
+          collect_matches_locked(batch);
+        }
+      }
+      const auto depth = static_cast<double>(queue_.size());
+      metrics::global().gauge("serve.queue.depth").set(depth);
+      trace::counter("serve.queue.depth", depth);
+    }
+    execute_batch(batch);
+  }
+}
+
+template <class T>
+void SolverService<T>::collect_matches_locked(Batch& batch) {
+  // Coalesce on (pattern key, value hash): 128 combined hash bits, so a
+  // cross-matrix collision here is beyond negligible — and the cache layer
+  // still validates the pattern arrays exactly before any symbolic reuse.
+  const Pending& head = *batch.front();
+  for (auto it = queue_.begin();
+       it != queue_.end() && static_cast<index_t>(batch.size()) < opt_.max_batch;) {
+    if ((*it)->key == head.key && (*it)->vhash == head.vhash) {
+      batch.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+template <class T>
+void SolverService<T>::execute_batch(Batch& batch) {
+  GESP_TRACE_SPAN("serve", "batch");
+  // Deadline check happens at execution start: a request that waited past
+  // its budget is shed instead of solved late.
+  const auto now = Clock::now();
+  Batch live;
+  live.reserve(batch.size());
+  for (auto& p : batch) {
+    if (p->deadline < now) {
+      metrics::global().counter("serve.deadline_expired").inc();
+      metrics::global().counter("serve.rejected").inc();
+      trace::instant("serve", "deadline_expired");
+      p->promise.set_value(
+          Outcome{{}, false, Errc::overloaded,
+                  "deadline expired while queued; the service is "
+                  "overloaded or the deadline was too tight"});
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+  if (live.empty()) return;
+
+  // Graceful degradation: with the queue mostly full, skip iterative
+  // refinement — one static-pivot triangular solve per request is the
+  // cheapest answer GESP can give, and berr is still measured once.
+  const bool shed =
+      opt_.shed_refinement &&
+      queue_depth() >= static_cast<std::size_t>(
+                           opt_.shed_fraction *
+                           static_cast<double>(opt_.max_queue));
+  refine::RefineOptions shed_refine = opt_.solver.refine;
+  shed_refine.max_iters = 0;
+  const refine::RefineOptions* ov = shed ? &shed_refine : nullptr;
+
+  const sparse::CscMatrix<T>& A = *live.front()->A;
+  const std::uint64_t vhash = live.front()->vhash;
+  const auto n = static_cast<std::size_t>(A.ncols);
+  const auto width = static_cast<index_t>(live.size());
+
+  for (int attempt = 0;; ++attempt) {
+    bool pattern_matched = false;
+    auto e = cache_.acquire(A, &pattern_matched);
+    std::unique_lock elk(e->mu);
+    try {
+      Response<T> tmpl = prepare_entry(*e, A, vhash, attempt > 0);
+      tmpl.shed = shed;
+      tmpl.recovered = attempt > 0;
+      tmpl.batch_width = width;
+      cache_.update_bytes(e, estimate_bytes(*e->solver, A));
+
+      std::vector<std::vector<T>> xs(live.size());
+      if (opt_.batch_mode == BatchMode::blocked && live.size() > 1) {
+        GESP_TRACE_SPAN_ID("serve", "solve", width);
+        std::vector<T> B(n * live.size()), X(n * live.size());
+        for (std::size_t j = 0; j < live.size(); ++j)
+          std::copy(live[j]->b.begin(), live[j]->b.end(),
+                    B.begin() + static_cast<std::ptrdiff_t>(j * n));
+        e->solver->solve_multi(B, X, width, ov);
+        tmpl.berr = e->solver->stats().berr;
+        tmpl.refine_iterations = e->solver->stats().refine_iterations;
+        for (std::size_t j = 0; j < live.size(); ++j)
+          xs[j].assign(X.begin() + static_cast<std::ptrdiff_t>(j * n),
+                       X.begin() + static_cast<std::ptrdiff_t>((j + 1) * n));
+        for (std::size_t j = 0; j < live.size(); ++j)
+          fulfill(live[j], tmpl, std::move(xs[j]));
+      } else {
+        for (std::size_t j = 0; j < live.size(); ++j) {
+          GESP_TRACE_SPAN("serve", "solve");
+          xs[j].resize(n);
+          e->solver->solve(live[j]->b, xs[j], ov);
+          Response<T> r = tmpl;
+          r.berr = e->solver->stats().berr;
+          r.refine_iterations = e->solver->stats().refine_iterations;
+          fulfill(live[j], r, std::move(xs[j]));
+        }
+      }
+      metrics::global().counter("serve.batches").inc();
+      metrics::global().histogram("serve.batch_width").record(
+          static_cast<double>(width));
+      if (shed)
+        metrics::global().counter("serve.shed_solves").inc(
+            static_cast<count_t>(live.size()));
+      return;
+    } catch (const Error& err) {
+      if (attempt == 0 && opt_.evict_on_failure && recoverable(err.code())) {
+        // Recovery wiring: a poisoned cached factorization (stale entry
+        // that has drifted numerically singular/unstable) is evicted, and
+        // the batch retries once on a cold rebuild with the PR-1 ladder
+        // armed. The entry mutex is released first — erase() takes the
+        // cache mutex and lock order is cache-then-entry elsewhere.
+        elk.unlock();
+        cache_.erase(e);
+        metrics::global().counter("serve.retries").inc();
+        trace::instant("serve", "evict_and_retry");
+        continue;
+      }
+      for (auto& p : live)
+        p->promise.set_value(Outcome{{}, false, err.code(), err.what()});
+      return;
+    }
+  }
+}
+
+template <class T>
+void SolverService<T>::fulfill(PendingPtr& p, const Response<T>& tmpl,
+                               std::vector<T>&& x) {
+  Response<T> r = tmpl;
+  r.x = std::move(x);
+  r.latency_s =
+      std::chrono::duration<double>(Clock::now() - p->enqueued).count();
+  // Microseconds: the histogram's power-of-two buckets would fold every
+  // sub-second latency into one bucket if recorded in seconds.
+  metrics::global().histogram("serve.latency_us").record(r.latency_s * 1e6);
+  p->promise.set_value(Outcome{std::move(r), true, Errc::overloaded, {}});
+}
+
+template <class T>
+Response<T> SolverService<T>::prepare_entry(CacheEntry<T>& e,
+                                            const sparse::CscMatrix<T>& A,
+                                            std::uint64_t vhash,
+                                            bool arm_recovery) {
+  Response<T> r;
+  if (!e.solver) {
+    GESP_TRACE_SPAN("serve", "factor_cold");
+    metrics::global().counter("serve.cache.miss").inc();
+    SolverOptions so = opt_.solver;
+    if (arm_recovery) so.recovery.enabled = true;
+    e.solver = std::make_unique<Solver<T>>(A, so);
+    e.value_hash = vhash;
+  } else if (e.value_hash != vhash) {
+    // Pattern hit: reuse the cached analysis (equilibration, permutations,
+    // symbolic structure) and redo only the numeric factorization.
+    GESP_TRACE_SPAN("serve", "refactorize");
+    metrics::global().counter("serve.cache.pattern_hit").inc();
+    e.solver->refactorize(A);
+    e.value_hash = vhash;
+    r.pattern_hit = true;
+  } else {
+    // Value hit: the factors are current; go straight to the solves.
+    metrics::global().counter("serve.cache.value_hit").inc();
+    r.pattern_hit = true;
+    r.value_hit = true;
+  }
+  return r;
+}
+
+template class SolverService<double>;
+template class SolverService<Complex>;
+
+}  // namespace gesp::serve

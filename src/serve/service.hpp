@@ -1,0 +1,186 @@
+// SolverService — a concurrent solve server over the GESP backends.
+//
+// The paper's whole point is that static pivoting turns every expensive
+// decision into a reusable, schedulable asset; at serving scale the
+// bottleneck therefore moves from the factorization to the layer that
+// routes requests onto cached factorizations. This service provides that
+// layer:
+//
+//   * a pattern-keyed factorization cache (cache.hpp): a request with a
+//     known pattern but new values takes the refactorize fast path; a
+//     known (pattern, values) pair goes straight to triangular solves;
+//   * a request queue with RHS batching: concurrent single-RHS requests
+//     against the same cached factorization coalesce into one solve_multi
+//     call, up to a configurable batch width and linger deadline;
+//   * admission control and graceful degradation: bounded queue depth with
+//     typed rejection (Errc::overloaded), per-request deadlines, and a
+//     shed mode that skips iterative refinement under load;
+//   * recovery wiring: a cached factorization that fails recoverably is
+//     evicted and rebuilt cold with the PR-1 recovery ladder armed,
+//     rather than poisoning the cache.
+//
+// Client calls are synchronous: solve() blocks until the response (or
+// throws gesp::Error). Everything is observable under "serve.*" metrics
+// and "serve" trace spans.
+//
+// Determinism note: answers are refinement-converged solutions, but the
+// *transform basis* of a pattern (scalings/permutations) comes from
+// whichever matrix created its cache entry — as with any hand-held
+// Solver + refactorize sequence. Bit-level reproducibility across runs
+// therefore requires warm()-ing patterns with a canonical value set and a
+// cache large enough not to evict them; with BatchMode::per_column the
+// served solutions are then bitwise identical to a serial Solver replay.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <list>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "refine/refine.hpp"
+#include "serve/cache.hpp"
+
+namespace gesp::serve {
+
+/// How a batch of coalesced single-RHS requests is executed.
+enum class BatchMode {
+  /// One blocked solve_multi over the whole batch — the fast path
+  /// (matrix-matrix triangular kernels), last-bit different from
+  /// column-by-column solves.
+  blocked,
+  /// One solve() per request — bitwise identical to a serial Solver
+  /// making the same calls; the parity-testing mode.
+  per_column,
+};
+
+struct ServiceOptions {
+  /// Base solver configuration (Backend::serial or Backend::threaded;
+  /// Backend::dist cannot run inside a request thread).
+  SolverOptions solver;
+  int num_workers = 2;          ///< executor threads
+  std::size_t max_queue = 64;   ///< admission bound on queued requests
+  std::size_t cache_max_entries = 16;
+  std::size_t cache_max_bytes = std::size_t{256} << 20;
+  index_t max_batch = 8;        ///< RHS coalescing width (1 = no batching)
+  /// How long a worker holding a non-full batch waits for more same-
+  /// (pattern, values) arrivals before executing. 0 disables lingering.
+  double batch_linger_s = 200e-6;
+  BatchMode batch_mode = BatchMode::blocked;
+  /// Shed mode: when the queue is more than this full at execution time,
+  /// solves skip iterative refinement (berr is still measured once).
+  bool shed_refinement = true;
+  double shed_fraction = 0.75;
+  /// Recovery wiring: evict a recoverably-failed cached factorization and
+  /// retry once cold with the recovery ladder armed.
+  bool evict_on_failure = true;
+};
+
+struct RequestOptions {
+  /// Max seconds from admission to execution start; an expired request is
+  /// rejected with Errc::overloaded instead of solved late. 0 = none.
+  double deadline_s = 0.0;
+};
+
+template <class T>
+struct Response {
+  std::vector<T> x;
+  double latency_s = 0.0;    ///< admission -> completion, service-side
+  bool pattern_hit = false;  ///< reused a cached analysis (refactorized)
+  bool value_hit = false;    ///< reused the factors outright
+  bool shed = false;         ///< refinement skipped under load
+  bool recovered = false;    ///< failure eviction + ladder retry happened
+  index_t batch_width = 1;   ///< requests coalesced into this execution
+  double berr = 0.0;         ///< batch-level for BatchMode::blocked
+  int refine_iterations = 0;
+};
+
+template <class T>
+class SolverService {
+ public:
+  explicit SolverService(const ServiceOptions& opt = {});
+  ~SolverService();  ///< stop() + join
+
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// Solve A·x = b. Blocks the calling thread until the service executed
+  /// the request (possibly batched with others); throws gesp::Error on
+  /// rejection (Errc::overloaded: queue full, deadline expired, service
+  /// stopped) or solver failure. A and b must stay valid for the duration
+  /// of the call — they are not copied on admission.
+  Response<T> solve(const sparse::CscMatrix<T>& A, std::span<const T> b,
+                    const RequestOptions& ropt = {});
+
+  /// Synchronously analyse + factor A into the cache without solving —
+  /// startup pre-loading, and the way to pin a pattern's transform basis
+  /// to a canonical value set (see the determinism note above).
+  void warm(const sparse::CscMatrix<T>& A);
+
+  /// Drain the queue, then stop the workers. Requests admitted before
+  /// stop() complete; later solve() calls are rejected with
+  /// Errc::overloaded. Idempotent; the destructor calls it.
+  void stop();
+
+  const ServiceOptions& options() const { return opt_; }
+  std::size_t cache_entries() const { return cache_.entries(); }
+  std::size_t cache_bytes() const { return cache_.bytes(); }
+  std::size_t queue_depth() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  /// What a worker hands back to the waiting client. Errors travel by
+  /// value (code + message, rethrown as gesp::Error on the client thread)
+  /// rather than as a std::exception_ptr: an exception_ptr shared across
+  /// threads synchronizes through refcounts inside libstdc++'s
+  /// uninstrumented runtime, which ThreadSanitizer cannot see and reports
+  /// as a race on every rejected request.
+  struct Outcome {
+    Response<T> resp;
+    bool ok = true;
+    Errc code = Errc::overloaded;
+    std::string message;
+  };
+
+  struct Pending {
+    const sparse::CscMatrix<T>* A = nullptr;
+    sparse::PatternKey key;
+    std::uint64_t vhash = 0;
+    std::span<const T> b;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  ///< time_point::max() when none
+    std::promise<Outcome> promise;
+  };
+  using PendingPtr = std::unique_ptr<Pending>;
+  using Batch = std::vector<PendingPtr>;
+
+  void worker_loop();
+  /// Move queued requests matching (key, vhash) into `batch` (locked).
+  void collect_matches_locked(Batch& batch);
+  void execute_batch(Batch& batch);
+  /// Stamp latency onto a copy of `tmpl`, attach x, resolve the promise.
+  void fulfill(PendingPtr& p, const Response<T>& tmpl, std::vector<T>&& x);
+  /// Cold-build / refactorize / reuse the entry for the batch's matrix;
+  /// returns the response template describing the path taken. Entry mutex
+  /// must be held.
+  Response<T> prepare_entry(CacheEntry<T>& e, const sparse::CscMatrix<T>& A,
+                            std::uint64_t vhash, bool arm_recovery);
+
+  ServiceOptions opt_;
+  FactorizationCache<T> cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<PendingPtr> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+extern template class SolverService<double>;
+extern template class SolverService<Complex>;
+
+}  // namespace gesp::serve

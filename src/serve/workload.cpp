@@ -1,0 +1,102 @@
+#include "serve/workload.hpp"
+
+#include <fstream>
+#include <iterator>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "io/harwell_boeing.hpp"
+#include "io/matrix_market.hpp"
+#include "sparse/testbed.hpp"
+
+namespace gesp::serve {
+
+sparse::CscMatrix<double> perturb_values(const sparse::CscMatrix<double>& base,
+                                         int valueset, double amplitude) {
+  GESP_CHECK(valueset >= 0, Errc::invalid_argument,
+             "perturb_values: valueset must be >= 0");
+  sparse::CscMatrix<double> A = base;
+  if (valueset == 0) return A;
+  // Multiplicative perturbation: zeros stay zero, the pattern and rough
+  // magnitude structure (what the static row permutation keyed on) survive.
+  Rng rng(0x5e77a1ce5ull ^ static_cast<std::uint64_t>(valueset));
+  for (double& v : A.values) v *= 1.0 + rng.uniform(-amplitude, amplitude);
+  return A;
+}
+
+sparse::CscMatrix<double> load_base_matrix(const std::string& spec) {
+  constexpr const char* kPrefix = "testbed:";
+  if (spec.rfind(kPrefix, 0) == 0)
+    return sparse::testbed_entry(spec.substr(std::string(kPrefix).size()))
+        .make();
+  if (spec.size() >= 4 && spec.compare(spec.size() - 4, 4, ".mtx") == 0)
+    return io::read_matrix_market(spec);
+  return io::read_harwell_boeing(spec);
+}
+
+Workload read_workload(const std::string& path) {
+  std::ifstream in(path);
+  GESP_CHECK(in.good(), Errc::io, "cannot open workload file: " + path);
+  Workload w;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank / comment-only line
+    const std::string where = path + ":" + std::to_string(lineno);
+    GESP_CHECK(directive == "request", Errc::io,
+               "workload: unknown directive '" + directive + "' at " + where);
+    WorkloadItem item;
+    GESP_CHECK(static_cast<bool>(ls >> item.matrix >> item.valueset) &&
+                   item.valueset >= 0,
+               Errc::io,
+               "workload: expected 'request <matrix> <valueset>' at " + where);
+    w.items.push_back(std::move(item));
+  }
+  return w;
+}
+
+void write_workload(const std::string& path, const Workload& w) {
+  std::ofstream out(path);
+  GESP_CHECK(out.good(), Errc::io, "cannot write workload file: " + path);
+  out << "# gesp_serve workload: request <matrix> <valueset>\n";
+  for (const auto& item : w.items)
+    out << "request " << item.matrix << " " << item.valueset << "\n";
+  GESP_CHECK(out.good(), Errc::io, "write failed: " + path);
+}
+
+Workload generate_workload(int patterns, int valuesets, int requests,
+                           std::uint64_t seed) {
+  GESP_CHECK(patterns > 0 && valuesets > 0 && requests > 0,
+             Errc::invalid_argument,
+             "generate_workload: counts must be positive");
+  // Small-to-medium testbed matrices that factor quickly — serving traffic
+  // is many cheap requests, not a few Table-2 monsters.
+  // Ordered smallest-first so --patterns=K selects the K fastest systems.
+  static const char* kPool[] = {
+      "west0497-s", "jpwh991-s", "orsirr-s",  "sherman-s",
+      "add20-s",    "add32-s",   "gemat11-s", "memplus-s",
+  };
+  constexpr int kPoolSize = static_cast<int>(std::size(kPool));
+  GESP_CHECK(patterns <= kPoolSize, Errc::invalid_argument,
+             "generate_workload: at most " + std::to_string(kPoolSize) +
+                 " distinct patterns available");
+  Rng rng(seed);
+  Workload w;
+  w.items.reserve(static_cast<std::size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    WorkloadItem item;
+    item.matrix =
+        std::string("testbed:") + kPool[rng.next_index(patterns)];
+    item.valueset = static_cast<int>(rng.next_index(valuesets));
+    w.items.push_back(std::move(item));
+  }
+  return w;
+}
+
+}  // namespace gesp::serve

@@ -1,0 +1,60 @@
+// Serving workloads — the request streams gesp_serve and bench_serve replay.
+//
+// A workload is an ordered list of (matrix, value set) requests. "Value set
+// k" means the base matrix's values deterministically perturbed with seed k
+// (k = 0 is the base matrix unchanged), which models the repeated-solve
+// scenario the paper amortizes the static analysis over: same pattern,
+// drifting values (time steps, Newton iterations, parameter sweeps).
+//
+// File format (text, one directive per line, '#' comments):
+//
+//   request <matrix> <valueset>
+//
+// where <matrix> is either "testbed:NAME" (a synthetic testbed matrix) or a
+// path to a Matrix Market / Harwell-Boeing file (by extension: .mtx → MM,
+// anything else → HB).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csc.hpp"
+
+namespace gesp::serve {
+
+struct WorkloadItem {
+  std::string matrix;  ///< "testbed:NAME" or a file path
+  int valueset = 0;    ///< 0 = base values, k > 0 = perturbation seed
+};
+
+struct Workload {
+  std::vector<WorkloadItem> items;
+};
+
+/// Deterministically perturb the values of `base`, keeping the pattern:
+/// each value is scaled by 1 + amplitude·u with u uniform in [-1, 1] drawn
+/// from Rng(valueset). valueset 0 returns `base` unchanged, pinning the
+/// canonical transform basis for warm().
+sparse::CscMatrix<double> perturb_values(const sparse::CscMatrix<double>& base,
+                                         int valueset,
+                                         double amplitude = 0.125);
+
+/// Resolve a WorkloadItem matrix spec to its base matrix (values
+/// unperturbed). Throws Errc::invalid_argument for an unknown testbed name,
+/// Errc::io for an unreadable file.
+sparse::CscMatrix<double> load_base_matrix(const std::string& spec);
+
+/// Parse / serialize the text format above. read_workload throws Errc::io
+/// on an unreadable file or malformed directive.
+Workload read_workload(const std::string& path);
+void write_workload(const std::string& path, const Workload& w);
+
+/// Synthesize a workload: `requests` items drawn over `patterns` distinct
+/// testbed matrices and `valuesets` value sets each, shuffled by `seed`.
+/// Value-set indices repeat, so replays exercise all three cache paths
+/// (miss, pattern hit, value hit).
+Workload generate_workload(int patterns, int valuesets, int requests,
+                           std::uint64_t seed);
+
+}  // namespace gesp::serve

@@ -2,6 +2,17 @@
 
 namespace gesp::sparse {
 
+std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                          std::uint64_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
 std::vector<index_t> inverse_permutation(std::span<const index_t> p) {
   std::vector<index_t> inv(p.size(), -1);
   for (std::size_t i = 0; i < p.size(); ++i) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
@@ -184,6 +185,46 @@ CscMatrix<T> transpose(const CscMatrix<T>& A) {
   B.rowind = std::move(R.colind);
   B.values = std::move(R.values);
   return B;
+}
+
+/// FNV-1a over a byte range, chained through `seed` so several ranges can
+/// be folded into one hash (pattern arrays, value arrays).
+std::uint64_t fnv1a_bytes(const void* data, std::size_t size,
+                          std::uint64_t seed = 14695981039346656037ull);
+
+/// Structural fingerprint of a sparse matrix: dimensions, nnz and an FNV-1a
+/// hash of the colptr/rowind arrays. Two matrices with equal keys almost
+/// certainly share a sparsity pattern (the hash is 64-bit; collision-exact
+/// callers such as the serve-layer factorization cache additionally compare
+/// the index arrays byte for byte). Values do not enter the key — that is
+/// the point: a key identifies everything the *analysis* (scalings aside)
+/// and symbolic structure are reusable for.
+struct PatternKey {
+  index_t n = 0;
+  count_t nnz = 0;
+  std::uint64_t hash = 0;
+  friend bool operator==(const PatternKey&, const PatternKey&) = default;
+};
+
+template <class T>
+PatternKey pattern_key(const CscMatrix<T>& A) {
+  PatternKey k;
+  k.n = A.ncols;
+  k.nnz = A.nnz();
+  k.hash = fnv1a_bytes(&A.nrows, sizeof A.nrows);
+  k.hash = fnv1a_bytes(A.colptr.data(), A.colptr.size() * sizeof(index_t),
+                       k.hash);
+  k.hash = fnv1a_bytes(A.rowind.data(), A.rowind.size() * sizeof(index_t),
+                       k.hash);
+  return k;
+}
+
+/// FNV-1a over the stored value bytes (bitwise: +0.0 and -0.0 differ).
+/// Combined with a PatternKey this identifies a (pattern, values) pair —
+/// the level at which triangular solves are reusable with no refactorize.
+template <class T>
+std::uint64_t value_hash(const CscMatrix<T>& A) {
+  return fnv1a_bytes(A.values.data(), A.values.size() * sizeof(T));
 }
 
 /// Inverse of a permutation given as a new-from-old map (p[old] = new).

@@ -1,0 +1,339 @@
+// gesp_serve — workload replay driver for the serving layer.
+//
+//   gesp_serve [WORKLOAD] [options]
+//
+//   WORKLOAD              workload file ("request <matrix> <valueset>" per
+//                         line, see src/serve/workload.hpp); omitted =
+//                         --generate
+//   --generate            synthesize a workload instead of reading one
+//   --patterns=N          generated: distinct matrix patterns (default 3)
+//   --valuesets=N         generated: value sets per pattern (default 4)
+//   --requests=N          generated: total requests (default 64)
+//   --seed=N              generated: workload shuffle seed (default 1)
+//   --write-workload=FILE save the generated workload and continue
+//   --clients=N           concurrent client threads replaying (default 4)
+//   --workers=N           service executor threads (default 2)
+//   --max-batch=N         RHS coalescing width (default 8; 1 = no batching)
+//   --linger-us=N         batch linger in microseconds (default 200)
+//   --max-queue=N         admission bound (default 64)
+//   --cache-entries=N     factorization cache entry budget (default 16)
+//   --cache-mb=N          factorization cache byte budget (default 256)
+//   --per-column          bitwise-reproducible per-column batch execution
+//                         instead of the blocked solve_multi fast path
+//   --deadline-ms=X       per-request deadline (default none)
+//   --no-shed             keep iterative refinement even under load
+//   --warm                pre-factor every distinct pattern (value set 0)
+//                         before replay starts
+//   --backend=serial|threaded, --threads=N
+//                         solver engine under the service (default serial;
+//                         Backend::dist cannot serve request threads)
+//   --trace=FILE          chrome://tracing capture ("serve" category spans)
+//   --metrics-json=FILE   dump the metrics registry (serve.* tree included)
+//
+// Exit codes follow gesp_solve: 0 ok, 2 usage, 3 invalid argument, 4 io,
+// 10 overloaded — but per-request overload rejections are *counted*, not
+// fatal (shedding is the service working as designed); 10 means the replay
+// could not run at all.
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/timer.hpp"
+#include "common/trace.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "sparse/ops.hpp"
+
+namespace {
+
+using namespace gesp;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: gesp_serve [WORKLOAD] [--generate] [--patterns=N] "
+               "[--valuesets=N] [--requests=N]\n"
+               "       [--seed=N] [--write-workload=FILE] [--clients=N] "
+               "[--workers=N] [--max-batch=N]\n"
+               "       [--linger-us=N] [--max-queue=N] [--cache-entries=N] "
+               "[--cache-mb=N] [--per-column]\n"
+               "       [--deadline-ms=X] [--no-shed] [--warm] "
+               "[--backend=serial|threaded] [--threads=N]\n"
+               "       [--trace=FILE] [--metrics-json=FILE]\n");
+  std::exit(2);
+}
+
+int exit_code_for(Errc c) {
+  switch (c) {
+    case Errc::invalid_argument:
+      return 3;
+    case Errc::io:
+      return 4;
+    case Errc::structurally_singular:
+      return 5;
+    case Errc::numerically_singular:
+      return 6;
+    case Errc::unstable:
+      return 7;
+    case Errc::comm:
+      return 8;
+    case Errc::internal:
+      return 9;
+    case Errc::overloaded:
+      return 10;
+  }
+  return 9;
+}
+
+const char* value_of(const char* arg, const char* flag) {
+  const std::size_t n = std::strlen(flag);
+  if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workload_path, write_workload_path, trace_path, metrics_path;
+  bool generate = false, warm = false;
+  int patterns = 3, valuesets = 4, requests = 64;
+  std::uint64_t seed = 1;
+  int clients = 4;
+  double deadline_ms = 0.0;
+  serve::ServiceOptions sopt;
+  sopt.solver.backend = Backend::serial;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (const char* v = value_of(a, "--patterns")) {
+      patterns = std::atoi(v);
+    } else if (const char* v1 = value_of(a, "--valuesets")) {
+      valuesets = std::atoi(v1);
+    } else if (const char* v2 = value_of(a, "--requests")) {
+      requests = std::atoi(v2);
+    } else if (const char* v3 = value_of(a, "--seed")) {
+      seed = static_cast<std::uint64_t>(std::atoll(v3));
+    } else if (const char* v4 = value_of(a, "--write-workload")) {
+      write_workload_path = v4;
+    } else if (const char* v5 = value_of(a, "--clients")) {
+      clients = std::atoi(v5);
+    } else if (const char* v6 = value_of(a, "--workers")) {
+      sopt.num_workers = std::atoi(v6);
+    } else if (const char* v7 = value_of(a, "--max-batch")) {
+      sopt.max_batch = static_cast<index_t>(std::atoi(v7));
+    } else if (const char* v8 = value_of(a, "--linger-us")) {
+      sopt.batch_linger_s = std::atof(v8) * 1e-6;
+    } else if (const char* v9 = value_of(a, "--max-queue")) {
+      sopt.max_queue = static_cast<std::size_t>(std::atoll(v9));
+    } else if (const char* v10 = value_of(a, "--cache-entries")) {
+      sopt.cache_max_entries = static_cast<std::size_t>(std::atoll(v10));
+    } else if (const char* v11 = value_of(a, "--cache-mb")) {
+      sopt.cache_max_bytes = static_cast<std::size_t>(std::atoll(v11)) << 20;
+    } else if (const char* v12 = value_of(a, "--deadline-ms")) {
+      deadline_ms = std::atof(v12);
+    } else if (const char* v13 = value_of(a, "--threads")) {
+      sopt.solver.num_threads = std::atoi(v13);
+    } else if (const char* v14 = value_of(a, "--backend")) {
+      if (std::strcmp(v14, "serial") == 0)
+        sopt.solver.backend = Backend::serial;
+      else if (std::strcmp(v14, "threaded") == 0)
+        sopt.solver.backend = Backend::threaded;
+      else
+        usage("gesp_serve backends: serial or threaded");
+    } else if (const char* v15 = value_of(a, "--trace")) {
+      trace_path = v15;
+    } else if (const char* v16 = value_of(a, "--metrics-json")) {
+      metrics_path = v16;
+    } else if (std::strcmp(a, "--generate") == 0) {
+      generate = true;
+    } else if (std::strcmp(a, "--per-column") == 0) {
+      sopt.batch_mode = serve::BatchMode::per_column;
+    } else if (std::strcmp(a, "--no-shed") == 0) {
+      sopt.shed_refinement = false;
+    } else if (std::strcmp(a, "--warm") == 0) {
+      warm = true;
+    } else if (a[0] == '-') {
+      usage((std::string("unknown option ") + a).c_str());
+    } else if (workload_path.empty()) {
+      workload_path = a;
+    } else {
+      usage("more than one workload argument");
+    }
+  }
+  if (workload_path.empty()) generate = true;
+
+  if (!trace_path.empty()) trace::start();
+
+  try {
+    const serve::Workload w =
+        generate ? serve::generate_workload(patterns, valuesets, requests,
+                                            seed)
+                 : serve::read_workload(workload_path);
+    if (!write_workload_path.empty())
+      serve::write_workload(write_workload_path, w);
+    if (w.items.empty()) usage("workload is empty");
+
+    // Materialize every (matrix, valueset) pair once, up front: the replay
+    // measures the service, not the perturbation, and solve() requires the
+    // matrix to outlive the request.
+    struct Problem {
+      sparse::CscMatrix<double> A;
+      std::vector<double> b;  ///< A * ones, so the truth is known
+    };
+    std::map<std::string, sparse::CscMatrix<double>> bases;
+    std::map<std::pair<std::string, int>, const Problem*> problems;
+    std::deque<Problem> storage;
+    for (const auto& item : w.items) {
+      const auto key = std::make_pair(item.matrix, item.valueset);
+      if (problems.count(key)) continue;
+      auto bit = bases.find(item.matrix);
+      if (bit == bases.end())
+        bit = bases.emplace(item.matrix,
+                            serve::load_base_matrix(item.matrix)).first;
+      Problem p;
+      p.A = serve::perturb_values(bit->second, item.valueset);
+      std::vector<double> ones(static_cast<std::size_t>(p.A.ncols), 1.0);
+      p.b.resize(ones.size());
+      sparse::spmv<double>(p.A, ones, p.b);
+      storage.push_back(std::move(p));
+      problems.emplace(key, &storage.back());
+    }
+    std::printf("workload    %zu requests, %zu patterns, %zu problems\n",
+                w.items.size(), bases.size(), storage.size());
+    std::printf(
+        "service     %d workers, queue %zu, batch %d (%s, linger %.0f us), "
+        "cache %zu entries / %zu MB, backend %s x%d\n",
+        sopt.num_workers, sopt.max_queue, static_cast<int>(sopt.max_batch),
+        sopt.batch_mode == serve::BatchMode::blocked ? "blocked"
+                                                     : "per-column",
+        sopt.batch_linger_s * 1e6, sopt.cache_max_entries,
+        sopt.cache_max_bytes >> 20, backend_name(sopt.solver.backend),
+        sopt.solver.num_threads);
+
+    serve::SolverService<double> svc(sopt);
+    if (warm) {
+      Timer tw;
+      for (const auto& [name, base] : bases) svc.warm(base);
+      std::printf("warm        %zu patterns in %.3f s\n", bases.size(),
+                  tw.seconds());
+    }
+
+    std::atomic<long long> ok{0}, rejected{0}, pattern_hits{0},
+        value_hits{0}, shed{0}, recovered{0};
+    std::atomic<double> max_err{0.0};
+    std::atomic<int> hard_failure{0};
+    serve::RequestOptions ropt;
+    ropt.deadline_s = deadline_ms * 1e-3;
+
+    Timer wall;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(std::max(1, clients)));
+    for (int c = 0; c < std::max(1, clients); ++c) {
+      pool.emplace_back([&, c] {
+        for (std::size_t i = static_cast<std::size_t>(c);
+             i < w.items.size();
+             i += static_cast<std::size_t>(std::max(1, clients))) {
+          const auto& item = w.items[i];
+          const Problem& p =
+              *problems.at(std::make_pair(item.matrix, item.valueset));
+          try {
+            auto r = svc.solve(p.A, p.b, ropt);
+            ok.fetch_add(1, std::memory_order_relaxed);
+            if (r.pattern_hit)
+              pattern_hits.fetch_add(1, std::memory_order_relaxed);
+            if (r.value_hit)
+              value_hits.fetch_add(1, std::memory_order_relaxed);
+            if (r.shed) shed.fetch_add(1, std::memory_order_relaxed);
+            if (r.recovered)
+              recovered.fetch_add(1, std::memory_order_relaxed);
+            double err = 0;
+            for (double xv : r.x) err = std::max(err, std::abs(xv - 1.0));
+            double cur = max_err.load(std::memory_order_relaxed);
+            while (err > cur && !max_err.compare_exchange_weak(
+                                    cur, err, std::memory_order_relaxed)) {
+            }
+          } catch (const Error& e) {
+            if (e.code() == Errc::overloaded) {
+              rejected.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              std::fprintf(stderr, "request %zu failed: %s\n", i, e.what());
+              hard_failure.store(exit_code_for(e.code()));
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    const double elapsed = wall.seconds();
+    svc.stop();
+
+    auto& reg = metrics::global();
+    const auto* lat = reg.find_histogram("serve.latency_us");
+    const auto* bw = reg.find_histogram("serve.batch_width");
+    const auto cval = [&](const char* name) -> long long {
+      const auto* ctr = reg.find_counter(name);
+      return ctr ? static_cast<long long>(ctr->value()) : 0;
+    };
+    std::printf("replayed    %lld ok, %lld rejected in %.3f s  (%.1f req/s, "
+                "%d clients)\n",
+                ok.load(), rejected.load(), elapsed,
+                elapsed > 0 ? static_cast<double>(ok.load()) / elapsed : 0.0,
+                std::max(1, clients));
+    std::printf("cache       %lld misses, %lld pattern hits, %lld value "
+                "hits, %lld evictions (%zu entries, %.1f MB resident)\n",
+                cval("serve.cache.miss"), cval("serve.cache.pattern_hit"),
+                cval("serve.cache.value_hit"), cval("serve.cache.evictions"),
+                svc.cache_entries(),
+                static_cast<double>(svc.cache_bytes()) / (1 << 20));
+    std::printf("degradation %lld shed solves, %lld deadline expired, "
+                "%lld retries after eviction, %lld recovered\n",
+                shed.load(), cval("serve.deadline_expired"),
+                cval("serve.retries"), recovered.load());
+    if (lat && lat->count() > 0)
+      std::printf("latency     p50 %.0f us, p95 %.0f us, p99 %.0f us, "
+                  "max %.0f us\n",
+                  lat->quantile(0.5), lat->quantile(0.95),
+                  lat->quantile(0.99), lat->max());
+    if (bw && bw->count() > 0)
+      std::printf("batching    %lld batches, mean width %.2f, max %d\n",
+                  static_cast<long long>(bw->count()), bw->mean(),
+                  static_cast<int>(bw->max()));
+    std::printf("max err     %.3e (against the all-ones solution)\n",
+                max_err.load());
+
+    if (!trace_path.empty()) {
+      trace::stop();
+      std::string extra;
+      if (metrics_path == trace_path)
+        extra = "\"metrics\":" + reg.to_json();
+      trace::write_chrome_json(trace_path, extra);
+      std::fprintf(stderr, "trace       %zu events -> %s\n",
+                   trace::event_count(), trace_path.c_str());
+    }
+    if (!metrics_path.empty() && metrics_path != trace_path) {
+      const std::string json = reg.to_json();
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      GESP_CHECK(f != nullptr, Errc::io,
+                 "cannot open metrics file " + metrics_path);
+      std::fwrite(json.data(), 1, json.size(), f);
+      GESP_CHECK(std::fclose(f) == 0, Errc::io,
+                 "short write to metrics file " + metrics_path);
+    }
+    return hard_failure.load();
+  } catch (const Error& e) {
+    std::fprintf(stderr, "gesp_serve: %s\n", e.what());
+    return exit_code_for(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gesp_serve: unexpected: %s\n", e.what());
+    return 70;
+  }
+}

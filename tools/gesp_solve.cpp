@@ -48,6 +48,7 @@
 //   7 unstable (incl. --recover runs whose final answer missed the policy
 //     thresholds — the report prints the best-effort trail either way)
 //   8 transport fault (comm)  9 internal error
+//   10 overloaded (serving layer shed the request)
 //   70 unexpected non-library exception
 #include <cstdio>
 #include <cstring>
@@ -88,7 +89,8 @@ using namespace gesp;
                "[--trace=FILE] [--metrics-json=FILE] [--list]\n"
                "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
                "            5/6 structurally/numerically singular, "
-               "7 unstable/not recovered, 8 comm, 9 internal\n");
+               "7 unstable/not recovered, 8 comm, 9 internal,\n"
+               "            10 overloaded (serve layer shed the request)\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -107,6 +109,8 @@ int exit_code_for(Errc c) {
       return 7;
     case Errc::comm:
       return 8;
+    case Errc::overloaded:
+      return 10;
     case Errc::internal:
       return 9;
   }
@@ -358,6 +362,17 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(s.flops) / s.times.get("factor") /
                           1e6
                     : 0.0);
+    // Wall latency vs phase times: solve_wall_seconds wraps the whole last
+    // solve() call, so it is >= the sum of that call's phase entries below
+    // (see SolveStats); the same number lands in --metrics-json as the
+    // "solver.solve_wall_seconds" gauge.
+    if (s.solve_calls > 0)
+      std::printf("latency     %.3f ms wall (last solve call; %.3f ms mean "
+                  "over %lld calls)\n",
+                  s.solve_wall_seconds * 1e3,
+                  s.solve_wall_total_seconds * 1e3 /
+                      static_cast<double>(s.solve_calls),
+                  static_cast<long long>(s.solve_calls));
     std::printf("phases      ");
     for (const auto& [phase, t] : s.times.all())
       std::printf("%s %.3fs  ", phase.c_str(), t);
