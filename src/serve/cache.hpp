@@ -37,6 +37,10 @@ struct CacheEntry {
   std::mutex mu;                      ///< execution lock for `solver`
   std::unique_ptr<Solver<T>> solver;  ///< null until the first factorization
   std::uint64_t value_hash = 0;       ///< values currently factored
+  /// Exact value bytes currently factored, compared on every value-hash
+  /// hit: like the pattern arrays above, a 64-bit hash collision must
+  /// degrade to a refactorize, never serve stale factors. Guarded by `mu`.
+  std::vector<T> values;
   std::size_t bytes = 0;              ///< footprint estimate (cache mutex)
   std::uint64_t last_use = 0;         ///< LRU tick (cache mutex)
 };

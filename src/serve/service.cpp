@@ -1,6 +1,7 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/error.hpp"
@@ -17,9 +18,9 @@ bool recoverable(Errc c) noexcept {
 }
 
 /// Footprint estimate for one cache entry: the factors (stored supernodal
-/// values + structure), the retained transformed copy of A, and the O(n)
-/// transform vectors. Deliberately an estimate — the byte budget is a
-/// pressure valve, not an allocator.
+/// values + structure), the retained transformed copy of A, the entry's
+/// exact-value check copy, and the O(n) transform vectors. Deliberately an
+/// estimate — the byte budget is a pressure valve, not an allocator.
 template <class T>
 std::size_t estimate_bytes(const Solver<T>& s, const sparse::CscMatrix<T>& A) {
   const SolveStats& st = s.stats();
@@ -27,10 +28,20 @@ std::size_t estimate_bytes(const Solver<T>& s, const sparse::CscMatrix<T>& A) {
   std::size_t b = 0;
   b += static_cast<std::size_t>(st.stored_l + st.stored_u) * sizeof(T);
   b += static_cast<std::size_t>(st.nnz_l + st.nnz_u) * sizeof(index_t);
-  b += static_cast<std::size_t>(A.nnz()) * (sizeof(T) + sizeof(index_t));
+  b += static_cast<std::size_t>(A.nnz()) * (2 * sizeof(T) + sizeof(index_t));
   b += (n + 1) * sizeof(index_t);
   b += 6 * n * sizeof(double);  // row/col scales + permutations + workspace
   return b;
+}
+
+/// Bitwise equality of value arrays — the same byte-level view value_hash
+/// takes (so +0.0 != -0.0 and NaN == NaN, matching the hash).
+template <class T>
+bool same_values(const std::vector<T>& cached, const std::vector<T>& now) {
+  return cached.size() == now.size() &&
+         (cached.empty() ||
+          std::memcmp(cached.data(), now.data(),
+                      cached.size() * sizeof(T)) == 0);
 }
 
 [[noreturn]] void reject(const char* why) {
@@ -197,11 +208,42 @@ void SolverService<T>::collect_matches_locked(Batch& batch) {
 
 template <class T>
 void SolverService<T>::execute_batch(Batch& batch) {
+  // Last line of defense for the worker thread: nothing may escape here —
+  // a stray exception would terminate the process and strand every queued
+  // client. Expected failures are mapped inside execute_batch_impl; what
+  // remains (bad_alloc sizing the batch buffers, a future_error bug, …)
+  // resolves the batch's unfulfilled requests as Errc::internal.
+  try {
+    execute_batch_impl(batch);
+  } catch (const std::exception& ex) {
+    fail_unfulfilled(batch, Errc::internal, ex.what());
+  } catch (...) {
+    fail_unfulfilled(batch, Errc::internal,
+                     "unknown exception during batch execution");
+  }
+}
+
+template <class T>
+void SolverService<T>::fail_unfulfilled(Batch& batch, Errc code,
+                                        const char* msg) {
+  for (auto& p : batch) {
+    if (!p) continue;  // resolved already — every resolution nulls its slot
+    p->promise.set_value(Outcome{{}, false, code, msg});
+    p.reset();
+  }
+}
+
+template <class T>
+void SolverService<T>::execute_batch_impl(Batch& batch) {
   GESP_TRACE_SPAN("serve", "batch");
   // Deadline check happens at execution start: a request that waited past
   // its budget is shed instead of solved late.
   const auto now = Clock::now();
-  Batch live;
+  // The slots in `batch` remain the owners; `live` points at the not-yet-
+  // resolved ones. Every promise resolution nulls its slot, so the failure
+  // paths below (and the catch-all in execute_batch) can never touch a
+  // promise twice — set_value on a satisfied promise throws future_error.
+  std::vector<PendingPtr*> live;
   live.reserve(batch.size());
   for (auto& p : batch) {
     if (p->deadline < now) {
@@ -212,8 +254,9 @@ void SolverService<T>::execute_batch(Batch& batch) {
           Outcome{{}, false, Errc::overloaded,
                   "deadline expired while queued; the service is "
                   "overloaded or the deadline was too tight"});
+      p.reset();
     } else {
-      live.push_back(std::move(p));
+      live.push_back(&p);
     }
   }
   if (live.empty()) return;
@@ -230,12 +273,16 @@ void SolverService<T>::execute_batch(Batch& batch) {
   shed_refine.max_iters = 0;
   const refine::RefineOptions* ov = shed ? &shed_refine : nullptr;
 
-  const sparse::CscMatrix<T>& A = *live.front()->A;
-  const std::uint64_t vhash = live.front()->vhash;
-  const auto n = static_cast<std::size_t>(A.ncols);
-  const auto width = static_cast<index_t>(live.size());
-
   for (int attempt = 0;; ++attempt) {
+    // Re-derived each attempt: a per_column batch can be partially
+    // fulfilled before a recoverable failure, and a fulfilled request's
+    // matrix (client-owned, borrowed) may already be out of scope — so
+    // never reach through a resolved slot.
+    const sparse::CscMatrix<T>& A = *(*live.front())->A;
+    const std::uint64_t vhash = (*live.front())->vhash;
+    const auto n = static_cast<std::size_t>(A.ncols);
+    const auto width = static_cast<index_t>(live.size());
+
     bool pattern_matched = false;
     auto e = cache_.acquire(A, &pattern_matched);
     std::unique_lock elk(e->mu);
@@ -251,7 +298,7 @@ void SolverService<T>::execute_batch(Batch& batch) {
         GESP_TRACE_SPAN_ID("serve", "solve", width);
         std::vector<T> B(n * live.size()), X(n * live.size());
         for (std::size_t j = 0; j < live.size(); ++j)
-          std::copy(live[j]->b.begin(), live[j]->b.end(),
+          std::copy((*live[j])->b.begin(), (*live[j])->b.end(),
                     B.begin() + static_cast<std::ptrdiff_t>(j * n));
         e->solver->solve_multi(B, X, width, ov);
         tmpl.berr = e->solver->stats().berr;
@@ -260,16 +307,16 @@ void SolverService<T>::execute_batch(Batch& batch) {
           xs[j].assign(X.begin() + static_cast<std::ptrdiff_t>(j * n),
                        X.begin() + static_cast<std::ptrdiff_t>((j + 1) * n));
         for (std::size_t j = 0; j < live.size(); ++j)
-          fulfill(live[j], tmpl, std::move(xs[j]));
+          fulfill(*live[j], tmpl, std::move(xs[j]));
       } else {
         for (std::size_t j = 0; j < live.size(); ++j) {
           GESP_TRACE_SPAN("serve", "solve");
           xs[j].resize(n);
-          e->solver->solve(live[j]->b, xs[j], ov);
+          e->solver->solve((*live[j])->b, xs[j], ov);
           Response<T> r = tmpl;
           r.berr = e->solver->stats().berr;
           r.refine_iterations = e->solver->stats().refine_iterations;
-          fulfill(live[j], r, std::move(xs[j]));
+          fulfill(*live[j], r, std::move(xs[j]));
         }
       }
       metrics::global().counter("serve.batches").inc();
@@ -284,16 +331,29 @@ void SolverService<T>::execute_batch(Batch& batch) {
         // Recovery wiring: a poisoned cached factorization (stale entry
         // that has drifted numerically singular/unstable) is evicted, and
         // the batch retries once on a cold rebuild with the PR-1 ladder
-        // armed. The entry mutex is released first — erase() takes the
-        // cache mutex and lock order is cache-then-entry elsewhere.
+        // armed. The entry mutex is released before erase() not for
+        // deadlock safety — the established nesting is entry-then-cache
+        // (update_bytes takes the cache mutex while the entry mutex is
+        // held, and no path takes an entry mutex while holding the cache
+        // mutex) — but simply because erase() has no use for it.
         elk.unlock();
         cache_.erase(e);
+        // A per_column batch may have fulfilled some requests before the
+        // failure; only the remainder retries.
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [](PendingPtr* sp) { return !*sp; }),
+                   live.end());
+        if (live.empty()) return;
         metrics::global().counter("serve.retries").inc();
         trace::instant("serve", "evict_and_retry");
         continue;
       }
-      for (auto& p : live)
-        p->promise.set_value(Outcome{{}, false, err.code(), err.what()});
+      for (auto* sp : live) {
+        if (!*sp) continue;  // fulfilled before the failure
+        (*sp)->promise.set_value(
+            Outcome{{}, false, err.code(), err.what()});
+        sp->reset();
+      }
       return;
     }
   }
@@ -310,6 +370,9 @@ void SolverService<T>::fulfill(PendingPtr& p, const Response<T>& tmpl,
   // sub-second latency into one bucket if recorded in seconds.
   metrics::global().histogram("serve.latency_us").record(r.latency_s * 1e6);
   p->promise.set_value(Outcome{std::move(r), true, Errc::overloaded, {}});
+  // Null the owning slot: the retry/error/catch-all paths skip resolved
+  // requests by this marker.
+  p.reset();
 }
 
 template <class T>
@@ -325,19 +388,27 @@ Response<T> SolverService<T>::prepare_entry(CacheEntry<T>& e,
     if (arm_recovery) so.recovery.enabled = true;
     e.solver = std::make_unique<Solver<T>>(A, so);
     e.value_hash = vhash;
-  } else if (e.value_hash != vhash) {
+    e.values = A.values;
+  } else if (e.value_hash == vhash && same_values(e.values, A.values)) {
+    // Value hit — hash AND exact byte equality, the same two-step check
+    // the pattern arrays get on acquire: the factors are current, go
+    // straight to the solves.
+    metrics::global().counter("serve.cache.value_hit").inc();
+    r.pattern_hit = true;
+    r.value_hit = true;
+  } else {
     // Pattern hit: reuse the cached analysis (equilibration, permutations,
-    // symbolic structure) and redo only the numeric factorization.
+    // symbolic structure) and redo only the numeric factorization. A
+    // value-hash collision (equal hashes, different bytes) lands here too
+    // — degraded to a refactorize and counted, never served stale.
+    if (e.value_hash == vhash)
+      metrics::global().counter("serve.cache.value_hash_collisions").inc();
     GESP_TRACE_SPAN("serve", "refactorize");
     metrics::global().counter("serve.cache.pattern_hit").inc();
     e.solver->refactorize(A);
     e.value_hash = vhash;
+    e.values = A.values;
     r.pattern_hit = true;
-  } else {
-    // Value hit: the factors are current; go straight to the solves.
-    metrics::global().counter("serve.cache.value_hit").inc();
-    r.pattern_hit = true;
-    r.value_hit = true;
   }
   return r;
 }

@@ -161,8 +161,15 @@ class SolverService {
   void worker_loop();
   /// Move queued requests matching (key, vhash) into `batch` (locked).
   void collect_matches_locked(Batch& batch);
+  /// Execute `batch`, resolving every promise exactly once. Never throws:
+  /// anything escaping execute_batch_impl resolves the batch's unfulfilled
+  /// requests with Errc::internal instead of killing the worker thread.
   void execute_batch(Batch& batch);
-  /// Stamp latency onto a copy of `tmpl`, attach x, resolve the promise.
+  void execute_batch_impl(Batch& batch);
+  /// Resolve every not-yet-fulfilled request in `batch` as an error.
+  void fail_unfulfilled(Batch& batch, Errc code, const char* msg);
+  /// Stamp latency onto a copy of `tmpl`, attach x, resolve the promise,
+  /// and null the owning batch slot (the "this request is done" marker).
   void fulfill(PendingPtr& p, const Response<T>& tmpl, std::vector<T>&& x);
   /// Cold-build / refactorize / reuse the entry for the batch's matrix;
   /// returns the response template describing the path taken. Entry mutex

@@ -452,6 +452,77 @@ TEST(SolverService, RecoverableFailureEvictsAndRetriesWithLadder) {
   EXPECT_LT(err, 1e-8);
 }
 
+TEST(SolverService, ValueHitRequiresExactBytesAndStillFastPaths) {
+  serve::ServiceOptions opt;
+  opt.solver.backend = Backend::serial;
+  serve::SolverService<double> svc(opt);
+  const auto A = testbed_matrix("west0497-s");
+  const auto b = rhs_for(A);
+
+  const count_t hits0 = counter_value("serve.cache.value_hit");
+  const count_t phits0 = counter_value("serve.cache.pattern_hit");
+  const auto cold = svc.solve(A, b);
+  EXPECT_FALSE(cold.value_hit);
+  // Identical resubmission: the exact-byte check must not break the
+  // value-hit fast path (hash AND memcmp both match).
+  const auto hit = svc.solve(A, b);
+  EXPECT_TRUE(hit.pattern_hit);
+  EXPECT_TRUE(hit.value_hit);
+  EXPECT_EQ(counter_value("serve.cache.value_hit"), hits0 + 1);
+  // New values under the same pattern refactorize instead.
+  auto B = A;
+  for (auto& v : B.values) v *= 2.0;
+  const auto refac = svc.solve(B, rhs_for(B));
+  EXPECT_TRUE(refac.pattern_hit);
+  EXPECT_FALSE(refac.value_hit);
+  EXPECT_EQ(counter_value("serve.cache.pattern_hit"), phits0 + 1);
+  // The collision degradation path never fires on honest traffic.
+  EXPECT_EQ(counter_value("serve.cache.value_hash_collisions"), 0u);
+}
+
+TEST(SolverService, FailingCoalescedBatchResolvesEveryClientExactlyOnce) {
+  // Regression: a batch that fails after coalescing must deliver exactly
+  // one outcome per client — no promise is ever set twice (that throws
+  // std::future_error past the worker's Error handler and terminates the
+  // process) and none is abandoned (that hangs its client forever).
+  serve::ServiceOptions opt;
+  opt.solver.backend = Backend::serial;
+  opt.solver.tiny_pivot = TinyPivotOption::fail;
+  opt.batch_mode = serve::BatchMode::per_column;
+  opt.num_workers = 1;              // one executor, so requests coalesce
+  opt.batch_linger_s = 20e-3;
+  serve::SolverService<double> svc(opt);
+
+  const auto S = singular2x2();
+  const std::vector<double> b = {1.0, 2.0};
+  constexpr int kClients = 4;
+  std::atomic<int> outcomes{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i)
+    clients.emplace_back([&] {
+      // As in RecoverableFailureEvictsAndRetriesWithLadder: the armed
+      // retry either fails too or returns the ladder's best-effort
+      // answer flagged `recovered` — both are a delivered outcome.
+      try {
+        const auto r = svc.solve(S, b);
+        EXPECT_TRUE(r.recovered);
+      } catch (const Error& e) {
+        EXPECT_NE(e.code(), Errc::overloaded);
+      }
+      outcomes.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(outcomes.load(), kClients);
+
+  // The worker survived: the service still serves good traffic.
+  const auto A = testbed_matrix("west0497-s");
+  const auto r = svc.solve(A, rhs_for(A));
+  double err = 0;
+  for (double x : r.x) err = std::max(err, std::abs(x - 1.0));
+  EXPECT_LT(err, 1e-8);
+}
+
 // ---------------------------------------------------------------------------
 // Workload plumbing.
 
