@@ -23,6 +23,7 @@ bench_ablation_relax
 bench_ablation_blocksize
 bench_machine_epochs
 bench_dist_backend
+bench_hostile
 bench_serve
 bench_kernels
 "
@@ -40,6 +41,12 @@ for b in $BENCHES; do
     # message/byte counters and look-ahead hits per grid shape, recorded
     # machine-readable next to this script.
     "build/bench/$b" --out=BENCH_dist.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_hostile" ]; then
+    # Adversarial testbed vs the recovery ladder: rung reached, backward
+    # error, and ladder time against the GEPP baseline per hostile matrix,
+    # recorded machine-readable next to this script (the CI
+    # hostile-matrices artifact).
+    "build/bench/$b" --out=BENCH_hostile.json || echo "BENCH FAILED: $b"
   elif [ "$b" = "bench_kernels" ]; then
     # google-benchmark binary: also record the machine-readable perf
     # trajectory (GEMM GFLOP/s per block size, factorization per schedule

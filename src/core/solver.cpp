@@ -31,6 +31,14 @@ std::string format_sci(const char* what, double value, double limit) {
   return buf;
 }
 
+/// Classify a factorization-time failure for the recovery trail. The
+/// in-flight growth monitor throws Errc::unstable; everything else the
+/// ladder absorbs is a structural/numerical factorization failure.
+RecoveryTrigger trigger_for(Errc c) {
+  return c == Errc::unstable ? RecoveryTrigger::growth_abort
+                             : RecoveryTrigger::factor_failure;
+}
+
 }  // namespace
 
 void SolveStats::export_metrics(metrics::Registry& reg) const {
@@ -53,6 +61,9 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
   reg.gauge("solver.recovery_final_rung")
       .set(static_cast<double>(recovery.final_rung));
   reg.gauge("solver.recovered").set(recovery.recovered ? 1.0 : 0.0);
+  if (!recovery.attempts.empty())
+    reg.gauge("solver.recovery_last_trigger")
+        .set(static_cast<double>(recovery.attempts.back().trigger));
   reg.gauge("solver.solve_wall_seconds").set(solve_wall_seconds);
   reg.gauge("solver.solve_wall_total_seconds").set(solve_wall_total_seconds);
   reg.gauge("solver.solve_calls").set(static_cast<double>(solve_calls));
@@ -82,8 +93,28 @@ const char* recovery_rung_name(RecoveryRung r) noexcept {
       return "aggressive_smw";
     case RecoveryRung::unscaled:
       return "unscaled";
+    case RecoveryRung::threshold:
+      return "threshold";
+    case RecoveryRung::panel_rrp:
+      return "panel_rrp";
     case RecoveryRung::gepp:
       return "gepp";
+  }
+  return "unknown";
+}
+
+const char* recovery_trigger_name(RecoveryTrigger t) noexcept {
+  switch (t) {
+    case RecoveryTrigger::none:
+      return "none";
+    case RecoveryTrigger::berr_stall:
+      return "berr_stall";
+    case RecoveryTrigger::pivot_growth:
+      return "pivot_growth";
+    case RecoveryTrigger::growth_abort:
+      return "growth_abort";
+    case RecoveryTrigger::factor_failure:
+      return "factor_failure";
   }
   return "unknown";
 }
@@ -105,6 +136,9 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
     factor();
     return;
   }
+  // A non-default start rung (serve's hostile fast path) skips the rungs
+  // a repeat offender is known to burn through.
+  rung_ = opt_.recovery.start_rung;
   factor_ladder();
 }
 
@@ -118,6 +152,7 @@ void Solver<T>::factor_ladder() {
       if (!recoverable(e.code())) throw;
       RecoveryAttempt a;
       a.rung = rung_;
+      a.trigger = trigger_for(e.code());
       a.detail = e.what();
       stats_.recovery.attempts.push_back(std::move(a));
       if (!advance_rung()) throw;
@@ -132,14 +167,29 @@ bool Solver<T>::advance_rung() {
     rung_ = static_cast<RecoveryRung>(static_cast<int>(rung_) + 1);
     switch (rung_) {
       case RecoveryRung::aggressive_smw:
-        // Pointless if the user already factored with aggressive pivots.
+        // Pointless if the user already factored with aggressive pivots,
+        // and invalid once an in-block strategy persisted from an earlier
+        // escalation (SMW assumes the unpivoted factorization).
         if (p.try_aggressive_smw &&
-            opt_.tiny_pivot != TinyPivotOption::aggressive_smw)
+            opt_.tiny_pivot != TinyPivotOption::aggressive_smw &&
+            opt_.panel_pivot == dense::PanelPivot::static_)
           return true;
         break;
       case RecoveryRung::unscaled:
         if (p.try_unscaled_refactor && opt_.mc64_scaling &&
             opt_.row_perm == RowPermOption::mc64)
+          return true;
+        break;
+      case RecoveryRung::threshold:
+        // Pointless if the user already factored with this (or a stronger)
+        // in-block strategy.
+        if (p.try_threshold &&
+            opt_.panel_pivot == dense::PanelPivot::static_)
+          return true;
+        break;
+      case RecoveryRung::panel_rrp:
+        if (p.try_panel_rrp &&
+            opt_.panel_pivot != dense::PanelPivot::panel_rrp)
           return true;
         break;
       case RecoveryRung::gepp:
@@ -170,6 +220,18 @@ void Solver<T>::apply_rung() {
       opt_.mc64_scaling = false;
       sym_.reset();  // the transformed matrix changes: full re-analysis
       transform(A_keep_);
+      factor();
+      break;
+    case RecoveryRung::threshold:
+      // In-block pivoting cannot carry the SMW correction: drop back to
+      // plain tiny-pivot replacement alongside the stronger strategy.
+      opt_.tiny_pivot = TinyPivotOption::replace;
+      opt_.panel_pivot = dense::PanelPivot::threshold;
+      factor();
+      break;
+    case RecoveryRung::panel_rrp:
+      opt_.tiny_pivot = TinyPivotOption::replace;
+      opt_.panel_pivot = dense::PanelPivot::panel_rrp;
       factor();
       break;
     case RecoveryRung::gepp: {
@@ -332,6 +394,15 @@ void Solver<T>::factor() {
   numeric::NumericOptions nopt;
   nopt.num_threads = opt_.num_threads;
   nopt.schedule = opt_.schedule;
+  nopt.panel_pivot = opt_.panel_pivot;
+  nopt.pivot_threshold_tau = opt_.pivot_threshold_tau;
+  // In-flight growth abort: an explicit threshold wins; otherwise inherit
+  // the ladder's growth limit so a blowing-up factorization fails fast
+  // (and escalates at construction time) instead of completing garbage.
+  if (opt_.growth_abort > 0.0)
+    nopt.growth_abort = opt_.growth_abort;
+  else if (opt_.growth_abort == 0.0 && opt_.recovery.enabled)
+    nopt.growth_abort = opt_.recovery.max_pivot_growth;
   if (opt_.tiny_pivot != TinyPivotOption::fail) {
     nopt.tiny_threshold = std::sqrt(std::numeric_limits<double>::epsilon()) *
                           sparse::norm_max(At_);
@@ -400,8 +471,10 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x,
         a.berr = stats_.berr;
         a.pivot_growth = gepp_->pivot_growth();
         a.success = a.berr <= threshold;
-        if (!a.success)
+        if (!a.success) {
+          a.trigger = RecoveryTrigger::berr_stall;
           a.detail = format_sci("berr", a.berr, threshold);
+        }
       } else {
         // The ladder's berr thresholds assume refinement ran: ignore any
         // per-call override here.
@@ -413,14 +486,18 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x,
         const bool growth_ok =
             a.pivot_growth <= opt_.recovery.max_pivot_growth;
         a.success = berr_ok && growth_ok;
-        if (!berr_ok)
+        if (!berr_ok) {
+          a.trigger = RecoveryTrigger::berr_stall;
           a.detail = format_sci("berr", a.berr, threshold);
-        else if (!growth_ok)
+        } else if (!growth_ok) {
+          a.trigger = RecoveryTrigger::pivot_growth;
           a.detail = format_sci("pivot growth", a.pivot_growth,
                                 opt_.recovery.max_pivot_growth);
+        }
       }
     } catch (const Error& e) {
       if (!recoverable(e.code())) throw;
+      a.trigger = trigger_for(e.code());
       a.detail = e.what();
     }
     const bool success = a.success;
@@ -442,6 +519,7 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x,
         if (!recoverable(e.code())) throw;
         RecoveryAttempt failed;
         failed.rung = rung_;
+        failed.trigger = trigger_for(e.code());
         failed.detail = e.what();
         trail.attempts.push_back(std::move(failed));
       }
@@ -641,11 +719,11 @@ void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
     return;
   }
   // New values restart the ladder (the escalated *configuration* persists:
-  // an unscaled transform stays unscaled) from the static pipeline.
+  // an unscaled transform stays unscaled) from the policy's start rung.
   A_keep_ = A_new;
   stats_.recovery = {};
   gepp_.reset();
-  rung_ = RecoveryRung::gesp;
+  rung_ = opt_.recovery.start_rung;
   factor_ladder();
 }
 

@@ -57,29 +57,55 @@ enum class TinyPivotOption {
   aggressive_smw,  ///< promote to the column max and recover via SMW (§4)
 };
 
-/// One rung of the graceful-degradation ladder, cheapest first.
+/// One rung of the graceful-degradation ladder, cheapest first. The middle
+/// rungs stay inside the static symbolic structure (only the numeric phase
+/// is redone); gepp abandons it entirely.
 enum class RecoveryRung {
   gesp,            ///< the configured GESP pipeline as-is
   aggressive_smw,  ///< re-factor with SMW-corrected aggressive pivots
   unscaled,        ///< re-transform + re-factor without the mc64 scalings
                    ///< (the paper's FIDAPM11 / JPWH_991 observation)
+  threshold,       ///< re-factor with in-block threshold pivoting
+                   ///< (dense::PanelPivot::threshold)
+  panel_rrp,       ///< re-factor with panel rank-revealing pivoting
+                   ///< (dense::PanelPivot::panel_rrp)
   gepp,            ///< fall back to the GEPP reference factorization
 };
 
 const char* recovery_rung_name(RecoveryRung r) noexcept;
 
+/// Why a ladder escalation happened (recorded per attempt).
+enum class RecoveryTrigger {
+  none,            ///< attempt succeeded (or not yet judged)
+  berr_stall,      ///< refinement stalled above the berr threshold
+  pivot_growth,    ///< completed factorization, growth above the limit
+  growth_abort,    ///< in-flight growth monitor aborted the factorization
+  factor_failure,  ///< factorization threw (zero pivot, singular, ...)
+};
+
+const char* recovery_trigger_name(RecoveryTrigger t) noexcept;
+
 /// When and how solve() is allowed to escalate down the ladder. Escalation
 /// triggers on: berr above max_berr after refinement, pivot growth above
-/// max_pivot_growth, or a numerically_singular / unstable factorization.
+/// max_pivot_growth, an in-flight growth abort, or a numerically_singular /
+/// unstable factorization.
 struct RecoveryPolicy {
   bool enabled = false;
   /// Acceptable backward error after refinement; <= 0 means sqrt(eps).
   double max_berr = 0.0;
   /// Pivot growth beyond this marks the static factorization unreliable.
+  /// Doubles as the default in-flight growth-abort threshold (see
+  /// SolverOptions::growth_abort).
   double max_pivot_growth = 1e10;
   bool try_aggressive_smw = true;   ///< rung (a)
   bool try_unscaled_refactor = true;  ///< rung (b)
-  bool try_gepp = true;             ///< rung (c)
+  bool try_threshold = true;   ///< in-block threshold-pivot refactor rung
+  bool try_panel_rrp = true;   ///< panel rank-revealing refactor rung
+  bool try_gepp = true;             ///< last-resort rung
+  /// First rung to try; rungs below it are skipped entirely. The serve
+  /// layer points repeat offenders ("hostile" patterns) straight at a
+  /// strong rung instead of re-climbing the ladder on every request.
+  RecoveryRung start_rung = RecoveryRung::gesp;
 };
 
 /// One attempted rung and what came of it.
@@ -88,6 +114,8 @@ struct RecoveryAttempt {
   bool success = false;
   double berr = -1.0;          ///< berr achieved (-1: factorization failed)
   double pivot_growth = -1.0;  ///< growth observed (-1: not measured)
+  /// What pushed the ladder off this rung; none on success.
+  RecoveryTrigger trigger = RecoveryTrigger::none;
   std::string detail;          ///< failure reason; empty on success
 };
 
@@ -134,6 +162,20 @@ struct SolverOptions {
   bool mc64_scaling = true;
   ColOrderOption col_order = ColOrderOption::amd_ata;
   TinyPivotOption tiny_pivot = TinyPivotOption::replace;
+  /// Diagonal-block pivot strategy for the static factorization. The
+  /// default (static_) is the paper's pipeline, bitwise identical to the
+  /// pre-portfolio solver; the recovery ladder escalates through the
+  /// stronger strategies on its own. Exclusive with
+  /// TinyPivotOption::aggressive_smw (SMW assumes unpivoted factors).
+  dense::PanelPivot panel_pivot = dense::PanelPivot::static_;
+  /// Tau for PanelPivot::threshold (see dense::PivotPolicy).
+  double pivot_threshold_tau = 0.1;
+  /// In-flight element-growth abort threshold for the factorization:
+  /// > 0 uses that value; 0 (default) inherits recovery.max_pivot_growth
+  /// whenever the recovery ladder is enabled (fail fast instead of
+  /// finishing a garbage factorization); < 0 disables the abort even with
+  /// recovery on.
+  double growth_abort = 0.0;
   symbolic::SymbolicOptions symbolic;
   refine::RefineOptions refine;
   bool estimate_ferr = false;   ///< forward error bound (expensive)

@@ -179,6 +179,207 @@ void getrf_pivot_in_block(T* a, index_t b, index_t lda,
   }
 }
 
+/// Shared tail of one elimination column for the in-block strategies:
+/// tiny-pivot replacement, scaling of the multipliers and the rank-1
+/// update of the trailing columns. Identical arithmetic to getrf_panel.
+template <class T>
+void eliminate_column(T* a, index_t b, index_t lda, index_t k,
+                      const PivotPolicy& policy, PivotStats& stats,
+                      std::vector<PivotReplacement<T>>* replacements) {
+  using std::abs;
+  T pivot = a[k + k * lda];
+  if (abs(pivot) <= policy.tiny_threshold) {
+    GESP_CHECK(policy.tiny_threshold > 0.0 || abs(pivot) != 0.0,
+               Errc::numerically_singular,
+               "zero pivot at column " + std::to_string(k) +
+                   " with replacement disabled");
+    if (policy.tiny_threshold > 0.0) {
+      const T old = pivot;
+      double target = policy.tiny_threshold;
+      if (policy.aggressive) {
+        for (index_t r = k; r < b; ++r)
+          target = std::max<double>(target, abs(a[r + k * lda]));
+      }
+      pivot = replaced_pivot(pivot, target);
+      a[k + k * lda] = pivot;
+      ++stats.replaced;
+      if (replacements) replacements->push_back({k, pivot - old});
+    }
+  }
+  const T inv = T{1} / pivot;
+  for (index_t r = k + 1; r < b; ++r) a[r + k * lda] *= inv;
+  for (index_t c = k + 1; c < b; ++c) {
+    const T ukc = a[k + c * lda];
+    if (ukc == T{}) continue;
+    T* col = a + c * lda;
+    const T* lk = a + k * lda;
+    for (index_t r = k + 1; r < b; ++r) col[r] -= lk[r] * ukc;
+  }
+}
+
+/// Threshold pivoting confined to the diagonal block: the static pivot is
+/// kept whenever |a_kk| >= tau·colmax; otherwise the largest-magnitude row
+/// of the remaining block column is swapped in (ties to the lowest row
+/// index, so the choice — and the factors — are deterministic).
+template <class T>
+void getrf_threshold_in_block(T* a, index_t b, index_t lda,
+                              const PivotPolicy& policy, PivotStats& stats,
+                              std::span<index_t> perm,
+                              std::vector<PivotReplacement<T>>* replacements) {
+  using std::abs;
+  GESP_CHECK(perm.size() == static_cast<std::size_t>(b),
+             Errc::invalid_argument,
+             "threshold pivoting requires a permutation output of size b");
+  const double tau = policy.threshold_tau;
+  GESP_CHECK(tau > 0.0 && tau <= 1.0, Errc::invalid_argument,
+             "threshold_tau must be in (0, 1]");
+  for (index_t r = 0; r < b; ++r) perm[r] = r;
+  for (index_t k = 0; k < b; ++k) {
+    index_t best = k;
+    double bestmag = abs(a[k + k * lda]);
+    for (index_t r = k + 1; r < b; ++r) {
+      const double m = abs(a[r + k * lda]);
+      if (m > bestmag) {
+        bestmag = m;
+        best = r;
+      }
+    }
+    if (best != k && abs(a[k + k * lda]) < tau * bestmag) {
+      for (index_t c = 0; c < b; ++c)
+        std::swap(a[k + c * lda], a[best + c * lda]);
+      std::swap(perm[k], perm[best]);
+      ++stats.swaps;
+    }
+    eliminate_column(a, b, lda, k, policy, stats, replacements);
+  }
+}
+
+/// Panel-RRP: before each panel of kGetrfPanel columns is eliminated, pick
+/// its pivot rows with a column-pivoted modified Gram–Schmidt QR of the
+/// panel transpose (the practical core of the Khabou–Demmel–Grigori
+/// LU_PRRP panel factorization). The selected rows are swapped to the top
+/// of the panel, then the panel is eliminated with partial pivoting
+/// *confined to the selected rows* — LU_PRRP likewise factors the chosen
+/// block with GEPP internally. Multipliers between panel rows are thus
+/// bounded by 1, and multipliers of the rows below the panel by the
+/// rank-revealing quality of the selection, so element growth is bounded
+/// at panel granularity even when every individual pivot passes a
+/// magnitude test (the Wilkinson tie case partial pivoting falls for).
+template <class T>
+void getrf_panel_rrp(T* a, index_t b, index_t lda, const PivotPolicy& policy,
+                     PivotStats& stats, std::span<index_t> perm,
+                     std::vector<PivotReplacement<T>>* replacements,
+                     index_t panel_width) {
+  using std::abs;
+  GESP_CHECK(perm.size() == static_cast<std::size_t>(b),
+             Errc::invalid_argument,
+             "panel_rrp requires a permutation output of size b");
+  for (index_t r = 0; r < b; ++r) perm[r] = r;
+  std::vector<T> q;           // current MGS direction (nb entries)
+  std::vector<T> cand;        // candidate row vectors, nb-by-m column-major
+  std::vector<double> norms;  // residual squared norms per candidate
+  std::vector<index_t> sel;
+  for (index_t k0 = 0; k0 < b; k0 += panel_width) {
+    const index_t nb = std::min(panel_width, b - k0);
+    const index_t m = b - k0;  // candidate rows
+    if (nb > 1 && m > 1) {
+      // cand(:, r) = row k0+r of the panel a(k0:b, k0:k0+nb).
+      cand.assign(static_cast<std::size_t>(nb) * m, T{});
+      norms.assign(static_cast<std::size_t>(m), 0.0);
+      for (index_t r = 0; r < m; ++r) {
+        double s = 0.0;
+        for (index_t c = 0; c < nb; ++c) {
+          const T v = a[(k0 + r) + (k0 + c) * static_cast<std::size_t>(lda)];
+          cand[c + r * static_cast<std::size_t>(nb)] = v;
+          s += static_cast<double>(abs(v)) * static_cast<double>(abs(v));
+        }
+        norms[r] = s;
+      }
+      // Greedy MGS with column pivoting: sel[s] = candidate (block-local
+      // row at panel entry) chosen as the s-th pivot row.
+      sel.resize(static_cast<std::size_t>(nb));
+      std::vector<bool> used(static_cast<std::size_t>(m), false);
+      for (index_t s = 0; s < nb; ++s) {
+        index_t pick = -1;
+        double pickn = -1.0;
+        for (index_t r = 0; r < m; ++r)
+          if (!used[r] && norms[r] > pickn) {
+            pickn = norms[r];
+            pick = r;
+          }
+        sel[s] = pick;
+        used[pick] = true;
+        if (pickn <= 0.0) continue;  // rank-deficient panel: keep order
+        // Normalize the picked direction, orthogonalize the rest.
+        T* qv = cand.data() + pick * static_cast<std::size_t>(nb);
+        const double qn = std::sqrt(pickn);
+        q.assign(qv, qv + nb);
+        for (index_t c = 0; c < nb; ++c) q[c] = q[c] * T{1.0 / qn};
+        for (index_t r = 0; r < m; ++r) {
+          if (used[r]) continue;
+          T* v = cand.data() + r * static_cast<std::size_t>(nb);
+          T proj{};
+          for (index_t c = 0; c < nb; ++c) {
+            if constexpr (is_complex_v<T>)
+              proj += std::conj(q[c]) * v[c];
+            else
+              proj += q[c] * v[c];
+          }
+          double s2 = 0.0;
+          for (index_t c = 0; c < nb; ++c) {
+            v[c] -= proj * q[c];
+            s2 += static_cast<double>(abs(v[c])) * static_cast<double>(abs(v[c]));
+          }
+          norms[r] = s2;
+        }
+      }
+      // Apply the selection as successive full-width row swaps, tracking
+      // where each original candidate currently lives.
+      std::vector<index_t> where(static_cast<std::size_t>(m));
+      std::vector<index_t> who(static_cast<std::size_t>(m));
+      for (index_t r = 0; r < m; ++r) where[r] = who[r] = r;
+      for (index_t s = 0; s < nb; ++s) {
+        const index_t src = where[sel[s]];  // current position of pick
+        if (src != s) {
+          const index_t r1 = k0 + s, r2 = k0 + src;
+          for (index_t c = 0; c < b; ++c)
+            std::swap(a[r1 + c * static_cast<std::size_t>(lda)],
+                      a[r2 + c * static_cast<std::size_t>(lda)]);
+          std::swap(perm[r1], perm[r2]);
+          ++stats.swaps;
+          const index_t disp = who[s];  // candidate displaced from slot s
+          where[disp] = src;
+          who[src] = disp;
+          where[sel[s]] = s;
+          who[s] = sel[s];
+        }
+      }
+    }
+    // Eliminate the panel with partial pivoting confined to the selected
+    // pivot rows (rows k0..k0+nb-1; ties keep the lower index, so the
+    // factors are deterministic).
+    for (index_t k = k0; k < k0 + nb; ++k) {
+      index_t best = k;
+      double bestmag = abs(a[k + k * static_cast<std::size_t>(lda)]);
+      for (index_t r = k + 1; r < k0 + nb; ++r) {
+        const double mg = abs(a[r + k * static_cast<std::size_t>(lda)]);
+        if (mg > bestmag) {
+          bestmag = mg;
+          best = r;
+        }
+      }
+      if (best != k) {
+        for (index_t c = 0; c < b; ++c)
+          std::swap(a[k + c * static_cast<std::size_t>(lda)],
+                    a[best + c * static_cast<std::size_t>(lda)]);
+        std::swap(perm[k], perm[best]);
+        ++stats.swaps;
+      }
+      eliminate_column(a, b, lda, k, policy, stats, replacements);
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Register-tiled GEMM.
 //
@@ -471,12 +672,35 @@ T dot_minus(index_t k, const T* a, const T* b) {
   return c;
 }
 
+const char* panel_pivot_name(PanelPivot p) noexcept {
+  switch (p) {
+    case PanelPivot::static_:
+      return "static";
+    case PanelPivot::threshold:
+      return "threshold";
+    case PanelPivot::panel_rrp:
+      return "panel_rrp";
+  }
+  return "unknown";
+}
+
 template <class T>
 void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
            PivotStats& stats, std::span<index_t> perm,
            std::vector<PivotReplacement<T>>* replacements) {
   if (policy.pivot_in_block) {
+    GESP_CHECK(policy.strategy == PanelPivot::static_, Errc::invalid_argument,
+               "pivot_in_block and a non-static panel strategy are exclusive");
     getrf_pivot_in_block(a, b, lda, policy, stats, perm, replacements);
+    return;
+  }
+  if (policy.strategy == PanelPivot::threshold) {
+    getrf_threshold_in_block(a, b, lda, policy, stats, perm, replacements);
+    return;
+  }
+  if (policy.strategy == PanelPivot::panel_rrp) {
+    getrf_panel_rrp(a, b, lda, policy, stats, perm, replacements,
+                    kGetrfPanel);
     return;
   }
   if (b < kGetrfBlockMin) {
@@ -619,8 +843,10 @@ void trsm_right_upper(const T* u, index_t b, index_t lda, T* bmat,
 template <class T>
 void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
            PivotStats& stats, std::vector<PivotReplacement<T>>* replacements) {
-  GESP_CHECK(!policy.pivot_in_block, Errc::invalid_argument,
-             "ref::getrf does not support pivot_in_block");
+  GESP_CHECK(!policy.pivot_in_block &&
+                 policy.strategy == PanelPivot::static_,
+             Errc::invalid_argument,
+             "ref::getrf supports only the static strategy");
   getrf_panel(a, b, b, lda, policy, stats, 0, replacements);
 }
 

@@ -17,6 +17,30 @@
 
 namespace gesp::dense {
 
+/// Per-panel pivot-selection strategy for the diagonal-block factorization.
+/// All three confine row interchanges to the diagonal block, so the
+/// supernodal structure (and therefore the symbolic analysis) is unchanged
+/// — only the numeric phase differs.
+enum class PanelPivot {
+  /// No interchanges: pure static pivoting with tiny-pivot replacement
+  /// (the paper's GESP step (3)). The default, bitwise identical to the
+  /// pre-portfolio factorization.
+  static_,
+  /// Threshold pivoting within the block (Hogg–Scott style): a row swap is
+  /// performed only when |a_kk| < tau·max_col, and then to the
+  /// largest-magnitude row. Bounds multipliers by 1/tau while keeping the
+  /// static pivot order wherever it is already acceptable.
+  threshold,
+  /// Panel rank-revealing pivoting (Khabou–Demmel–Grigori LU_PRRP flavor):
+  /// before each panel is eliminated, pivot rows are selected by a
+  /// column-pivoted QR (modified Gram–Schmidt) of the panel transpose, so
+  /// element growth is bounded at panel granularity even when every
+  /// individual pivot passes a magnitude test.
+  panel_rrp,
+};
+
+const char* panel_pivot_name(PanelPivot p) noexcept;
+
 /// Policy for pivots encountered during elimination.
 struct PivotPolicy {
   /// Replacement threshold: sqrt(eps)*||A||. <= 0 disables replacement
@@ -25,11 +49,19 @@ struct PivotPolicy {
   /// When true, pivot with row swaps *within* the diagonal block (the
   /// paper's "mix static and partial pivoting within a diagonal block"
   /// extension). Swaps are reported through the perm output of getrf.
+  /// Exclusive with a non-static `strategy`.
   bool pivot_in_block = false;
   /// Aggressive pivot size control (paper §4): replace a tiny pivot by the
   /// largest magnitude in the current block column instead of the
   /// threshold. Pairs with the Sherman–Morrison–Woodbury recovery.
   bool aggressive = false;
+  /// Panel strategy; non-static values require a perm output (like
+  /// pivot_in_block) and report swaps through PivotStats::swaps.
+  PanelPivot strategy = PanelPivot::static_;
+  /// Threshold-pivoting relaxation factor tau in (0, 1]: keep the static
+  /// pivot when |a_kk| >= tau·colmax (multipliers are then bounded by
+  /// 1/tau). Ignored by the other strategies.
+  double threshold_tau = 0.1;
 };
 
 /// Counters updated by the factorization kernels.
@@ -49,11 +81,11 @@ struct PivotReplacement {
 };
 
 /// In-place LU of the b-by-b block `a` (column-major, leading dim lda),
-/// unit L below the diagonal, U on and above. With policy.pivot_in_block,
-/// perm (size b, may be empty otherwise) receives the local row
-/// permutation: perm[r] = original local row now in position r.
-/// Throws Errc::numerically_singular on a zero pivot when replacement is
-/// disabled.
+/// unit L below the diagonal, U on and above. With policy.pivot_in_block
+/// or a non-static policy.strategy, perm (size b, may be empty otherwise)
+/// receives the local row permutation: perm[r] = original local row now in
+/// position r. Throws Errc::numerically_singular on a zero pivot when
+/// replacement is disabled.
 template <class T>
 void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
            PivotStats& stats, std::span<index_t> perm = {},

@@ -1,7 +1,9 @@
 #include "numeric/lu_factors.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdio>
 
 #include "common/error.hpp"
 #include "common/metrics.hpp"
@@ -231,6 +233,15 @@ void LUFactors<T>::update_pair(index_t K, std::size_t bi, std::size_t uj,
 
 template <class T>
 void LUFactors<T>::eliminate(const NumericOptions& opt) {
+  GESP_CHECK(!(opt.record_replacements &&
+               opt.panel_pivot != dense::PanelPivot::static_),
+             Errc::invalid_argument,
+             "SMW replacement recording assumes the unpivoted factorization; "
+             "it cannot combine with an in-block pivoting strategy");
+  growth_abort_ = opt.growth_abort;
+  const index_t N = sym_->nsup;
+  rowperm_.assign(static_cast<std::size_t>(N), {});
+  umax_k_.assign(static_cast<std::size_t>(N), 0.0);
   ThreadPool pool(opt.num_threads);
   const bool dag =
       opt.schedule == Schedule::kTaskDag ||
@@ -239,9 +250,13 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
     eliminate_taskdag(opt, pool);
   else
     eliminate_forkjoin(opt, pool);
-  compute_growth();
+  for (index_t K = 0; K < N && !pivoted_; ++K)
+    pivoted_ = !rowperm_[K].empty();
+  finish_growth(false);
   if (stats_.replaced > 0)
     metrics::global().counter("numeric.pivots_replaced").inc(stats_.replaced);
+  if (stats_.swaps > 0)
+    metrics::global().counter("numeric.pivot_swaps").inc(stats_.swaps);
   metrics::global().gauge("numeric.pivot_growth").set(growth_);
   if (trace::enabled()) {
     // One point event per perturbed pivot — the paper's step (3) made
@@ -264,6 +279,8 @@ void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
   dense::PivotPolicy policy;
   policy.tiny_threshold = opt.tiny_threshold;
   policy.aggressive = opt.aggressive_replacement;
+  policy.strategy = opt.panel_pivot;
+  policy.threshold_tau = opt.pivot_threshold_tau;
 
   const int W = pool.num_threads();
   // Per-worker scratch so the update pairs can run concurrently.
@@ -275,13 +292,11 @@ void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
   for (index_t K = 0; K < N; ++K) {
     const index_t b = S.block_cols(K);
     T* diag = lnz_[K].data();
-    // (1) factor the diagonal block (static pivots, tiny replacement).
+    // (1) factor the diagonal block (strategy dispatch; static pivots with
+    // tiny replacement by default).
     block_repl.clear();
-    {
-      GESP_TRACE_SPAN_ID("factor", "F", K);
-      dense::getrf(diag, b, b, policy, stats_, {},
-                   opt.record_replacements ? &block_repl : nullptr);
-    }
+    factor_diag(K, policy, stats_,
+                opt.record_replacements ? &block_repl : nullptr);
     for (const auto& r : block_repl)
       replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
     // (2) panel: L(I,K) <- A(I,K) · U(K,K)^{-1}, block rows in parallel.
@@ -303,12 +318,18 @@ void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
           [&](index_t lo, index_t hi, int) {
             for (index_t uj = lo; uj < hi; ++uj) {
               const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+              if (!rowperm_[K].empty())
+                permute_rows(rowperm_[K], unz_[K].data() + u_off_[K][uj], b,
+                             c);
               dense::trsm_left_lower_unit(
                   diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
             }
           },
           /*grain=*/2);
     }
+    // In-flight growth monitor: block row K of U is final after the panel
+    // phase, so the running growth is known before any further work.
+    if (monitor_supernode(K)) finish_growth(/*aborted=*/true);
     // (3) rank-b update of the trailing matrix: each (I,J) pair writes a
     // distinct destination block, so pairs fork across threads freely.
     const index_t npairs = static_cast<index_t>(S.L[K].size()) *
@@ -351,6 +372,8 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
   dense::PivotPolicy policy;
   policy.tiny_threshold = opt.tiny_threshold;
   policy.aggressive = opt.aggressive_replacement;
+  policy.strategy = opt.panel_pivot;
+  policy.threshold_tau = opt.pivot_threshold_tau;
 
   // Per-supernode pivot stats/replacements, merged in K order afterwards
   // so concurrent F(K) tasks never touch shared state and the recorded
@@ -359,6 +382,12 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
   std::vector<std::vector<dense::PivotReplacement<T>>> repl_k(
       static_cast<std::size_t>(N));
   const bool record = opt.record_replacements;
+  // Growth-abort flag: once any milestone's monitor trips, remaining tasks
+  // degrade to no-ops so the graph drains quickly; the violation itself is
+  // reported deterministically from umax_k_ by finish_growth (the blocks
+  // already written are exactly the serial values, so which supernodes
+  // violate is schedule-independent even if the drain order is not).
+  std::atomic<bool> abort{false};
 
   TaskGraph graph;
   // Last task that wrote into each owner supernode's storage.
@@ -370,23 +399,27 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
     const index_t nl = static_cast<index_t>(S.L[K].size());
     const index_t nu = static_cast<index_t>(S.U[K].size());
     // F(K): factor the diagonal block after the last update into owner K.
-    const auto fk = graph.add_task([this, K, b, &policy, &stats_k, &repl_k,
-                                    record] {
-      GESP_TRACE_SPAN_ID("factor", "F", K);
-      dense::getrf(lnz_[K].data(), b, b, policy, stats_k[K], {},
-                   record ? &repl_k[K] : nullptr);
+    const auto fk = graph.add_task([this, K, &policy, &stats_k, &repl_k,
+                                    record, &abort] {
+      if (abort.load(std::memory_order_relaxed)) return;
+      factor_diag(K, policy, stats_k[K], record ? &repl_k[K] : nullptr);
     });
     if (last_owner[K] >= 0) graph.add_dependency(last_owner[K], fk);
     // Panel solves in up to P chunks per side (plenty for the pool while
     // keeping the task count linear in the block structure), then a
-    // milestone M(K) the update tasks hang off.
-    auto mk = fk;
+    // milestone M(K) the update tasks hang off. The milestone doubles as
+    // the in-flight growth monitor — block row K of U is final here — so
+    // it is created even when there is nothing to update.
+    const auto mk = graph.add_task([this, K, &abort] {
+      if (abort.load(std::memory_order_relaxed)) return;
+      if (monitor_supernode(K)) abort.store(true, std::memory_order_relaxed);
+    });
     if (nl + nu > 0) {
-      mk = graph.add_task([] {});
       const index_t lchunks = std::min(P, nl), uchunks = std::min(P, nu);
       for (index_t ch = 0; ch < lchunks; ++ch) {
         const index_t lo = nl * ch / lchunks, hi = nl * (ch + 1) / lchunks;
-        const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+        const auto t = graph.add_task([this, K, b, lo, hi, &S, &abort] {
+          if (abort.load(std::memory_order_relaxed)) return;
           GESP_TRACE_SPAN_ID("factor", "panelL", K);
           for (index_t bi = lo; bi < hi; ++bi) {
             const index_t m = static_cast<index_t>(S.L[K][bi].rows.size());
@@ -399,10 +432,14 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
       }
       for (index_t ch = 0; ch < uchunks; ++ch) {
         const index_t lo = nu * ch / uchunks, hi = nu * (ch + 1) / uchunks;
-        const auto t = graph.add_task([this, K, b, lo, hi, &S] {
+        const auto t = graph.add_task([this, K, b, lo, hi, &S, &abort] {
+          if (abort.load(std::memory_order_relaxed)) return;
           GESP_TRACE_SPAN_ID("factor", "panelU", K);
           for (index_t uj = lo; uj < hi; ++uj) {
             const index_t c = static_cast<index_t>(S.U[K][uj].cols.size());
+            if (!rowperm_[K].empty())
+              permute_rows(rowperm_[K], unz_[K].data() + u_off_[K][uj], b,
+                           c);
             dense::trsm_left_lower_unit(
                 lnz_[K].data(), b, b, unz_[K].data() + u_off_[K][uj], c, b);
           }
@@ -410,6 +447,8 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
         graph.add_dependency(fk, t);
         graph.add_dependency(t, mk);
       }
+    } else {
+      graph.add_dependency(fk, mk);
     }
     // Upd(K,O): all pairs with owner O = min(I,J), walked in ascending
     // owner order. With L[K] sorted by I and U[K] sorted by J, the pairs
@@ -422,8 +461,9 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
       const index_t O = std::min(rowI, colJ);
       const bool has_row = rowI == O;
       const bool has_col = colJ == O;
-      const auto upd =
-          graph.add_task([this, K, li, ui, nl, nu, has_row, has_col, O] {
+      const auto upd = graph.add_task(
+          [this, K, li, ui, nl, nu, has_row, has_col, O, &abort] {
+            if (abort.load(std::memory_order_relaxed)) return;
             GESP_TRACE_SPAN_ID("factor", "update", O);
             thread_local std::vector<T> scratch;
             thread_local std::vector<index_t> rpos, cpos;
@@ -455,20 +495,92 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
 }
 
 template <class T>
-void LUFactors<T>::compute_growth() {
+void LUFactors<T>::factor_diag(index_t K, const dense::PivotPolicy& policy,
+                               dense::PivotStats& stats,
+                               std::vector<dense::PivotReplacement<T>>* repl) {
+  const index_t b = sym_->block_cols(K);
+  GESP_TRACE_SPAN_ID("factor", "F", K);
+  if (policy.strategy == dense::PanelPivot::static_) {
+    dense::getrf(lnz_[K].data(), b, b, policy, stats, {}, repl);
+    return;
+  }
+  auto& perm = rowperm_[K];
+  perm.resize(static_cast<std::size_t>(b));
+  dense::getrf(lnz_[K].data(), b, b, policy, stats,
+               std::span<index_t>(perm), repl);
+  // Keep the identity case cheap for the panel phase and the solves.
+  bool identity = true;
+  for (index_t r = 0; r < b && identity; ++r) identity = perm[r] == r;
+  if (identity) perm.clear();
+}
+
+template <class T>
+void LUFactors<T>::permute_rows(const std::vector<index_t>& perm, T* blk,
+                                index_t b, index_t ncols) const {
+  std::vector<T> tmp(static_cast<std::size_t>(b));
+  for (index_t c = 0; c < ncols; ++c) {
+    T* col = blk + static_cast<std::size_t>(c) * b;
+    for (index_t r = 0; r < b; ++r) tmp[r] = col[perm[r]];
+    std::copy(tmp.begin(), tmp.end(), col);
+  }
+}
+
+template <class T>
+bool LUFactors<T>::monitor_supernode(index_t K) {
   using std::abs;
   const symbolic::SymbolicLU& S = *sym_;
-  // Pivot growth from the final U (diagonal blocks' upper triangles plus
-  // the off-diagonal U blocks).
+  const index_t b = S.block_cols(K);
+  // Supernode K's contribution to max |U|: the diagonal block's upper
+  // triangle plus every U(K,J) segment — all final once the panel phase of
+  // K is done (later supernodes never write into block row K).
   double umax = 0.0;
-  for (index_t K = 0; K < S.nsup; ++K) {
-    const index_t b = S.block_cols(K);
-    for (index_t c = 0; c < b; ++c)
-      for (index_t r = 0; r <= c; ++r)
-        umax = std::max<double>(umax, abs(lnz_[K][r + c * b]));
-    for (const T& v : unz_[K]) umax = std::max<double>(umax, abs(v));
+  for (index_t c = 0; c < b; ++c)
+    for (index_t r = 0; r <= c; ++r)
+      umax = std::max<double>(umax, abs(lnz_[K][r + c * b]));
+  for (const T& v : unz_[K]) umax = std::max<double>(umax, abs(v));
+  umax_k_[K] = umax;
+  return growth_abort_ > 0.0 && amax_ > 0.0 &&
+         umax > growth_abort_ * amax_;
+}
+
+template <class T>
+void LUFactors<T>::finish_growth(bool aborted) {
+  double umax = 0.0;
+  index_t trigger = -1;
+  const index_t N = sym_->nsup;
+  for (index_t K = 0; K < N; ++K) {
+    umax = std::max(umax, umax_k_[K]);
+    if (trigger < 0 && growth_abort_ > 0.0 && amax_ > 0.0 &&
+        umax_k_[K] > growth_abort_ * amax_)
+      trigger = K;
   }
   growth_ = amax_ > 0.0 ? umax / amax_ : 0.0;
+  metrics::global().gauge("numeric.growth").set(growth_);
+  if (trace::enabled()) {
+    // Timeline of the in-flight monitor: one point per supernode where the
+    // running growth doubled (coarse enough to keep traces small).
+    double last = 0.0, run = 0.0;
+    for (index_t K = 0; K < N; ++K) {
+      run = std::max(run, umax_k_[K]);
+      const double g = amax_ > 0.0 ? run / amax_ : 0.0;
+      if (g > 1.0 && g > 2.0 * last) {
+        trace::instant_value("factor", "growth", g, K);
+        last = g;
+      }
+    }
+  }
+  if (trigger >= 0) {
+    metrics::global().counter("numeric.growth_aborts").inc();
+    trace::instant("factor", "growth_abort", trigger);
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "element growth %.3e at supernode %d exceeds the abort "
+                  "threshold %.3e%s",
+                  amax_ > 0.0 ? umax_k_[trigger] / amax_ : 0.0,
+                  static_cast<int>(trigger), growth_abort_,
+                  aborted ? " (factorization stopped early)" : "");
+    throw Error(Errc::unstable, buf);
+  }
 }
 
 template <class T>
@@ -476,9 +588,18 @@ void LUFactors<T>::solve_lower(std::span<T> x) const {
   const symbolic::SymbolicLU& S = *sym_;
   GESP_CHECK(x.size() == static_cast<std::size_t>(S.n),
              Errc::invalid_argument, "solve vector size mismatch");
+  std::vector<T> tmp;
   for (index_t K = 0; K < S.nsup; ++K) {
     const index_t b = S.block_cols(K);
     T* xk = x.data() + S.sn_start[K];
+    // Replay supernode K's in-block row interchanges: the permuted
+    // factorization solved L_KK·y = P_K·b̂_K.
+    if (pivoted_ && !rowperm_[K].empty()) {
+      const auto& p = rowperm_[K];
+      tmp.resize(static_cast<std::size_t>(b));
+      for (index_t r = 0; r < b; ++r) tmp[r] = xk[p[r]];
+      std::copy(tmp.begin(), tmp.end(), xk);
+    }
     dense::trsv_lower_unit(lnz_[K].data(), b, b, xk);
     for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
       const auto& rows = S.L[K][bi].rows;
@@ -530,10 +651,20 @@ void LUFactors<T>::solve_multi(std::span<T> X, index_t nrhs) const {
              Errc::invalid_argument, "solve_multi dimension mismatch");
   const index_t n = S.n;
   std::vector<T> seg;  // gathered block-row segment, b-by-nrhs
+  std::vector<T> tmp;
   // Forward substitution, all right-hand sides at once.
   for (index_t K = 0; K < S.nsup; ++K) {
     const index_t b = S.block_cols(K);
     const index_t base = S.sn_start[K];
+    if (pivoted_ && !rowperm_[K].empty()) {
+      const auto& p = rowperm_[K];
+      tmp.resize(static_cast<std::size_t>(b));
+      for (index_t c = 0; c < nrhs; ++c) {
+        T* xk = X.data() + base + c * static_cast<std::size_t>(n);
+        for (index_t r = 0; r < b; ++r) tmp[r] = xk[p[r]];
+        std::copy(tmp.begin(), tmp.end(), xk);
+      }
+    }
     dense::trsm_left_lower_unit(lnz_[K].data(), b, b, X.data() + base, nrhs,
                                 n);
     for (std::size_t bi = 0; bi < S.L[K].size(); ++bi) {
@@ -597,6 +728,7 @@ void LUFactors<T>::solve_transposed(std::span<T> x) const {
   }
   // Backward pass with Lᵀ (unit upper triangular): gather contributions
   // from the rows below before solving the diagonal block.
+  std::vector<T> tmp;
   for (index_t K = S.nsup - 1; K >= 0; --K) {
     const index_t b = S.block_cols(K);
     T* xk = x.data() + S.sn_start[K];
@@ -612,6 +744,14 @@ void LUFactors<T>::solve_transposed(std::span<T> x) const {
       }
     }
     dense::trsv_lower_unit_trans(lnz_[K].data(), b, b, xk);
+    // Undo supernode K's in-block row interchanges: the factorization's
+    // diagonal block is P_K-relative, so z_K = P_Kᵀ·(L_KKᵀ)⁻¹·w_K.
+    if (pivoted_ && !rowperm_[K].empty()) {
+      const auto& p = rowperm_[K];
+      tmp.resize(static_cast<std::size_t>(b));
+      for (index_t r = 0; r < b; ++r) tmp[p[r]] = xk[r];
+      std::copy(tmp.begin(), tmp.end(), xk);
+    }
   }
 }
 

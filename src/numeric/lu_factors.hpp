@@ -60,6 +60,21 @@ struct NumericOptions {
   int num_threads = 1;
   /// Thread schedule; see Schedule. Ignored when num_threads == 1.
   Schedule schedule = Schedule::kAuto;
+  /// Pivot-selection strategy inside each diagonal block. Non-static
+  /// strategies confine row interchanges to the diagonal block, so the
+  /// symbolic structure is untouched; the local permutations are applied
+  /// to the U row during the panel phase and replayed in the triangular
+  /// solves. static_ is bitwise identical to the pre-portfolio kernels.
+  /// Exclusive with record_replacements (the SMW correction assumes the
+  /// unpivoted factorization).
+  dense::PanelPivot panel_pivot = dense::PanelPivot::static_;
+  /// Threshold-pivoting tau (see dense::PivotPolicy::threshold_tau).
+  double pivot_threshold_tau = 0.1;
+  /// In-flight element-growth abort: when > 0, the factorization throws
+  /// Errc::unstable as soon as any supernode's max |U| exceeds
+  /// growth_abort·max|A| — failing fast instead of completing a garbage
+  /// factorization and waiting for refinement to notice. <= 0 disables.
+  double growth_abort = 0.0;
 };
 
 template <class T>
@@ -96,8 +111,22 @@ class LUFactors {
   /// Number of tiny pivots replaced (paper step (3)).
   count_t pivots_replaced() const { return stats_.replaced; }
 
+  /// Within-block row interchanges performed (non-static panel_pivot).
+  count_t pivot_swaps() const { return stats_.swaps; }
+
   /// Pivot growth max|u_ij| / max|a_ij| — the stability diagnostic.
+  /// Computed incrementally per supernode by the in-flight monitor (the
+  /// final value is identical to a whole-factor scan: max is associative).
   double pivot_growth() const { return growth_; }
+
+  /// Local row permutation of supernode K's diagonal block (empty =
+  /// identity). perm[r] = original local row now in position r; used by
+  /// the distributed engine's solve mirror and the tests.
+  const std::vector<index_t>& row_perm(index_t K) const {
+    return rowperm_[K];
+  }
+  /// True when any diagonal block was actually permuted.
+  bool pivoted() const { return pivoted_; }
 
   /// Export explicit factors for testing: L with unit diagonal, U upper
   /// triangular (stored zeros dropped).
@@ -118,17 +147,36 @@ class LUFactors {
   void update_pair(index_t K, std::size_t bi, std::size_t uj,
                    std::vector<T>& scratch, std::vector<index_t>& rpos,
                    std::vector<index_t>& cpos);
-  void compute_growth();
+  /// Diagonal-block factorization of supernode K (strategy dispatch plus
+  /// the local-permutation bookkeeping); stats/replacements go to the
+  /// given per-K sinks so the task-DAG schedule can run F(K) concurrently.
+  void factor_diag(index_t K, const dense::PivotPolicy& policy,
+                   dense::PivotStats& stats,
+                   std::vector<dense::PivotReplacement<T>>* repl);
+  /// Apply supernode K's local row permutation to one b-by-ncols block.
+  void permute_rows(const std::vector<index_t>& perm, T* blk, index_t b,
+                    index_t ncols) const;
+  /// In-flight growth monitor: max |U| over supernode K's finished row
+  /// (diagonal upper triangle + U blocks), recorded in umax_k_[K].
+  /// Returns true when the running growth exceeds the abort threshold.
+  bool monitor_supernode(index_t K);
+  /// Merge umax_k_ into growth_, publish metrics/trace, throw
+  /// Errc::unstable when the abort threshold fired.
+  void finish_growth(bool aborted);
 
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
   std::vector<std::vector<T>> lnz_;  ///< per block column of L (+diag)
   std::vector<std::vector<T>> unz_;  ///< per block row of U
   std::vector<std::vector<std::size_t>> l_off_;  ///< block offsets in lnz_
   std::vector<std::vector<std::size_t>> u_off_;  ///< block offsets in unz_
+  std::vector<std::vector<index_t>> rowperm_;  ///< per-supernode local perm
+  std::vector<double> umax_k_;                 ///< per-supernode max |U|
   dense::PivotStats stats_;
   std::vector<std::pair<index_t, T>> replacements_;
   double growth_ = 0.0;
   double amax_ = 0.0;
+  double growth_abort_ = 0.0;
+  bool pivoted_ = false;
 };
 
 extern template class LUFactors<double>;

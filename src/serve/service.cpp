@@ -120,7 +120,8 @@ void SolverService<T>::warm(const sparse::CscMatrix<T>& A) {
   bool matched = false;
   auto e = cache_.acquire(A, &matched);
   std::lock_guard elk(e->mu);
-  prepare_entry(*e, A, sparse::value_hash(A), /*arm_recovery=*/false);
+  prepare_entry(*e, A, sparse::value_hash(A), /*arm_recovery=*/false,
+                /*hostile=*/false);
   cache_.update_bytes(e, estimate_bytes(*e->solver, A));
 }
 
@@ -150,6 +151,43 @@ template <class T>
 std::size_t SolverService<T>::queue_depth() const {
   std::lock_guard lk(mu_);
   return queue_.size();
+}
+
+template <class T>
+bool SolverService<T>::is_hostile(const sparse::PatternKey& key) const {
+  std::lock_guard lk(hostile_mu_);
+  auto it = hostile_.find(key);
+  return it != hostile_.end() && it->second.hostile;
+}
+
+template <class T>
+bool SolverService<T>::hostile_pattern(const sparse::PatternKey& key) {
+  std::lock_guard lk(hostile_mu_);
+  auto it = hostile_.find(key);
+  if (it == hostile_.end() || !it->second.hostile) return false;
+  metrics::global().counter("serve.recovery.hostile_hits").inc();
+  return true;
+}
+
+template <class T>
+void SolverService<T>::note_failed_recovery(const sparse::PatternKey& key) {
+  if (opt_.hostile_threshold <= 0) return;
+  std::lock_guard lk(hostile_mu_);
+  auto& st = hostile_[key];
+  ++st.failed_recoveries;
+  if (!st.hostile && st.failed_recoveries >= opt_.hostile_threshold) {
+    st.hostile = true;
+    metrics::global().counter("serve.recovery.hostile_marked").inc();
+    trace::instant("serve", "hostile_marked");
+  }
+}
+
+template <class T>
+void SolverService<T>::note_recovered(const sparse::PatternKey& key) {
+  std::lock_guard lk(hostile_mu_);
+  auto it = hostile_.find(key);
+  if (it != hostile_.end() && !it->second.hostile)
+    it->second.failed_recoveries = 0;
 }
 
 template <class T>
@@ -273,6 +311,14 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
   shed_refine.max_iters = 0;
   const refine::RefineOptions* ov = shed ? &shed_refine : nullptr;
 
+  // One hostile snapshot per batch (every live request shares the pattern
+  // key — that is what collect_matches_locked coalesces on). A hostile
+  // pattern's cold build arms the ladder at the strongest rung up front,
+  // so a failure there gets no evict-and-retry: the retry would only
+  // repeat the same strongest-rung attempt.
+  const sparse::PatternKey bkey = (*live.front())->key;
+  const bool hostile = hostile_pattern(bkey);
+
   for (int attempt = 0;; ++attempt) {
     // Re-derived each attempt: a per_column batch can be partially
     // fulfilled before a recoverable failure, and a fulfilled request's
@@ -287,9 +333,11 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
     auto e = cache_.acquire(A, &pattern_matched);
     std::unique_lock elk(e->mu);
     try {
-      Response<T> tmpl = prepare_entry(*e, A, vhash, attempt > 0);
+      Response<T> tmpl =
+          prepare_entry(*e, A, vhash, attempt > 0, hostile);
       tmpl.shed = shed;
       tmpl.recovered = attempt > 0;
+      tmpl.hostile = hostile;
       tmpl.batch_width = width;
       cache_.update_bytes(e, estimate_bytes(*e->solver, A));
 
@@ -303,6 +351,9 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
         e->solver->solve_multi(B, X, width, ov);
         tmpl.berr = e->solver->stats().berr;
         tmpl.refine_iterations = e->solver->stats().refine_iterations;
+        // Read the trail after the solves: the ladder can also escalate
+        // on a berr stall inside solve(), not just during factorization.
+        tmpl.recovery = e->solver->stats().recovery;
         for (std::size_t j = 0; j < live.size(); ++j)
           xs[j].assign(X.begin() + static_cast<std::ptrdiff_t>(j * n),
                        X.begin() + static_cast<std::ptrdiff_t>((j + 1) * n));
@@ -316,8 +367,20 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
           Response<T> r = tmpl;
           r.berr = e->solver->stats().berr;
           r.refine_iterations = e->solver->stats().refine_iterations;
+          r.recovery = e->solver->stats().recovery;
           fulfill(*live[j], r, std::move(xs[j]));
         }
+      }
+      if (attempt > 0 || hostile) {
+        // Reputation update for an armed-ladder execution. "The ladder ran
+        // but its best-effort answer missed the policy thresholds" is a
+        // failed recovery even though a response was served — those
+        // best-effort patterns are exactly the persistently hostile ones.
+        const RecoveryTrail& tr = e->solver->stats().recovery;
+        if (!tr.attempts.empty() && !tr.recovered)
+          note_failed_recovery(bkey);
+        else if (attempt > 0)
+          note_recovered(bkey);
       }
       metrics::global().counter("serve.batches").inc();
       metrics::global().histogram("serve.batch_width").record(
@@ -327,11 +390,19 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
             static_cast<count_t>(live.size()));
       return;
     } catch (const Error& err) {
-      if (attempt == 0 && opt_.evict_on_failure && recoverable(err.code())) {
+      if (recoverable(err.code())) {
+        metrics::global().counter("serve.recovery.failures").inc();
+        // A failure with the ladder armed (the evict-and-retry rebuild, or
+        // a hostile strongest-rung build) counts against the pattern's
+        // reputation; enough of them and the pattern goes hostile.
+        if (attempt > 0 || hostile) note_failed_recovery(bkey);
+      }
+      if (attempt == 0 && !hostile && opt_.evict_on_failure &&
+          recoverable(err.code())) {
         // Recovery wiring: a poisoned cached factorization (stale entry
         // that has drifted numerically singular/unstable) is evicted, and
-        // the batch retries once on a cold rebuild with the PR-1 ladder
-        // armed. The entry mutex is released before erase() not for
+        // the batch retries once on a cold rebuild with the recovery
+        // ladder armed. The entry mutex is released before erase() not for
         // deadlock safety — the established nesting is entry-then-cache
         // (update_bytes takes the cache mutex while the entry mutex is
         // held, and no path takes an entry mutex while holding the cache
@@ -347,6 +418,12 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
         metrics::global().counter("serve.retries").inc();
         trace::instant("serve", "evict_and_retry");
         continue;
+      }
+      if (opt_.evict_on_failure && recoverable(err.code())) {
+        // No retry budget left (hostile, or the armed retry itself
+        // failed), but the poisoned entry still must not be served again.
+        elk.unlock();
+        cache_.erase(e);
       }
       for (auto* sp : live) {
         if (!*sp) continue;  // fulfilled before the failure
@@ -379,13 +456,17 @@ template <class T>
 Response<T> SolverService<T>::prepare_entry(CacheEntry<T>& e,
                                             const sparse::CscMatrix<T>& A,
                                             std::uint64_t vhash,
-                                            bool arm_recovery) {
+                                            bool arm_recovery, bool hostile) {
   Response<T> r;
   if (!e.solver) {
     GESP_TRACE_SPAN("serve", "factor_cold");
     metrics::global().counter("serve.cache.miss").inc();
     SolverOptions so = opt_.solver;
-    if (arm_recovery) so.recovery.enabled = true;
+    if (arm_recovery || hostile) so.recovery.enabled = true;
+    // A hostile pattern has already burned through ladder climbs on
+    // earlier requests; start at the strongest rung instead of replaying
+    // the climb.
+    if (hostile) so.recovery.start_rung = RecoveryRung::gepp;
     e.solver = std::make_unique<Solver<T>>(A, so);
     e.value_hash = vhash;
     e.values = A.values;

@@ -16,8 +16,12 @@
 //     typed rejection (Errc::overloaded), per-request deadlines, and a
 //     shed mode that skips iterative refinement under load;
 //   * recovery wiring: a cached factorization that fails recoverably is
-//     evicted and rebuilt cold with the PR-1 recovery ladder armed,
-//     rather than poisoning the cache.
+//     evicted and rebuilt cold with the recovery ladder armed, rather
+//     than poisoning the cache — and the evict-and-retry spend is capped:
+//     a pattern whose armed-ladder rebuilds keep failing is marked
+//     *hostile* (the mark outlives the evicted entry) and subsequent
+//     requests go straight to the strongest rung instead of re-climbing
+//     the ladder on every arrival.
 //
 // Client calls are synchronous: solve() blocks until the response (or
 // throws gesp::Error). Everything is observable under "serve.*" metrics
@@ -39,6 +43,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "refine/refine.hpp"
@@ -77,6 +82,14 @@ struct ServiceOptions {
   /// Recovery wiring: evict a recoverably-failed cached factorization and
   /// retry once cold with the recovery ladder armed.
   bool evict_on_failure = true;
+  /// Hostile-pattern cap on evict-and-retry: after this many *failed*
+  /// armed-ladder recoveries for one pattern, the pattern is marked
+  /// hostile. Hostile requests skip the per-request ladder climb — the
+  /// factorization is rebuilt with recovery armed at the strongest rung
+  /// (GEPP) directly, and no further evict-and-retry is spent on the
+  /// pattern. A successful recovery resets a not-yet-hostile pattern's
+  /// failure count. <= 0 disables marking.
+  int hostile_threshold = 2;
 };
 
 struct RequestOptions {
@@ -93,9 +106,14 @@ struct Response {
   bool value_hit = false;    ///< reused the factors outright
   bool shed = false;         ///< refinement skipped under load
   bool recovered = false;    ///< failure eviction + ladder retry happened
+  bool hostile = false;      ///< pattern marked hostile; strongest rung armed
   index_t batch_width = 1;   ///< requests coalesced into this execution
   double berr = 0.0;         ///< batch-level for BatchMode::blocked
   int refine_iterations = 0;
+  /// Recovery trail of the factorization that served this request — every
+  /// ladder rung attempted, in order. Empty attempts: the ladder never
+  /// armed or never triggered.
+  RecoveryTrail recovery;
 };
 
 template <class T>
@@ -129,6 +147,8 @@ class SolverService {
   std::size_t cache_entries() const { return cache_.entries(); }
   std::size_t cache_bytes() const { return cache_.bytes(); }
   std::size_t queue_depth() const;
+  /// Whether `key`'s pattern has been marked hostile (inspection/tests).
+  bool is_hostile(const sparse::PatternKey& key) const;
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -173,9 +193,34 @@ class SolverService {
   void fulfill(PendingPtr& p, const Response<T>& tmpl, std::vector<T>&& x);
   /// Cold-build / refactorize / reuse the entry for the batch's matrix;
   /// returns the response template describing the path taken. Entry mutex
-  /// must be held.
+  /// must be held. `hostile` starts a cold build's recovery ladder at the
+  /// strongest rung instead of climbing from the bottom.
   Response<T> prepare_entry(CacheEntry<T>& e, const sparse::CscMatrix<T>& A,
-                            std::uint64_t vhash, bool arm_recovery);
+                            std::uint64_t vhash, bool arm_recovery,
+                            bool hostile);
+
+  /// Per-pattern recovery reputation. Lives beside (not inside) the cache
+  /// on purpose: the failure path evicts the poisoned entry, and the whole
+  /// point of the hostile mark is to outlive that eviction.
+  struct HostileState {
+    int failed_recoveries = 0;  ///< consecutive armed-ladder failures
+    bool hostile = false;
+  };
+  struct PatternKeyHash {
+    std::size_t operator()(const sparse::PatternKey& k) const noexcept {
+      return static_cast<std::size_t>(
+          k.hash ^ (static_cast<std::uint64_t>(k.n) << 32));
+    }
+  };
+  /// Hostile check taken at batch start; counts a serve.recovery
+  /// hostile-hit when true.
+  bool hostile_pattern(const sparse::PatternKey& key);
+  /// An armed-ladder rebuild failed for `key`: bump its failure count and
+  /// mark it hostile at the threshold.
+  void note_failed_recovery(const sparse::PatternKey& key);
+  /// An armed-ladder rebuild succeeded: a not-yet-hostile pattern gets its
+  /// consecutive-failure count back (hostile marks are not forgiven).
+  void note_recovered(const sparse::PatternKey& key);
 
   ServiceOptions opt_;
   FactorizationCache<T> cache_;
@@ -185,6 +230,10 @@ class SolverService {
   std::list<PendingPtr> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  mutable std::mutex hostile_mu_;  ///< leaf lock; never held across others
+  std::unordered_map<sparse::PatternKey, HostileState, PatternKeyHash>
+      hostile_;
 };
 
 extern template class SolverService<double>;

@@ -364,6 +364,162 @@ CscMatrix<double> sparse_growth_adversary(index_t n, index_t depth,
   return A.to_csc();
 }
 
+CscMatrix<double> near_singular_cascade(index_t n, index_t depth,
+                                        double gamma, std::uint64_t seed) {
+  GESP_CHECK(depth > 1 && n >= 2 * depth + 10 && gamma > 0.0 && gamma < 0.09,
+             Errc::invalid_argument, "bad near_singular_cascade parameters");
+  // The attack lives in a TRAILING dense block of width W = 2*depth + 10.
+  // Placement is load-bearing twice over. First, the Schur complement a
+  // supernode sends to the trailing matrix is invariant under in-block row
+  // order, so growth routed *through* a block boundary can never be
+  // pivoted away — the whole chain must share one diagonal block. The
+  // partitioner turns the block's leading 8 columns into a relaxed leaf
+  // supernode and T2-joins the dense remainder into a single chunk of up
+  // to max_block columns, so 8 benign filler columns absorb the relaxed
+  // range and the 2*depth+2 chain columns land in one chunk (keep
+  // 2*depth+2 <= max_block). Second, determinant invariance makes any
+  // in-block rescue concentrate the product of the decayed pivots
+  // (gamma^depth) into deferred rows that retire near the chunk's end;
+  // because the block is trailing there are no rows beneath it, so those
+  // deferred near-zero pivots amplify nothing.
+  //
+  // Chain columns alternate feed/decay: even offsets keep a unit pivot and
+  // feed the next column, whose pivot cancels to exactly gamma
+  // (1 - s·(1-gamma)/s = gamma). Each decay is produced locally by an O(1)
+  // multiplier — not by the previous tiny pivot — so perturbations do not
+  // compound and the cascade survives to arbitrary depth. The static
+  // multiplier under each decayed pivot is s/gamma (~25) and the
+  // accumulator column of U compounds one such factor per decay. An O(1)
+  // competitor (the s subdiagonal) sits right below each decayed pivot,
+  // inside the same chunk: threshold pivoting swaps it up and the cascade
+  // never starts. All diagonals are 1 and every off-diagonal is < 1, so
+  // the identity diagonal is the strictly optimal matching (MC64 keeps it)
+  // and max-norm equilibration is the identity.
+  const double s = 0.98;
+  const index_t W = 2 * depth + 10;
+  const index_t m = n - W;  // block start; filler m..m+7, chain from m+8
+  Rng rng(seed);
+  CooMatrix<double> A(n, n);
+  for (index_t k = 0; k < W; ++k) A.add(m + k, m + k, 1.0);
+  for (index_t k = 8; k + 1 < W - 1; ++k) {
+    A.add(m + k + 1, m + k, s);  // in-chunk competitor under every pivot
+    if ((k - 8) % 2 == 0) A.add(m + k, m + k + 1, (1.0 - gamma) / s);
+  }
+  for (index_t k = 8; k < W - 1; ++k) A.add(m + k, n - 1, 0.9);  // accumulator
+  // Structural glue below the diagonal: keeps the block dense so the T2
+  // join sees exactly nested L columns. 1e-6 is small enough not to
+  // disturb the engineered pivots — the strictly-upper pattern is empty
+  // beyond the first superdiagonal, so glue fill never reaches a pivot.
+  for (index_t k = 0; k + 1 < W; ++k)
+    for (index_t i = k + 1; i < W; ++i)
+      if (i != k + 1 || k < 8 || k + 2 >= W)
+        A.add(m + i, m + k, 1e-6 * rng.uniform(0.5, 1.0));
+  // Decoupled identity-dominant background. The block must NOT couple to
+  // it: an outside row reaching the block's columns would route the
+  // amplification through the (pivot-order-invariant) Schur complement and
+  // make the growth unrescuable by construction.
+  for (index_t i = 0; i < m; ++i) {
+    A.add(i, i, 2.0 + rng.next_double());
+    const index_t j = rng.next_index(m);
+    if (j != i) A.add(i, j, rng.uniform(-0.3, 0.3));
+  }
+  return A.to_csc();
+}
+
+CscMatrix<double> wilkinson_block_adversary(index_t n, index_t depth,
+                                            std::uint64_t seed) {
+  GESP_CHECK(n > depth + 2 && depth > 1, Errc::invalid_argument,
+             "bad wilkinson_block_adversary parameters");
+  Rng rng(seed);
+  const index_t m = n - depth - 1;  // background size
+  CooMatrix<double> A(n, n);
+  for (index_t i = 0; i < m; ++i) {
+    A.add(i, i, 2.0 + rng.next_double());
+    const index_t j = rng.next_index(m);
+    if (j != i) A.add(i, j, rng.uniform(-0.3, 0.3));
+  }
+  // Dense trailing block: the off-tie magnitudes (0.94, 0.97) keep every
+  // column maximum strictly under 1/tau times the unit pivot, so threshold
+  // pivoting never swaps, yet the last-column accumulation still grows by
+  // ~1.94 per step.
+  for (index_t bi = 0; bi <= depth; ++bi) {
+    const index_t i = m + bi;
+    A.add(i, i, 1.0);
+    for (index_t bj = 0; bj < bi; ++bj) A.add(i, m + bj, -0.94);
+    if (bi < depth) A.add(i, n - 1, 0.97);
+  }
+  A.add(0, m, 1e-3);
+  A.add(m, 0, 1e-3);
+  return A.to_csc();
+}
+
+CscMatrix<double> badly_scaled(const CscMatrix<double>& A, double spread,
+                               std::uint64_t seed) {
+  GESP_CHECK(spread >= 0.0, Errc::invalid_argument,
+             "badly_scaled spread must be >= 0");
+  Rng rng(seed);
+  std::vector<double> dr(static_cast<std::size_t>(A.nrows));
+  std::vector<double> dc(static_cast<std::size_t>(A.ncols));
+  for (double& s : dr) s = std::pow(10.0, rng.uniform(-spread / 2, spread / 2));
+  for (double& s : dc) s = std::pow(10.0, rng.uniform(-spread / 2, spread / 2));
+  CscMatrix<double> B = A;
+  for (index_t j = 0; j < B.ncols; ++j)
+    for (index_t p = B.colptr[j]; p < B.colptr[j + 1]; ++p)
+      B.values[static_cast<std::size_t>(p)] *=
+          dr[static_cast<std::size_t>(B.rowind[p])] *
+          dc[static_cast<std::size_t>(j)];
+  return B;
+}
+
+CscMatrix<double> structural_deficiency(index_t n, index_t deficient,
+                                        std::uint64_t seed) {
+  GESP_CHECK(deficient > 0 && n > 4 * deficient + 2, Errc::invalid_argument,
+             "bad structural_deficiency parameters");
+  Rng rng(seed);
+  CooMatrix<double> A(n, n);
+  // Pair t occupies columns {4t, 4t+1}: column 4t+1 equals column 4t to a
+  // ~1e-13 relative difference over a shared three-row pattern, so the
+  // second pivot of the pair cancels far below sqrt(eps)·||A|| and the
+  // tiny-pivot replacement must step in.
+  for (index_t t = 0; t < deficient; ++t) {
+    const index_t j = 4 * t;
+    for (index_t i = 0; i < 3; ++i) {
+      const double v = 0.5 + rng.next_double();
+      A.add(j + i, j, v);
+      A.add(j + i, j + 1, v * (1.0 + 1e-13 * rng.uniform(0.5, 1.0)));
+    }
+    A.add(j + 2, j + 2, 2.0 + rng.next_double());
+    A.add(j + 3, j + 3, 2.0 + rng.next_double());
+    A.add(j + 3, j + 2, rng.uniform(-0.3, 0.3));
+  }
+  for (index_t i = 4 * deficient; i < n; ++i) {
+    A.add(i, i, 2.0 + rng.next_double());
+    const index_t j = rng.next_index(n);
+    if (j != i) A.add(i, j, rng.uniform(-0.3, 0.3));
+  }
+  A.add(0, n - 1, 1e-3);
+  A.add(n - 1, 0, 1e-3);
+  return A.to_csc();
+}
+
+CscMatrix<double> inject_value_faults(const CscMatrix<double>& A,
+                                      index_t count, double magnitude,
+                                      std::uint64_t seed) {
+  GESP_CHECK(count >= 0 && magnitude != 0.0, Errc::invalid_argument,
+             "bad inject_value_faults parameters");
+  GESP_CHECK(!A.values.empty() || count == 0, Errc::invalid_argument,
+             "inject_value_faults needs a nonempty matrix");
+  Rng rng(seed);
+  CscMatrix<double> B = A;
+  const index_t nnz = static_cast<index_t>(B.values.size());
+  for (index_t k = 0; k < count; ++k) {
+    const std::size_t idx = static_cast<std::size_t>(rng.next_index(nnz));
+    const double sign = rng.next_double() < 0.5 ? -1.0 : 1.0;
+    B.values[idx] *= sign * magnitude * rng.uniform(0.5, 1.5);
+  }
+  return B;
+}
+
 CscMatrix<Complex> randomize_phases(const CscMatrix<double>& A,
                                     std::uint64_t seed) {
   Rng rng(seed);

@@ -94,6 +94,60 @@ CscMatrix<double> growth_adversary(index_t n);
 CscMatrix<double> sparse_growth_adversary(index_t n, index_t depth,
                                           std::uint64_t seed);
 
+/// Near-singular working-minor cascade in a trailing dense block. Every
+/// assembled entry is O(1), all diagonals are 1 and every off-diagonal is
+/// strictly smaller, so the identity is the optimal matching (MC64 keeps
+/// it) and equilibration is the identity — yet `depth` pivots partially
+/// cancel down to exactly `gamma` *during* elimination. Each decay is
+/// produced by an O(1) multiplier from the unit-pivot column before it
+/// (perturbations do not compound), the static multiplier under each
+/// decayed pivot is ~0.98/gamma, and an accumulator column of U compounds
+/// one such factor per decay: growth ~ 0.02·(0.98/gamma)^depth (gamma
+/// 0.04, depth 10 gives ~1e12). The whole chain shares one diagonal block
+/// with an O(1) competitor row below each decayed pivot, so in-block
+/// threshold pivoting defeats the attack (gamma must be below tau·0.98 ≈
+/// 0.098 for the swap to trigger). Requirements: natural column order (a
+/// reordering scatters the chain), default relax (8), and
+/// 2*depth+2 <= max_block so the chain lands in a single T2 chunk — depth
+/// at most 11 with the default max_block of 24.
+CscMatrix<double> near_singular_cascade(index_t n, index_t depth,
+                                        double gamma, std::uint64_t seed);
+
+/// Wilkinson-style growth chain confined to one supernode: a trailing
+/// (depth+1)-wide dense block with unit diagonal, -0.94 strictly below and
+/// +0.97 in the block's last column, so any *diagonal* pivot order grows
+/// like 1.94^depth. Threshold pivoting is blind to it — the pivot always
+/// stays within tau of its column maximum — so only the panel-RRP rung,
+/// which reorders block rows by QRCP row norms, tames the chain. Solve
+/// with the natural column order and symbolic max_block > depth so the
+/// whole chain lands in one diagonal block.
+CscMatrix<double> wilkinson_block_adversary(index_t n, index_t depth,
+                                            std::uint64_t seed);
+
+/// Badly-scaled wrapper: multiply row i by 10^r_i and column j by 10^c_j
+/// with r, c log-uniform in ±spread/2. Equilibration plus the mc64 dual
+/// scalings should neutralize it completely — composing this over an
+/// adversary must not change which ladder rung rescues the core attack.
+CscMatrix<double> badly_scaled(const CscMatrix<double>& A, double spread,
+                               std::uint64_t seed);
+
+/// Structurally-deficient matrix: `deficient` column pairs are numerically
+/// dependent to ~1e-13 relative difference, so elimination cancels their
+/// second pivot far below the tiny-pivot replacement threshold. Exercises
+/// the replacement path (pivots_replaced > 0) and drives the condition
+/// number to ~1/1e-13 without defeating backward stability.
+CscMatrix<double> structural_deficiency(index_t n, index_t deficient,
+                                        std::uint64_t seed);
+
+/// Seeded numerical fault injection: multiply `count` randomly chosen
+/// nonzeros by ±magnitude (random sign, ±50% jitter). The pattern is
+/// untouched — a faulted matrix reuses the clean symbolic structure and
+/// pattern-keyed cache entries — so this models value corruption at
+/// refactorization time for chaos-testing the recovery ladder.
+CscMatrix<double> inject_value_faults(const CscMatrix<double>& A,
+                                      index_t count, double magnitude,
+                                      std::uint64_t seed);
+
 /// Complexify: multiply each entry by a deterministic random unit-modulus
 /// phase (the quantum-chemistry application solves complex unsymmetric
 /// systems). The magnitude structure — all that matching/ordering sees —

@@ -1,6 +1,7 @@
 #include "sparse/testbed.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -292,6 +293,69 @@ std::vector<TestbedEntry> build_testbed() {
   return t;
 }
 
+std::vector<AdversarialEntry> build_adversarial() {
+  std::vector<AdversarialEntry> t;
+  auto add = [&](std::string name, std::string attack, std::string rung,
+                 std::function<CscMatrix<double>()> make, bool natural = false,
+                 index_t max_block = 0, bool fail = false) {
+    t.push_back({std::move(name), std::move(attack), std::move(rung), fail,
+                 natural, max_block, std::move(make)});
+  };
+  // In-flight near-singular working minors: pivots decayed to gamma=0.04
+  // *during* elimination with O(1) in-block competitors — the threshold
+  // rung's home turf. Static growth ~ (0.98/0.04)^(depth-1).
+  add("nsing-cascade-a", "compounding decayed pivots", "threshold",
+      [] { return near_singular_cascade(400, 11, 0.04, 150); },
+      /*natural=*/true);
+  add("nsing-cascade-b", "compounding decayed pivots (larger n)", "threshold",
+      [] { return near_singular_cascade(900, 10, 0.04, 151); },
+      /*natural=*/true);
+  add("nsing-scaled", "decayed pivots under 10^±2 row/col scaling",
+      "threshold",
+      [] {
+        return badly_scaled(near_singular_cascade(400, 11, 0.04, 150), 4.0,
+                            155);
+      },
+      /*natural=*/true);
+
+  // Wilkinson chains confined to one supernode: unit pivots always within
+  // tau of the column max (threshold-blind); only the QRCP row reorder of
+  // the panel-RRP rung breaks the accumulation.
+  add("wilkinson-block-a", "in-block growth chain, threshold-blind",
+      "panel_rrp",
+      [] { return wilkinson_block_adversary(500, 55, 152); },
+      /*natural=*/true, /*max_block=*/64);
+  add("wilkinson-block-b", "in-block growth chain, threshold-blind (wider)",
+      "panel_rrp",
+      [] { return wilkinson_block_adversary(900, 58, 153); },
+      /*natural=*/true, /*max_block=*/64);
+
+  // Sparse ±1 growth adversaries (the goodwin/av41092 class): exact-tie
+  // chains spanning supernodes.
+  add("growth-deep-a", "Wilkinson-type 2^45 growth", "panel_rrp",
+      [] { return sparse_growth_adversary(300, 45, 9); },
+      /*natural=*/true);
+  add("growth-deep-b", "Wilkinson-type 2^46 growth", "panel_rrp",
+      [] { return sparse_growth_adversary(700, 46, 154); },
+      /*natural=*/true);
+
+  // Controls: attacks the default pipeline is expected to absorb at the
+  // first rung — scaling is neutralized by equilibration + mc64 duals,
+  // near-dependent column pairs by tiny-pivot replacement.
+  add("scaled-benign", "10^±4 row/col scaling on a benign matrix", "gesp",
+      [] { return badly_scaled(convdiff2d(40, 40, 1.0, 0.5), 8.0, 156); });
+  add("deficient-a", "numerically dependent column pairs", "gesp",
+      [] { return structural_deficiency(600, 12, 157); });
+
+  // Honest denominator: deep exact-tie growth that defeats the whole
+  // in-block portfolio and falls through to GEPP (which converges).
+  add("growth-av-s", "2^55 growth, defeats the in-block portfolio", "gepp",
+      [] { return sparse_growth_adversary(4000, 55, 146); },
+      /*natural=*/true);
+
+  return t;
+}
+
 }  // namespace
 
 const std::vector<TestbedEntry>& testbed() {
@@ -310,6 +374,18 @@ const TestbedEntry& testbed_entry(const std::string& name) {
   for (const auto& e : testbed())
     if (e.name == name) return e;
   throw Error(Errc::invalid_argument, "no testbed matrix named " + name);
+}
+
+const std::vector<AdversarialEntry>& adversarial_testbed() {
+  static const std::vector<AdversarialEntry> t = build_adversarial();
+  return t;
+}
+
+const AdversarialEntry& adversarial_entry(const std::string& name) {
+  for (const auto& e : adversarial_testbed())
+    if (e.name == name) return e;
+  throw Error(Errc::invalid_argument,
+              "no adversarial testbed matrix named " + name);
 }
 
 }  // namespace gesp::sparse

@@ -37,4 +37,31 @@ std::vector<TestbedEntry> large_testbed();
 /// Lookup by name; throws Errc::invalid_argument if absent.
 const TestbedEntry& testbed_entry(const std::string& name);
 
+/// One hostile matrix of the adversarial testbed, plus the symbolic frame
+/// its attack assumes. The attacks target the *numeric* phase: several only
+/// bite when the column order and supernode partition are pinned (an AMD
+/// reorder would scatter a carefully placed gadget), so each entry carries
+/// the overrides a driver must apply before solving.
+struct AdversarialEntry {
+  std::string name;
+  std::string attack;       ///< the mechanism the matrix attacks
+  /// Ladder rung expected to produce the returned solution under the
+  /// default recovery policy: "gesp", "threshold", "panel_rrp" or "gepp".
+  /// Rescues at "threshold"/"panel_rrp" count toward the portfolio's
+  /// rescue rate; "gepp" entries keep the denominator honest.
+  std::string expect_rung;
+  bool expect_fail = false;   ///< no rung is expected to converge
+  bool natural_order = false; ///< solve with ColOrderOption::natural
+  index_t max_block = 0;      ///< symbolic max_block override (0 = default)
+  std::function<CscMatrix<double>()> make;
+};
+
+/// The adversarial testbed: growth attackers, in-flight near-singular
+/// gadgets, badly-scaled and structurally-deficient cases. Fixed
+/// deterministic order.
+const std::vector<AdversarialEntry>& adversarial_testbed();
+
+/// Lookup by name; throws Errc::invalid_argument if absent.
+const AdversarialEntry& adversarial_entry(const std::string& name);
+
 }  // namespace gesp::sparse

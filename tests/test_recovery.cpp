@@ -5,10 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
 #include "core/solver.hpp"
+#include "dist/dist_solver.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/testbed.hpp"
@@ -163,6 +165,82 @@ TEST(Recovery, MultiRhsEscalatesPerColumn) {
                                static_cast<std::size_t>(n));
     EXPECT_LT(sparse::relative_error_inf<double>(xt, xc), 1e-6) << "col " << j;
   }
+}
+
+/// Run one adversarial entry on the given backend/threads; returns x and
+/// copies the trail out.
+std::vector<double> solve_adversarial(const sparse::AdversarialEntry& e,
+                                      Backend backend, int threads,
+                                      RecoveryTrail& trail_out) {
+  const auto A = e.make();
+  const index_t n = A.ncols;
+  std::vector<double> x_true(static_cast<std::size_t>(n), 1.0),
+      b(x_true.size()), x(x_true.size());
+  sparse::spmv<double>(A, x_true, b);
+  SolverOptions opt;
+  opt.recovery.enabled = true;
+  opt.backend = backend;
+  opt.num_threads = threads;
+  if (e.natural_order) opt.col_order = ColOrderOption::natural;
+  if (e.max_block > 0) opt.symbolic.max_block = e.max_block;
+  if (backend == Backend::dist) {
+    SolveStats s;
+    opt.dist.nprocs = 4;
+    const auto xd = dist::solve<double>(A, b, opt, &s);
+    trail_out = s.recovery;
+    return xd;
+  }
+  Solver<double> solver(A, opt);
+  solver.solve(b, x);
+  trail_out = solver.stats().recovery;
+  return x;
+}
+
+TEST(Recovery, SerialAndThreadedBackendsAgreeBitwiseOnTheLadder) {
+  // The portfolio rungs stay inside the deterministic supernodal
+  // factorization, so an escalated answer must be bitwise identical
+  // across shared-memory backends — and the trail must tell the same
+  // story attempt by attempt (same rungs, same triggers). One entry per
+  // new rung.
+  for (const char* name : {"nsing-cascade-a", "growth-deep-a"}) {
+    const auto& e = sparse::adversarial_entry(name);
+    RecoveryTrail ts, tt;
+    const auto xs = solve_adversarial(e, Backend::serial, 1, ts);
+    const auto xt = solve_adversarial(e, Backend::threaded, 4, tt);
+    ASSERT_TRUE(ts.recovered) << name;
+    EXPECT_EQ(std::string(recovery_rung_name(ts.final_rung)), e.expect_rung)
+        << name;
+    // Identical trail.
+    ASSERT_EQ(ts.attempts.size(), tt.attempts.size()) << name;
+    EXPECT_EQ(ts.final_rung, tt.final_rung) << name;
+    EXPECT_EQ(ts.recovered, tt.recovered) << name;
+    for (std::size_t k = 0; k < ts.attempts.size(); ++k) {
+      EXPECT_EQ(ts.attempts[k].rung, tt.attempts[k].rung) << name;
+      EXPECT_EQ(ts.attempts[k].success, tt.attempts[k].success) << name;
+      EXPECT_EQ(ts.attempts[k].trigger, tt.attempts[k].trigger) << name;
+    }
+    // Bitwise-identical solution.
+    ASSERT_EQ(xs.size(), xt.size()) << name;
+    EXPECT_EQ(std::memcmp(xs.data(), xt.data(), xs.size() * sizeof(double)),
+              0)
+        << name;
+  }
+}
+
+TEST(Recovery, DistBackendFallsBackToTheSameLadderAnswer) {
+  // The dist backend's recovery contract: a distributed factorization
+  // that fails policy falls back to the in-process ladder, so the final
+  // rung and the escalated answer must match the serial backend bitwise.
+  const auto& e = sparse::adversarial_entry("nsing-cascade-a");
+  RecoveryTrail ts, td;
+  const auto xs = solve_adversarial(e, Backend::serial, 1, ts);
+  const auto xd = solve_adversarial(e, Backend::dist, 1, td);
+  ASSERT_TRUE(ts.recovered);
+  ASSERT_TRUE(td.recovered);
+  EXPECT_EQ(ts.final_rung, td.final_rung);
+  EXPECT_EQ(std::string(recovery_rung_name(td.final_rung)), e.expect_rung);
+  ASSERT_EQ(xs.size(), xd.size());
+  EXPECT_EQ(std::memcmp(xs.data(), xd.data(), xs.size() * sizeof(double)), 0);
 }
 
 TEST(Recovery, RefactorizeRestartsTheLadder) {

@@ -452,6 +452,86 @@ TEST(SolverService, RecoverableFailureEvictsAndRetriesWithLadder) {
   EXPECT_LT(err, 1e-8);
 }
 
+TEST(SolverService, RecoveredResponseCarriesTheTrail) {
+  // The served response must surface how the answer was obtained: the
+  // evict-and-retry rebuild arms the ladder, and the ladder's trail rides
+  // back in Response::recovery.
+  serve::ServiceOptions opt;
+  opt.solver.backend = Backend::serial;
+  opt.solver.tiny_pivot = TinyPivotOption::fail;
+  serve::SolverService<double> svc(opt);
+
+  const auto S = singular2x2();
+  const std::vector<double> b = {1.0, 2.0};
+  try {
+    const auto r = svc.solve(S, b);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_FALSE(r.recovery.attempts.empty());
+    EXPECT_EQ(r.recovery.final_rung, r.recovery.attempts.back().rung);
+  } catch (const Error& e) {
+    EXPECT_NE(e.code(), Errc::overloaded);
+  }
+  // A clean request's trail stays empty (ladder never armed).
+  const auto A = testbed_matrix("west0497-s");
+  const auto r2 = svc.solve(A, rhs_for(A));
+  EXPECT_TRUE(r2.recovery.attempts.empty());
+  EXPECT_FALSE(r2.hostile);
+}
+
+TEST(SolverService, PersistentFailuresMarkThePatternHostile) {
+  // Cap on evict-and-retry: after hostile_threshold failed armed-ladder
+  // recoveries, the pattern is marked hostile and subsequent requests are
+  // rebuilt with the ladder starting at the strongest rung (GEPP) instead
+  // of burning an evict-and-retry per request. The middle rungs are
+  // disabled so an exactly singular system defeats the armed rebuilds —
+  // with them enabled, threshold pivoting absorbs the 2x2 gadget.
+  serve::ServiceOptions opt;
+  opt.solver.backend = Backend::serial;
+  opt.solver.tiny_pivot = TinyPivotOption::fail;
+  opt.solver.recovery.try_aggressive_smw = false;
+  opt.solver.recovery.try_unscaled_refactor = false;
+  opt.solver.recovery.try_threshold = false;
+  opt.solver.recovery.try_panel_rrp = false;
+  opt.hostile_threshold = 2;
+  serve::SolverService<double> svc(opt);
+
+  const auto S = singular2x2();
+  const sparse::PatternKey key = sparse::pattern_key(S);
+  const std::vector<double> b = {1.0, 2.0};
+  const count_t retries0 = counter_value("serve.retries");
+  const count_t marked0 = counter_value("serve.recovery.hostile_marked");
+  const count_t hits0 = counter_value("serve.recovery.hostile_hits");
+
+  // Two requests, each: cold build fails -> evict -> armed rebuild fails
+  // too (gesp and gepp both reject an exactly singular matrix). Two
+  // failed recoveries = the threshold.
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_THROW(svc.solve(S, b), Error) << "request " << i;
+    EXPECT_EQ(svc.is_hostile(key), i == 1) << "request " << i;
+  }
+  EXPECT_EQ(counter_value("serve.retries"), retries0 + 2);
+  EXPECT_EQ(counter_value("serve.recovery.hostile_marked"), marked0 + 1);
+
+  // Same pattern, nonsingular values: the hostile request skips the
+  // ladder climb — no evict-and-retry — and goes straight to GEPP, which
+  // factors the healthy values fine. The response says so.
+  auto G = S;
+  G.values = {1.0, 1.0, 1.0, 2.0};
+  std::vector<double> bg(2);
+  const std::vector<double> ones = {1.0, 1.0};
+  sparse::spmv<double>(G, ones, bg);
+  const auto r = svc.solve(G, bg);
+  EXPECT_TRUE(r.hostile);
+  ASSERT_FALSE(r.recovery.attempts.empty());
+  EXPECT_EQ(r.recovery.final_rung, RecoveryRung::gepp);
+  EXPECT_TRUE(r.recovery.recovered);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-10);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-10);
+  EXPECT_EQ(counter_value("serve.retries"), retries0 + 2);  // no new retry
+  EXPECT_EQ(counter_value("serve.recovery.hostile_hits"), hits0 + 1);
+  EXPECT_TRUE(svc.is_hostile(key));  // the mark is not forgiven
+}
+
 TEST(SolverService, ValueHitRequiresExactBytesAndStillFastPaths) {
   serve::ServiceOptions opt;
   opt.solver.backend = Backend::serial;

@@ -4,7 +4,10 @@
 //
 //   MATRIX                MatrixMarket (.mtx) or Harwell-Boeing file; use
 //                         testbed:NAME to pull a matrix from the built-in
-//                         synthetic testbed (see --list).
+//                         synthetic testbed, or adv:NAME for the
+//                         adversarial testbed (see --list). An adv: entry
+//                         also applies the column-order / max-block
+//                         overrides its attack assumes.
 //   --rhs=ones            b = A*ones (default; reports the true error)
 //   --rhs=random          deterministic random right-hand side
 //   --rowperm=mc64|mc21|bottleneck|none
@@ -17,8 +20,8 @@
 //   --ferr                estimate the forward error bound (extra solves)
 //   --rcond               estimate the reciprocal condition number
 //   --recover             arm the graceful-degradation ladder (GESP ->
-//                         aggressive SMW -> unscaled -> GEPP) and print the
-//                         recovery trail
+//                         aggressive SMW -> unscaled -> threshold ->
+//                         panel-RRP -> GEPP) and print the recovery trail
 //   --threads=N           shared-memory factorization threads (default 1)
 //   --backend=serial|threaded|dist
 //                         execution engine; every other flag (--recover,
@@ -43,12 +46,15 @@
 //
 // Exit codes map the library's failure categories so scripts can react
 // without parsing stderr:
-//   0 solved        2 usage error          3 invalid argument
+//   0 solved (static path, or recovered via a portfolio rung)
+//   2 usage error   3 invalid argument
 //   4 io error      5 structurally singular  6 numerically singular
 //   7 unstable (incl. --recover runs whose final answer missed the policy
 //     thresholds — the report prints the best-effort trail either way)
 //   8 transport fault (comm)  9 internal error
 //   10 overloaded (serving layer shed the request)
+//   11 recovered, but only by falling all the way to the GEPP rung — the
+//      answer is good, the static portfolio was defeated
 //   70 unexpected non-library exception
 #include <cstdio>
 #include <cstring>
@@ -90,7 +96,8 @@ using namespace gesp;
                "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
                "            5/6 structurally/numerically singular, "
                "7 unstable/not recovered, 8 comm, 9 internal,\n"
-               "            10 overloaded (serve layer shed the request)\n");
+               "            10 overloaded (serve layer shed the request),\n"
+               "            11 recovered only by the GEPP fallback rung\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -117,10 +124,21 @@ int exit_code_for(Errc c) {
   return 9;
 }
 
-sparse::CscMatrix<double> load_matrix(const std::string& path) {
+/// Load MATRIX. An adv: entry also applies the symbolic frame its attack
+/// assumes (natural column order / max_block) onto `opt` — the gadgets are
+/// placed for a specific supernode partition.
+sparse::CscMatrix<double> load_matrix(const std::string& path,
+                                      SolverOptions& opt) {
   const std::string prefix = "testbed:";
   if (path.rfind(prefix, 0) == 0)
     return sparse::testbed_entry(path.substr(prefix.size())).make();
+  const std::string adv = "adv:";
+  if (path.rfind(adv, 0) == 0) {
+    const auto& e = sparse::adversarial_entry(path.substr(adv.size()));
+    if (e.natural_order) opt.col_order = ColOrderOption::natural;
+    if (e.max_block > 0) opt.symbolic.max_block = e.max_block;
+    return e.make();
+  }
   if (path.size() > 4 && path.substr(path.size() - 4) == ".mtx")
     return io::read_matrix_market(path);
   // Try Harwell-Boeing, then MatrixMarket.
@@ -151,6 +169,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(a, "--list") == 0) {
       for (const auto& e : sparse::testbed())
         std::printf("%-14s %s\n", e.name.c_str(), e.discipline.c_str());
+      for (const auto& e : sparse::adversarial_testbed())
+        std::printf("adv:%-18s expects %-9s %s\n", e.name.c_str(),
+                    e.expect_rung.c_str(), e.attack.c_str());
       return 0;
     } else if (std::strcmp(a, "--no-equil") == 0) {
       opt.equilibrate = false;
@@ -254,7 +275,7 @@ int main(int argc, char** argv) {
 
   try {
     Timer total;
-    const auto A = load_matrix(path);
+    const auto A = load_matrix(path, opt);
     GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
                "matrix is not square");
     std::printf("matrix %s: n = %d, nnz = %lld\n", path.c_str(), A.ncols,
@@ -356,6 +377,19 @@ int main(int argc, char** argv) {
       std::printf("recovery    final rung %s (%s)\n",
                   recovery_rung_name(s.recovery.final_rung),
                   s.recovery.recovered ? "recovered" : "NOT recovered");
+    // Which ladder rung actually produced x. With the ladder off (or never
+    // triggered) that is the configured GESP pipeline itself.
+    const RecoveryRung produced = s.recovery.attempts.empty()
+                                      ? RecoveryRung::gesp
+                                      : s.recovery.final_rung;
+    std::printf("produced by rung %s\n", recovery_rung_name(produced));
+    // Readable --metrics-json key for the same fact: exactly one
+    // solver.produced_by.* gauge is 1 (the numeric twin is the
+    // solver.recovery_final_rung gauge the solver itself exports).
+    metrics::global()
+        .gauge(std::string("solver.produced_by.") +
+               recovery_rung_name(produced))
+        .set(1.0);
     std::printf("flops       %.3f Gflop (%.1f Mflop/s in factorization)\n",
                 static_cast<double>(s.flops) / 1e9,
                 s.times.get("factor") > 0
@@ -405,8 +439,15 @@ int main(int argc, char** argv) {
                  "short write to metrics file " + metrics_path);
     }
     // A --recover run that exhausted the ladder still printed its best
-    // effort above, but scripts must see the failure category.
-    return recovered_ok ? 0 : 7;
+    // effort above, but scripts must see the failure category. A run the
+    // pivoting portfolio could not hold — only the GEPP fallback converged
+    // — is a correct answer but a defeated static pipeline, and gets its
+    // own code so harnesses can count portfolio rescues vs falls.
+    if (!recovered_ok) return 7;
+    if (!s.recovery.attempts.empty() &&
+        s.recovery.final_rung == RecoveryRung::gepp)
+      return 11;
+    return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "gesp_solve: %s\n", e.what());
     return exit_code_for(e.code());
