@@ -22,20 +22,29 @@ namespace {
 
 using namespace gesp;
 
-std::vector<double> random_block(index_t rows, index_t cols,
-                                 std::uint64_t seed) {
+template <class T>
+std::vector<T> random_block_t(index_t rows, index_t cols,
+                              std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<double> v(static_cast<std::size_t>(rows) * cols);
-  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  std::vector<T> v(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
   return v;
 }
 
-void BM_GemmMinus(benchmark::State& state) {
+std::vector<double> random_block(index_t rows, index_t cols,
+                                 std::uint64_t seed) {
+  return random_block_t<double>(rows, cols, seed);
+}
+
+// Both compute precisions share one body: the float instantiation runs the
+// wider 16×6 microtile and should show the ~2× lane advantage in GF/s.
+template <class T>
+void gemm_minus_precision(benchmark::State& state) {
   const index_t b = static_cast<index_t>(state.range(0));
   const index_t m = 4 * b, c = 2 * b;
-  const auto A = random_block(m, b, 1);
-  const auto B = random_block(b, c, 2);
-  auto C = random_block(m, c, 3);
+  const auto A = random_block_t<T>(m, b, 1);
+  const auto B = random_block_t<T>(b, c, 2);
+  auto C = random_block_t<T>(m, c, 3);
   for (auto _ : state) {
     dense::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
     benchmark::DoNotOptimize(C.data());
@@ -44,7 +53,16 @@ void BM_GemmMinus(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * m *
                           b * c);
 }
+
+void BM_GemmMinus(benchmark::State& state) {
+  gemm_minus_precision<double>(state);
+}
 BENCHMARK(BM_GemmMinus)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48);
+
+void BM_GemmMinusFloat(benchmark::State& state) {
+  gemm_minus_precision<float>(state);
+}
+BENCHMARK(BM_GemmMinusFloat)->Arg(8)->Arg(16)->Arg(24)->Arg(32)->Arg(48);
 
 // The naive triple loop the tiled kernel replaced — kept benchmarked so the
 // speedup is visible in the same BENCH_kernels.json.
@@ -81,6 +99,24 @@ void BM_GetrfNoPiv(benchmark::State& state) {
 }
 BENCHMARK(BM_GetrfNoPiv)->Arg(8)->Arg(24)->Arg(64);
 
+void BM_GetrfNoPivFloat(benchmark::State& state) {
+  const index_t b = static_cast<index_t>(state.range(0));
+  const auto base = random_block_t<float>(b, b, 4);
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = 1e-30;
+  for (auto _ : state) {
+    auto a = base;
+    for (index_t k = 0; k < b; ++k)
+      a[k + k * b] += static_cast<float>(b);
+    dense::PivotStats stats;
+    dense::getrf(a.data(), b, b, policy, stats);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * b *
+                          b * b / 3);
+}
+BENCHMARK(BM_GetrfNoPivFloat)->Arg(8)->Arg(24)->Arg(64);
+
 void BM_TrsmRightUpper(benchmark::State& state) {
   const index_t b = 24, m = 256;
   auto U = random_block(b, b, 5);
@@ -95,6 +131,21 @@ void BM_TrsmRightUpper(benchmark::State& state) {
                           b);
 }
 BENCHMARK(BM_TrsmRightUpper);
+
+void BM_TrsmRightUpperFloat(benchmark::State& state) {
+  const index_t b = 24, m = 256;
+  auto U = random_block_t<float>(b, b, 5);
+  for (index_t k = 0; k < b; ++k) U[k + k * b] += static_cast<float>(b);
+  const auto base = random_block_t<float>(m, b, 6);
+  for (auto _ : state) {
+    auto X = base;
+    dense::trsm_right_upper(U.data(), b, b, X.data(), m, m);
+    benchmark::DoNotOptimize(X.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * m * b *
+                          b);
+}
+BENCHMARK(BM_TrsmRightUpperFloat);
 
 void BM_Spmv(benchmark::State& state) {
   const auto A = sparse::convdiff2d(100, 100, 1.0, 0.5);

@@ -1,0 +1,197 @@
+// bench_mixed — the mixed-precision performance table behind INTERNALS §16:
+//
+//   * kernel sweep: float vs double tiled GEMM throughput (GF/s) at the
+//     paper's block sizes — the raw lane advantage of the 16×6 microtile;
+//   * end-to-end sweep: --precision=mixed vs double over the testbed,
+//     comparing factor+solve+refine time, final berr, and whether the
+//     float factorization held or promotion fired.
+//
+// Machine-readable output goes to BENCH_mixed.json (or --out=<path>).
+// Honors the shared --quick / --matrices= subsetting flags.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/solver.hpp"
+#include "dense/kernels.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/testbed.hpp"
+
+namespace {
+
+using namespace gesp;
+
+template <class T>
+std::vector<T> random_block(index_t rows, index_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : v) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+/// GF/s of the tiled gemm_minus at block size b (m=4b, k=b, n=2b — the
+/// trailing-update shape BM_GemmMinus uses). Self-calibrating repeat count.
+template <class T>
+double gemm_gflops(index_t b) {
+  const index_t m = 4 * b, c = 2 * b;
+  const auto A = random_block<T>(m, b, 1);
+  const auto B = random_block<T>(b, c, 2);
+  auto C = random_block<T>(m, c, 3);
+  const double flops_per_call =
+      2.0 * static_cast<double>(m) * static_cast<double>(b) *
+      static_cast<double>(c);
+  // Warm up (page in the pack buffers), then time enough calls to fill
+  // ~50 ms so the measurement dwarfs timer noise. Best of three windows:
+  // a single window is at the mercy of whatever else the machine runs.
+  dense::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
+  double best = 0.0;
+  for (int window = 0; window < 3; ++window) {
+    long calls = 0;
+    Timer t;
+    do {
+      for (int i = 0; i < 64; ++i)
+        dense::gemm_minus(m, c, b, A.data(), m, B.data(), b, C.data(), m);
+      calls += 64;
+    } while (t.seconds() < 0.05);
+    best = std::max(
+        best, flops_per_call * static_cast<double>(calls) / t.seconds() / 1e9);
+  }
+  return best;
+}
+
+struct KernelRow {
+  index_t b = 0;
+  double gflops_double = 0;
+  double gflops_float = 0;
+};
+
+struct EndToEndRow {
+  std::string name;
+  double t_double = 0;  ///< factor + solve + refine, seconds
+  double t_mixed = 0;
+  double berr_double = 0;
+  double berr_mixed = 0;
+  count_t promotions = 0;
+  bool failed = false;
+};
+
+/// One timed GESP run: construction (analysis+factor) + solve. Returns the
+/// factor+solve+refine time (the phases precision changes) plus berr and
+/// promotion count via the stats. Fast solves repeat and keep the minimum
+/// so the table isn't at the mercy of scheduler noise.
+double timed_solve(const sparse::CscMatrix<double>& A,
+                   const SolverOptions& opt, SolveStats& s) {
+  const auto n = static_cast<std::size_t>(A.ncols);
+  std::vector<double> ones(n, 1.0), b(n), x(n);
+  sparse::spmv<double>(A, ones, b);
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Solver<double> solver(A, opt);
+    solver.solve(b, x);
+    s = solver.stats();
+    const double t = s.times.total("factor") + s.times.total("solve") +
+                     s.times.total("residual") + s.times.total("refine");
+    best = rep == 0 ? t : std::min(best, t);
+    if (t > 1.0) break;  // slow enough to trust a single run
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_mixed.json";
+  for (int i = 1; i < argc; ++i)
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+
+  // ---- kernel sweep -------------------------------------------------------
+  const index_t blocks[] = {8, 16, 24, 32, 48};
+  std::vector<KernelRow> kernels;
+  std::printf("%-6s %14s %14s %8s\n", "b", "double GF/s", "float GF/s",
+              "ratio");
+  for (index_t b : blocks) {
+    KernelRow r;
+    r.b = b;
+    r.gflops_double = gemm_gflops<double>(b);
+    r.gflops_float = gemm_gflops<float>(b);
+    std::printf("%-6d %14.2f %14.2f %7.2fx\n", b, r.gflops_double,
+                r.gflops_float, r.gflops_float / r.gflops_double);
+    kernels.push_back(r);
+  }
+
+  // ---- end-to-end sweep ---------------------------------------------------
+  std::vector<EndToEndRow> runs;
+  std::printf("\n%-16s %12s %12s %8s %11s %11s %5s\n", "matrix",
+              "double s", "mixed s", "speedup", "berr dbl", "berr mix",
+              "promo");
+  for (const auto& entry : gesp::bench::select_testbed(argc, argv)) {
+    if (entry.expect_fail) continue;
+    EndToEndRow row;
+    row.name = entry.name;
+    try {
+      const auto A = entry.make();
+      SolverOptions od;
+      SolveStats sd;
+      row.t_double = timed_solve(A, od, sd);
+      row.berr_double = sd.berr;
+      SolverOptions om;
+      om.precision = Precision::mixed;
+      SolveStats sm;
+      row.t_mixed = timed_solve(A, om, sm);
+      row.berr_mixed = sm.berr;
+      row.promotions = sm.promotions;
+    } catch (const Error& e) {
+      row.failed = true;
+      std::printf("%-16s FAILED: %s\n", row.name.c_str(), e.what());
+      runs.push_back(row);
+      continue;
+    }
+    std::printf("%-16s %12.4f %12.4f %7.2fx %11.2e %11.2e %5lld\n",
+                row.name.c_str(), row.t_double, row.t_mixed,
+                row.t_mixed > 0 ? row.t_double / row.t_mixed : 0.0,
+                row.berr_double, row.berr_mixed,
+                static_cast<long long>(row.promotions));
+    runs.push_back(row);
+  }
+
+  // ---- BENCH_mixed.json ---------------------------------------------------
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"gemm\": [\n");
+  for (std::size_t i = 0; i < kernels.size(); ++i) {
+    const auto& r = kernels[i];
+    std::fprintf(f,
+                 "    {\"b\": %d, \"double_gflops\": %.3f, "
+                 "\"float_gflops\": %.3f, \"ratio\": %.3f}%s\n",
+                 r.b, r.gflops_double, r.gflops_float,
+                 r.gflops_double > 0 ? r.gflops_float / r.gflops_double : 0.0,
+                 i + 1 < kernels.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"end_to_end\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    std::fprintf(f,
+                 "    {\"matrix\": \"%s\", \"double_s\": %.6f, "
+                 "\"mixed_s\": %.6f, \"speedup\": %.3f, "
+                 "\"berr_double\": %.3e, \"berr_mixed\": %.3e, "
+                 "\"promotions\": %lld, \"failed\": %s}%s\n",
+                 r.name.c_str(), r.t_double, r.t_mixed,
+                 r.t_mixed > 0 ? r.t_double / r.t_mixed : 0.0,
+                 r.berr_double, r.berr_mixed,
+                 static_cast<long long>(r.promotions),
+                 r.failed ? "true" : "false",
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -25,6 +25,7 @@ bench_machine_epochs
 bench_dist_backend
 bench_hostile
 bench_serve
+bench_mixed
 bench_kernels
 "
 for b in $BENCHES; do
@@ -47,6 +48,12 @@ for b in $BENCHES; do
     # recorded machine-readable next to this script (the CI
     # hostile-matrices artifact).
     "build/bench/$b" --out=BENCH_hostile.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_mixed" ]; then
+    # Mixed precision: float-vs-double GEMM GF/s per block size and
+    # mixed-vs-double end-to-end factor+solve+refine time over the full
+    # testbed, recorded machine-readable next to this script (the CI
+    # bench-smoke artifact behind the INTERNALS §16 table).
+    "build/bench/$b" --out=BENCH_mixed.json || echo "BENCH FAILED: $b"
   elif [ "$b" = "bench_kernels" ]; then
     # google-benchmark binary: also record the machine-readable perf
     # trajectory (GEMM GFLOP/s per block size, factorization per schedule

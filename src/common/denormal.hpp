@@ -1,0 +1,54 @@
+// Scoped subnormal-flush control for the single-precision compute paths.
+//
+// Float underflows two orders of magnitude shallower than double
+// (~1.2e-38), and the chemical/circuit testbed matrices produce plenty of
+// update products below it; hardware handles subnormal operands through
+// microcode assists at a ~100-cycle penalty each, which is enough to make
+// the float factorization *slower* than the double one it is supposed to
+// beat. Inside the guard's scope FTZ/DAZ flush those values to zero — a
+// perturbation at 1e-38 scale, far below the sqrt(eps_f) tiny-pivot floor
+// the mixed path already accepts, and invisible to the double-precision
+// refinement that follows.
+//
+// MXCSR is per-thread but *inherited* by threads created inside the scope
+// (clone copies the register state), so constructing the guard before the
+// factorization ThreadPool covers every worker. The calling thread's mode
+// is restored on scope exit; pool workers end with the scope.
+#pragma once
+
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#include <xmmintrin.h>
+#define GESP_HAS_MXCSR 1
+#endif
+
+namespace gesp {
+
+class DenormalFlushGuard {
+ public:
+  /// `active` = false makes the guard a no-op — the double paths keep
+  /// full IEEE subnormal semantics (and their bitwise contracts).
+  explicit DenormalFlushGuard(bool active) noexcept : active_(active) {
+#ifdef GESP_HAS_MXCSR
+    if (active_) {
+      saved_ = _mm_getcsr();
+      _mm_setcsr(saved_ | 0x8040u);  // FTZ (bit 15) | DAZ (bit 6)
+    }
+#endif
+  }
+  ~DenormalFlushGuard() {
+#ifdef GESP_HAS_MXCSR
+    if (active_) _mm_setcsr(saved_);
+#endif
+  }
+
+  DenormalFlushGuard(const DenormalFlushGuard&) = delete;
+  DenormalFlushGuard& operator=(const DenormalFlushGuard&) = delete;
+
+ private:
+  bool active_;
+#ifdef GESP_HAS_MXCSR
+  unsigned saved_ = 0;
+#endif
+};
+
+}  // namespace gesp

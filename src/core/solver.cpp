@@ -39,7 +39,35 @@ RecoveryTrigger trigger_for(Errc c) {
                              : RecoveryTrigger::factor_failure;
 }
 
+/// Downcast the transformed matrix for the single-precision factorization:
+/// same pattern, values rounded to float. Conversion happens here — after
+/// scaling and permutation — so the float kernels see the equilibrated,
+/// diagonally-dominant matrix, not the raw (possibly wildly scaled) input.
+sparse::CscMatrix<float> to_single(const sparse::CscMatrix<double>& A) {
+  sparse::CscMatrix<float> B;
+  B.nrows = A.nrows;
+  B.ncols = A.ncols;
+  B.colptr = A.colptr;
+  B.rowind = A.rowind;
+  B.values.resize(A.values.size());
+  for (std::size_t i = 0; i < A.values.size(); ++i)
+    B.values[i] = static_cast<float>(A.values[i]);
+  return B;
+}
+
 }  // namespace
+
+const char* precision_name(Precision p) noexcept {
+  switch (p) {
+    case Precision::double_:
+      return "double";
+    case Precision::single:
+      return "single";
+    case Precision::mixed:
+      return "mixed";
+  }
+  return "unknown";
+}
 
 void SolveStats::export_metrics(metrics::Registry& reg) const {
   reg.gauge("solver.nnz_l").set(static_cast<double>(nnz_l));
@@ -67,6 +95,10 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
   reg.gauge("solver.solve_wall_seconds").set(solve_wall_seconds);
   reg.gauge("solver.solve_wall_total_seconds").set(solve_wall_total_seconds);
   reg.gauge("solver.solve_calls").set(static_cast<double>(solve_calls));
+  reg.gauge("solver.precision.factor_bits")
+      .set(factor_precision == Precision::single ? 32.0 : 64.0);
+  reg.gauge("solver.precision.promotions")
+      .set(static_cast<double>(promotions));
   for (const auto& [phase, seconds] : times.all())
     reg.gauge("solver.time." + phase).set(seconds);
   for (const auto& [phase, seconds] : times.all_totals())
@@ -89,6 +121,8 @@ const char* recovery_rung_name(RecoveryRung r) noexcept {
   switch (r) {
     case RecoveryRung::gesp:
       return "gesp";
+    case RecoveryRung::precision_promote:
+      return "precision_promote";
     case RecoveryRung::aggressive_smw:
       return "aggressive_smw";
     case RecoveryRung::unscaled:
@@ -128,6 +162,16 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
              "Backend::dist is driven by gesp::dist::solve or "
              "dist::DistSolver, not core::Solver");
   if (opt_.backend == Backend::serial) opt_.num_threads = 1;
+  if (opt_.precision != Precision::double_) {
+    GESP_CHECK((std::is_same_v<T, double>), Errc::invalid_argument,
+               "single/mixed precision requires a real double solver");
+    GESP_CHECK(opt_.tiny_pivot != TinyPivotOption::aggressive_smw,
+               Errc::invalid_argument,
+               "aggressive_smw pivoting is incompatible with single/mixed "
+               "precision (the SMW correction is double-typed)");
+    GESP_CHECK(!opt_.refine.compensated_residual, Errc::invalid_argument,
+               "compensated residuals are pointless below double precision");
+  }
   n_ = A.ncols;
   pattern_ = sparse::pattern_key(A);
   if (opt_.recovery.enabled) A_keep_ = A;
@@ -166,13 +210,23 @@ bool Solver<T>::advance_rung() {
   while (rung_ != RecoveryRung::gepp) {
     rung_ = static_cast<RecoveryRung>(static_cast<int>(rung_) + 1);
     switch (rung_) {
+      case RecoveryRung::precision_promote:
+        // Only meaningful while mixed mode still owes a double
+        // factorization: either the float one is active, or it failed
+        // outright at construction and double is the natural retry.
+        if (p.try_precision_promote && opt_.precision == Precision::mixed &&
+            !promoted_)
+          return true;
+        break;
       case RecoveryRung::aggressive_smw:
         // Pointless if the user already factored with aggressive pivots,
         // and invalid once an in-block strategy persisted from an earlier
-        // escalation (SMW assumes the unpivoted factorization).
+        // escalation (SMW assumes the unpivoted factorization). The SMW
+        // correction is double-typed, so a solver pinned to single skips it.
         if (p.try_aggressive_smw &&
             opt_.tiny_pivot != TinyPivotOption::aggressive_smw &&
-            opt_.panel_pivot == dense::PanelPivot::static_)
+            opt_.panel_pivot == dense::PanelPivot::static_ &&
+            opt_.precision != Precision::single)
           return true;
         break;
       case RecoveryRung::unscaled:
@@ -207,10 +261,19 @@ void Solver<T>::apply_rung() {
   if (rung_ != RecoveryRung::gesp) {
     trace::instant("solver", "recovery_escalate", static_cast<int>(rung_));
     metrics::global().counter("solver.recovery_escalations").inc();
+    // Mixed mode never carries the float factorization past the first rung:
+    // the pivoting rescues assume full-precision kernels, and a rescue that
+    // still refines like float would re-trip the same berr trigger.
+    // (Precision::single keeps its word and stays single on the in-block
+    // rungs; gepp is double regardless.)
+    if (opt_.precision == Precision::mixed) promoted_ = true;
   }
   switch (rung_) {
     case RecoveryRung::gesp:
       factor();
+      break;
+    case RecoveryRung::precision_promote:
+      promote_to_double();
       break;
     case RecoveryRung::aggressive_smw:
       opt_.tiny_pivot = TinyPivotOption::aggressive_smw;
@@ -237,6 +300,8 @@ void Solver<T>::apply_rung() {
     case RecoveryRung::gepp: {
       GESP_TRACE_SPAN("solver", "factor_gepp");
       Timer t;
+      factors_f_.reset();  // GEPP answers are double whatever came before
+      stats_.factor_precision = Precision::double_;
       gepp_ = std::make_unique<numeric::GeppLU<T>>(A_keep_);
       stats_.times.add("factor", t.seconds());
       // The static factors no longer produce the answer: make SolveStats
@@ -255,9 +320,15 @@ void Solver<T>::apply_rung() {
 
 template <class T>
 double Solver<T>::berr_threshold() const {
-  return opt_.recovery.max_berr > 0
-             ? opt_.recovery.max_berr
-             : std::sqrt(std::numeric_limits<double>::epsilon());
+  if (opt_.recovery.max_berr > 0) return opt_.recovery.max_berr;
+  // The acceptable berr follows the *requested* precision: single promises
+  // float-quality answers, so sqrt(eps_f); mixed promises double-quality
+  // answers (that is what promotion enforces), so sqrt(eps_d).
+  const double eps =
+      opt_.precision == Precision::single
+          ? static_cast<double>(std::numeric_limits<float>::epsilon())
+          : std::numeric_limits<double>::epsilon();
+  return std::sqrt(eps);
 }
 
 template <class T>
@@ -403,9 +474,18 @@ void Solver<T>::factor() {
     nopt.growth_abort = opt_.growth_abort;
   else if (opt_.growth_abort == 0.0 && opt_.recovery.enabled)
     nopt.growth_abort = opt_.recovery.max_pivot_growth;
+  const bool use_single = std::is_same_v<T, double> &&
+                          opt_.precision != Precision::double_ && !promoted_;
   if (opt_.tiny_pivot != TinyPivotOption::fail) {
-    nopt.tiny_threshold = std::sqrt(std::numeric_limits<double>::epsilon()) *
-                          sparse::norm_max(At_);
+    // Tiny-pivot threshold at the compute precision's sqrt(eps) scale: a
+    // double-scale threshold would leave pivots the float kernels cannot
+    // distinguish from zero, and refinement cannot undo a division by
+    // float-noise.
+    const double eps =
+        use_single
+            ? static_cast<double>(std::numeric_limits<float>::epsilon())
+            : std::numeric_limits<double>::epsilon();
+    nopt.tiny_threshold = std::sqrt(eps) * sparse::norm_max(At_);
   }
   if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw) {
     nopt.aggressive_replacement = true;
@@ -415,11 +495,23 @@ void Solver<T>::factor() {
   {
     GESP_TRACE_SPAN("solver", "factor");
     smw_.reset();  // holds a reference into factors_: drop it first
-    factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
+    factors_f_.reset();
+    factors_.reset();
+    if constexpr (std::is_same_v<T, double>) {
+      if (use_single)
+        factors_f_ = std::make_unique<numeric::LUFactors<float>>(
+            sym_, to_single(At_), nopt);
+    }
+    if (!factors_f_)
+      factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
   }
   stats_.times.add("factor", t.seconds());
-  stats_.pivots_replaced = factors_->pivots_replaced();
-  stats_.pivot_growth = factors_->pivot_growth();
+  stats_.factor_precision =
+      factors_f_ ? Precision::single : Precision::double_;
+  stats_.pivots_replaced = factors_f_ ? factors_f_->pivots_replaced()
+                                      : factors_->pivots_replaced();
+  stats_.pivot_growth =
+      factors_f_ ? factors_f_->pivot_growth() : factors_->pivot_growth();
   metrics::global().counter("solver.factorizations").inc();
   if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw &&
       !factors_->replacements().empty())
@@ -428,10 +520,100 @@ void Solver<T>::factor() {
 
 template <class T>
 void Solver<T>::apply_solver(std::span<T> x) const {
+  if constexpr (std::is_same_v<T, double>) {
+    if (factors_f_) {
+      // Round-trip through float: the triangular solves run entirely in
+      // single precision; the caller (refinement) carries the residual and
+      // accumulates corrections in double.
+      std::vector<float> xf(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i)
+        xf[i] = static_cast<float>(x[i]);
+      factors_f_->solve(xf);
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<double>(xf[i]);
+      return;
+    }
+  }
   if (smw_)
     smw_->solve(x);
   else
     factors_->solve(x);
+}
+
+template <class T>
+void Solver<T>::apply_solver_multi(std::span<T> X, index_t nrhs) const {
+  if constexpr (std::is_same_v<T, double>) {
+    if (factors_f_) {
+      std::vector<float> Xf(X.size());
+      for (std::size_t i = 0; i < X.size(); ++i)
+        Xf[i] = static_cast<float>(X[i]);
+      factors_f_->solve_multi(Xf, nrhs);
+      for (std::size_t i = 0; i < X.size(); ++i)
+        X[i] = static_cast<double>(Xf[i]);
+      return;
+    }
+  }
+  factors_->solve_multi(X, nrhs);
+}
+
+template <class T>
+void Solver<T>::apply_solver_transposed(std::span<T> x) const {
+  if constexpr (std::is_same_v<T, double>) {
+    if (factors_f_) {
+      std::vector<float> xf(x.size());
+      for (std::size_t i = 0; i < x.size(); ++i)
+        xf[i] = static_cast<float>(x[i]);
+      factors_f_->solve_transposed(xf);
+      for (std::size_t i = 0; i < x.size(); ++i)
+        x[i] = static_cast<double>(xf[i]);
+      return;
+    }
+  }
+  factors_->solve_transposed(x);
+}
+
+template <class T>
+refine::RefineOptions Solver<T>::effective_refine(
+    const refine::RefineOptions* ov) const {
+  refine::RefineOptions r = ov ? *ov : opt_.refine;
+  // Precision::single only promises float-quality answers: lift a
+  // still-default double target up to float epsilon. mixed keeps the double
+  // target — reaching it (or promoting) is the whole contract.
+  if (opt_.precision == Precision::single && factors_f_ &&
+      r.target_berr <= std::numeric_limits<double>::epsilon())
+    r.target_berr =
+        static_cast<double>(std::numeric_limits<float>::epsilon());
+  return r;
+}
+
+template <class T>
+bool Solver<T>::needs_promotion() const {
+  return opt_.precision == Precision::mixed && factors_f_ != nullptr &&
+         stats_.berr > promotion_target();
+}
+
+// The mixed contract is double-target accuracy: double-precision
+// refinement over float factors normally converges to O(eps_d), so a berr
+// stalled two orders of magnitude above the refinement target means the
+// float factorization itself is the bottleneck — refactorize in double.
+// Deliberately much tighter than berr_threshold() (the sqrt(eps)
+// acceptability gate of the recovery ladder): a solve can be "acceptable"
+// there yet still miss the accuracy mixed mode promises.
+template <class T>
+double Solver<T>::promotion_target() const {
+  return 100.0 * std::max(opt_.refine.target_berr,
+                          std::numeric_limits<double>::epsilon());
+}
+
+template <class T>
+void Solver<T>::promote_to_double() {
+  trace::instant("solver", "precision_promote");
+  // Counter, distinct from the solver.precision.promotions gauge (that one
+  // snapshots this solver's stats; this one counts events process-wide).
+  metrics::global().counter("solver.precision.promote_events").inc();
+  promoted_ = true;
+  ++stats_.promotions;
+  factor();
 }
 
 template <class T>
@@ -455,6 +637,15 @@ void Solver<T>::solve(std::span<const T> b, std::span<T> x,
   Timer wall;
   if (!opt_.recovery.enabled) {
     solve_once(b, x, refine_override);
+    // Mixed mode without the ladder still keeps its promise: a berr the
+    // double-accumulating refinement could not push to the double-path
+    // target means the float factors are the bottleneck — refactor in
+    // double and resolve. A per-call override (serve's shed mode) skips
+    // refinement, so a berr judged under it would mislead the trigger.
+    if (!refine_override && needs_promotion()) {
+      promote_to_double();
+      solve_once(b, x, nullptr);
+    }
     finish_solve(wall);
     return;
   }
@@ -591,7 +782,7 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x,
   trace::Span refine_span("solver", "refine");
   const auto rres = refine::iterative_refinement<T>(
       At_, bhat, xhat, [this](std::span<T> v) { apply_solver(v); },
-      ov ? *ov : opt_.refine);
+      effective_refine(ov));
   refine_span.end();
   stats_.times.add("refine", t.seconds());
   stats_.refine_iterations = rres.iterations;
@@ -605,7 +796,7 @@ void Solver<T>::solve_once(std::span<const T> b, std::span<T> x,
     refine::SolveOps<T> ops;
     ops.solve = [this](std::span<T> v) { apply_solver(v); };
     ops.solve_transposed = [this](std::span<T> v) {
-      factors_->solve_transposed(v);
+      apply_solver_transposed(v);
     };
     if (opt_.estimate_ferr) {
       std::vector<T> r(static_cast<std::size_t>(n_));
@@ -668,25 +859,39 @@ void Solver<T>::solve_multi(std::span<const T> B, std::span<T> X,
     for (index_t i = 0; i < n_; ++i)
       bh[row_perm_[i]] = bc[i] * T{row_scale_[i]};
   }
-  std::vector<T> Xhat = Bhat;
-  Timer t;
-  factors_->solve_multi(Xhat, nrhs);
-  stats_.times.add("solve", t.seconds());
-  // Per-column refinement (and the SMW correction path when active).
-  t.reset();
-  for (index_t c = 0; c < nrhs; ++c) {
-    std::span<T> xc(Xhat.data() + c * static_cast<std::size_t>(n_),
-                    static_cast<std::size_t>(n_));
-    std::span<const T> bc(Bhat.data() + c * static_cast<std::size_t>(n_),
-                          static_cast<std::size_t>(n_));
-    const auto rres = refine::iterative_refinement<T>(
-        At_, bc, xc, [this](std::span<T> v) { apply_solver(v); },
-        refine_override ? *refine_override : opt_.refine);
-    stats_.refine_iterations = rres.iterations;
-    stats_.berr = rres.final_berr;
-    stats_.berr_history = rres.berr_history;
+  std::vector<T> Xhat;
+  double worst_berr = 0.0;
+  const auto run_block = [&]() {
+    Xhat = Bhat;
+    Timer t;
+    apply_solver_multi(std::span<T>(Xhat), nrhs);
+    stats_.times.add("solve", t.seconds());
+    // Per-column refinement (and the SMW correction path when active).
+    t.reset();
+    worst_berr = 0.0;
+    const refine::RefineOptions ropt = effective_refine(refine_override);
+    for (index_t c = 0; c < nrhs; ++c) {
+      std::span<T> xc(Xhat.data() + c * static_cast<std::size_t>(n_),
+                      static_cast<std::size_t>(n_));
+      std::span<const T> bc(Bhat.data() + c * static_cast<std::size_t>(n_),
+                            static_cast<std::size_t>(n_));
+      const auto rres = refine::iterative_refinement<T>(
+          At_, bc, xc, [this](std::span<T> v) { apply_solver(v); }, ropt);
+      stats_.refine_iterations = rres.iterations;
+      stats_.berr = rres.final_berr;
+      stats_.berr_history = rres.berr_history;
+      worst_berr = std::max(worst_berr, rres.final_berr);
+    }
+    stats_.times.add("refine", t.seconds());
+  };
+  run_block();
+  // Mixed-mode promotion judged against the worst column, so one hard
+  // right-hand side is enough to buy every column the double factors.
+  if (!refine_override && opt_.precision == Precision::mixed && factors_f_ &&
+      worst_berr > promotion_target()) {
+    promote_to_double();
+    run_block();
   }
-  stats_.times.add("refine", t.seconds());
   for (index_t c = 0; c < nrhs; ++c) {
     const T* xh = Xhat.data() + c * static_cast<std::size_t>(n_);
     T* xc = X.data() + c * static_cast<std::size_t>(n_);

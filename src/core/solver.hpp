@@ -57,11 +57,30 @@ enum class TinyPivotOption {
   aggressive_smw,  ///< promote to the column max and recover via SMW (§4)
 };
 
+/// Compute precision of the numeric factorization and triangular solves.
+/// The analysis pipeline (equilibration, MC64, ordering, symbolic) always
+/// runs in double; values convert to float only after scaling and
+/// permutation, so the single-precision factorization sees the same
+/// well-conditioned diagonal the double one does. Non-double precisions are
+/// only meaningful for Solver<double> (Solver<Complex> rejects them).
+enum class Precision {
+  double_,  ///< factor and solve in double (the default)
+  single,   ///< factor and solve in float; refinement targets float eps
+  mixed,    ///< factor/solve in float, refine with double residual and
+            ///< correction accumulation toward the double target; a berr
+            ///< stalled above it promotes to a double refactorization
+};
+
+const char* precision_name(Precision p) noexcept;
+
 /// One rung of the graceful-degradation ladder, cheapest first. The middle
 /// rungs stay inside the static symbolic structure (only the numeric phase
 /// is redone); gepp abandons it entirely.
 enum class RecoveryRung {
   gesp,            ///< the configured GESP pipeline as-is
+  precision_promote,  ///< re-factor in double after a defeated float
+                      ///< factorization (Precision::mixed only) — the
+                      ///< cheapest rung: same pivoting, full precision
   aggressive_smw,  ///< re-factor with SMW-corrected aggressive pivots
   unscaled,        ///< re-transform + re-factor without the mc64 scalings
                    ///< (the paper's FIDAPM11 / JPWH_991 observation)
@@ -97,6 +116,9 @@ struct RecoveryPolicy {
   /// Doubles as the default in-flight growth-abort threshold (see
   /// SolverOptions::growth_abort).
   double max_pivot_growth = 1e10;
+  /// Float→double promotion rung; only offered under Precision::mixed
+  /// while the single-precision factorization is (or would be) active.
+  bool try_precision_promote = true;
   bool try_aggressive_smw = true;   ///< rung (a)
   bool try_unscaled_refactor = true;  ///< rung (b)
   bool try_threshold = true;   ///< in-block threshold-pivot refactor rung
@@ -176,6 +198,12 @@ struct SolverOptions {
   /// finishing a garbage factorization); < 0 disables the abort even with
   /// recovery on.
   double growth_abort = 0.0;
+  /// Compute precision of the numeric phase (factorization + triangular
+  /// solves). single/mixed require Solver<double>; mixed promotes to a
+  /// double refactorization when double-target refinement stalls. Exclusive
+  /// with TinyPivotOption::aggressive_smw (the SMW correction is
+  /// double-typed) and compensated residuals (already double-double).
+  Precision precision = Precision::double_;
   symbolic::SymbolicOptions symbolic;
   refine::RefineOptions refine;
   bool estimate_ferr = false;   ///< forward error bound (expensive)
@@ -220,6 +248,11 @@ struct SolveStats {
   double solve_wall_seconds = 0.0;
   double solve_wall_total_seconds = 0.0;  ///< summed over all solve calls
   count_t solve_calls = 0;                ///< solve()/solve_multi() calls
+  /// Precision of the factors behind the current answer (single until a
+  /// promotion or an escalation past the float path).
+  Precision factor_precision = Precision::double_;
+  /// Float→double promotion refactorizations performed (mixed mode).
+  count_t promotions = 0;
   /// How the answer was obtained: every ladder rung attempted, in order.
   /// Empty attempts == recovery disabled or never triggered.
   RecoveryTrail recovery;
@@ -300,10 +333,35 @@ class Solver {
   const sparse::CscMatrix<T>& transformed_matrix() const { return At_; }
   const numeric::LUFactors<T>& factors() const { return *factors_; }
 
+  /// Precision of the factors currently producing answers. single while the
+  /// float factorization is active (Precision::single, or mixed before any
+  /// promotion); double_ otherwise — including after a promotion or a GEPP
+  /// fallback. The serve layer uses this for cache byte accounting.
+  Precision active_precision() const {
+    return factors_f_ ? Precision::single : Precision::double_;
+  }
+  /// The single-precision factors when the float path is active, else null.
+  const numeric::LUFactors<float>* factors_single() const {
+    return factors_f_.get();
+  }
+
  private:
   void transform(const sparse::CscMatrix<T>& A);
   void factor();
   void apply_solver(std::span<T> x) const;  ///< LU or SMW-corrected solve
+  void apply_solver_multi(std::span<T> X, index_t nrhs) const;
+  void apply_solver_transposed(std::span<T> x) const;
+  /// Refinement options for this solve: per-precision default target_berr
+  /// unless the caller pinned one explicitly.
+  refine::RefineOptions effective_refine(
+      const refine::RefineOptions* ov) const;
+  /// Mixed mode, float factors active, berr still above the double-path
+  /// target after refinement — time for the double refactorization.
+  bool needs_promotion() const;
+  /// Accuracy the mixed path must deliver to keep its float factors —
+  /// ~100x the double refinement target (tighter than berr_threshold()).
+  double promotion_target() const;
+  void promote_to_double();  ///< precision_promote rung body
   // Recovery ladder plumbing.
   void factor_ladder();  ///< factor via apply_rung, escalating on throw
   bool advance_rung();   ///< move to the next policy-enabled rung
@@ -326,6 +384,10 @@ class Solver {
   sparse::CscMatrix<T> At_;                   ///< transformed matrix
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
   std::unique_ptr<numeric::LUFactors<T>> factors_;
+  /// Single-precision factors (Precision::single/mixed); exactly one of
+  /// factors_ / factors_f_ is live outside the gepp rung.
+  std::unique_ptr<numeric::LUFactors<float>> factors_f_;
+  bool promoted_ = false;  ///< mixed mode fell back to double for good
   std::unique_ptr<refine::SmwSolver<T>> smw_;
   // Recovery state (inert unless opt_.recovery.enabled).
   sparse::CscMatrix<T> A_keep_;  ///< original A for re-transform / GEPP

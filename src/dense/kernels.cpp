@@ -11,12 +11,14 @@ namespace {
 
 /// Replace a tiny or zero pivot by the threshold, preserving its phase
 /// (sign for real, direction for complex); a zero pivot becomes +tau.
+/// static_cast, not braced init: the threshold is carried in double and
+/// narrows when the compute precision is float.
 template <class T>
 T replaced_pivot(T pivot, double tau) {
   using std::abs;
   const double mag = abs(pivot);
-  if (mag == 0.0) return T{tau};
-  return pivot * T{tau / mag};
+  if (mag == 0.0) return static_cast<T>(tau);
+  return pivot * static_cast<T>(tau / mag);
 }
 
 // ---------------------------------------------------------------------------
@@ -314,7 +316,8 @@ void getrf_panel_rrp(T* a, index_t b, index_t lda, const PivotPolicy& policy,
         T* qv = cand.data() + pick * static_cast<std::size_t>(nb);
         const double qn = std::sqrt(pickn);
         q.assign(qv, qv + nb);
-        for (index_t c = 0; c < nb; ++c) q[c] = q[c] * T{1.0 / qn};
+        for (index_t c = 0; c < nb; ++c)
+          q[c] = q[c] * static_cast<T>(1.0 / qn);
         for (index_t r = 0; r < m; ++r) {
           if (used[r]) continue;
           T* v = cand.data() + r * static_cast<std::size_t>(nb);
@@ -386,9 +389,11 @@ void getrf_panel_rrp(T* a, index_t b, index_t lda, const PivotPolicy& policy,
 // Classic three-level blocking: B is packed once per k-panel into NR-column
 // strips and reused across the whole block row of A; A is packed into
 // MR-row strips. The microkernel keeps an MR×NR accumulator in vector
-// registers across the whole k-loop. Complex panels are packed as split
-// real/imag planes of doubles, so the complex microkernel runs four real
-// FMA streams and never calls the __muldc3 inf/nan fixup. Fringe tiles are
+// registers across the whole k-loop. Panels pack in the compute precision
+// (floats stay floats: half the traffic, twice the lanes per register, the
+// single-precision speedup). Complex panels are packed as split real/imag
+// planes of doubles, so the complex microkernel runs four real FMA streams
+// and never calls the __muldc3 inf/nan fixup. Fringe tiles are
 // zero-padded during packing (padding contributes exact zeros) and the
 // writeback only touches the valid part of C.
 //
@@ -398,16 +403,23 @@ void getrf_panel_rrp(T* a, index_t b, index_t lda, const PivotPolicy& policy,
 // order, so results agree up to FP contraction within one build.
 // ---------------------------------------------------------------------------
 
-constexpr index_t kMrD = 8, kNrD = 6;  // double microtile
-constexpr index_t kMrZ = 8, kNrZ = 4;  // complex microtile (split planes)
+constexpr index_t kMrD = 8, kNrD = 6;   // double microtile
+constexpr index_t kMrZ = 8, kNrZ = 4;   // complex microtile (split planes)
+constexpr index_t kMrF = 16, kNrF = 6;  // float microtile (twice the lanes)
 constexpr index_t kKc = 256;  // k-panel depth (packed B strip height)
-constexpr index_t kMc = 120;  // A panel rows per pass (multiple of both MR)
+// A panel rows per pass (multiple of MR); per type so each precision packs
+// the same ~245 KiB strip (see MicroTile<T>::mc).
+constexpr index_t kMcD = 120, kMcZ = 120, kMcF = 240;
 
 #if defined(__GNUC__) || defined(__clang__)
 #define GESP_KERNEL_VECEXT 1
 // One 8-wide double vector; on narrower ISAs the compiler splits the ops.
 using vd8 = double __attribute__((vector_size(64)));
 using vd8_unal = double __attribute__((vector_size(64), aligned(8)));
+// One 16-wide float vector: the same 64 bytes hold twice the lanes, which
+// is where the single-precision GEMM speedup comes from.
+using vf16 = float __attribute__((vector_size(64)));
+using vf16_unal = float __attribute__((vector_size(64), aligned(4)));
 #endif
 
 // Microkernel, double: out (MR*NR, column-major MR) = sum_p ap(:,p)·bp(p,:).
@@ -430,6 +442,34 @@ inline void micro_tile(index_t kc, const double* __restrict__ ap,
   for (index_t p = 0; p < kc; ++p) {
     const double* a = ap + p * MR;
     const double* b = bp + p * NR;
+    for (index_t j = 0; j < NR; ++j)
+      for (index_t i = 0; i < MR; ++i) acc[i + j * MR] += a[i] * b[j];
+  }
+  for (index_t x = 0; x < MR * NR; ++x) out[x] = acc[x];
+#endif
+}
+
+// Microkernel, float: same shape as the double kernel with twice the lanes
+// per vector. Selected by overload resolution on the packed-scalar type.
+template <index_t MR, index_t NR>
+inline void micro_tile(index_t kc, const float* __restrict__ ap,
+                       const float* __restrict__ bp,
+                       float* __restrict__ out) {
+#ifdef GESP_KERNEL_VECEXT
+  static_assert(MR == 16);
+  vf16 acc[NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const vf16 a = *reinterpret_cast<const vf16_unal*>(ap + p * MR);
+    const float* b = bp + p * NR;
+    for (index_t j = 0; j < NR; ++j) acc[j] += a * b[j];
+  }
+  for (index_t j = 0; j < NR; ++j)
+    for (index_t i = 0; i < MR; ++i) out[i + j * MR] = acc[j][i];
+#else
+  float acc[MR * NR] = {};
+  for (index_t p = 0; p < kc; ++p) {
+    const float* a = ap + p * MR;
+    const float* b = bp + p * NR;
     for (index_t j = 0; j < NR; ++j)
       for (index_t i = 0; i < MR; ++i) acc[i + j * MR] += a[i] * b[j];
   }
@@ -500,6 +540,21 @@ void pack_a(const double* a, index_t lda, index_t mc, index_t kc,
 }
 
 template <index_t MR>
+void pack_a(const float* a, index_t lda, index_t mc, index_t kc,
+            float* dst) {
+  for (index_t ir = 0; ir < mc; ir += MR) {
+    const index_t mr = std::min(MR, mc - ir);
+    for (index_t p = 0; p < kc; ++p) {
+      const float* col = a + ir + p * static_cast<std::size_t>(lda);
+      index_t i = 0;
+      for (; i < mr; ++i) dst[i] = col[i];
+      for (; i < MR; ++i) dst[i] = 0.0f;
+      dst += MR;
+    }
+  }
+}
+
+template <index_t MR>
 void pack_a(const Complex* a, index_t lda, index_t mc, index_t kc,
             double* dst) {
   for (index_t ir = 0; ir < mc; ir += MR) {
@@ -535,6 +590,21 @@ void pack_b(const double* b, index_t ldb, index_t kc, index_t n,
 }
 
 template <index_t NR>
+void pack_b(const float* b, index_t ldb, index_t kc, index_t n,
+            float* dst) {
+  for (index_t jr = 0; jr < n; jr += NR) {
+    const index_t nr = std::min(NR, n - jr);
+    for (index_t p = 0; p < kc; ++p) {
+      const float* row = b + p + jr * static_cast<std::size_t>(ldb);
+      index_t j = 0;
+      for (; j < nr; ++j) dst[j] = row[j * static_cast<std::size_t>(ldb)];
+      for (; j < NR; ++j) dst[j] = 0.0f;
+      dst += NR;
+    }
+  }
+}
+
+template <index_t NR>
 void pack_b(const Complex* b, index_t ldb, index_t kc, index_t n,
             double* dst) {
   for (index_t jr = 0; jr < n; jr += NR) {
@@ -557,12 +627,20 @@ template <class T>
 struct MicroTile;
 template <>
 struct MicroTile<double> {
-  static constexpr index_t mr = kMrD, nr = kNrD;
-  static constexpr index_t pack_stride = 1;  // doubles per element packed
+  using pack_type = double;  ///< scalar type of the packed panels
+  static constexpr index_t mr = kMrD, nr = kNrD, mc = kMcD;
+  static constexpr index_t pack_stride = 1;  // pack scalars per element
+};
+template <>
+struct MicroTile<float> {
+  using pack_type = float;
+  static constexpr index_t mr = kMrF, nr = kNrF, mc = kMcF;
+  static constexpr index_t pack_stride = 1;
 };
 template <>
 struct MicroTile<Complex> {
-  static constexpr index_t mr = kMrZ, nr = kNrZ;
+  using pack_type = double;  ///< split re/im planes of doubles
+  static constexpr index_t mr = kMrZ, nr = kNrZ, mc = kMcZ;
   static constexpr index_t pack_stride = 2;
 };
 
@@ -572,29 +650,31 @@ struct MicroTile<Complex> {
 template <class T>
 void gemm_tiled(index_t m, index_t n, index_t k, const T* a, index_t lda,
                 const T* b, index_t ldb, T* c, index_t ldc, bool overwrite) {
+  using P = typename MicroTile<T>::pack_type;
   constexpr index_t MR = MicroTile<T>::mr;
   constexpr index_t NR = MicroTile<T>::nr;
   constexpr index_t PS = MicroTile<T>::pack_stride;
-  thread_local std::vector<double> apack, bpack;
-  double out_re[MR * NR], out_im[MR * NR];
+  constexpr index_t MC = MicroTile<T>::mc;
+  thread_local std::vector<P> apack, bpack;
+  P out_re[MR * NR], out_im[MR * NR];
   for (index_t pc = 0; pc < k; pc += kKc) {
     const index_t kc = std::min(kKc, k - pc);
     const bool store = overwrite && pc == 0;
     bpack.resize(static_cast<std::size_t>((n + NR - 1) / NR) * NR * PS * kc);
     pack_b<NR>(b + pc, ldb, kc, n, bpack.data());
-    for (index_t ic = 0; ic < m; ic += kMc) {
-      const index_t mc = std::min(kMc, m - ic);
+    for (index_t ic = 0; ic < m; ic += MC) {
+      const index_t mc = std::min(MC, m - ic);
       apack.resize(static_cast<std::size_t>((mc + MR - 1) / MR) * MR * PS *
                    kc);
       pack_a<MR>(a + ic + pc * static_cast<std::size_t>(lda), lda, mc, kc,
                  apack.data());
       for (index_t jr = 0; jr < n; jr += NR) {
         const index_t nr = std::min(NR, n - jr);
-        const double* bp =
+        const P* bp =
             bpack.data() + static_cast<std::size_t>(jr / NR) * NR * PS * kc;
         for (index_t ir = 0; ir < mc; ir += MR) {
           const index_t mr = std::min(MR, mc - ir);
-          const double* ap =
+          const P* ap =
               apack.data() + static_cast<std::size_t>(ir / MR) * MR * PS * kc;
           T* ct = c + (ic + ir) + jr * static_cast<std::size_t>(ldc);
           if constexpr (is_complex_v<T>) {
@@ -629,7 +709,12 @@ void gemm_tiled(index_t m, index_t n, index_t k, const T* a, index_t lda,
 // choice depends only on (m, n, k) so it is deterministic per shape.
 template <class T>
 bool gemm_is_small(index_t m, index_t n, index_t k) {
-  return k < 4 || m < MicroTile<T>::mr || n < 3;
+  // The m cutoff is kMrD for every precision, not MicroTile<T>::mr: the
+  // float microtile is 16 rows, but packing zero-pads partial tiles, so an
+  // 8..15-row float update still runs 8 useful lanes through the tiled
+  // path — matching the double kernel it competes with, and well ahead of
+  // the naive loop the higher cutoff used to send it to.
+  return k < 4 || m < kMrD || n < 3;
 }
 
 constexpr index_t kTrsmBlock = 16;   // trsm panel width feeding the gemm
@@ -852,18 +937,26 @@ void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
 
 template void gemm_minus(index_t, index_t, index_t, const double*, index_t,
                          const double*, index_t, double*, index_t);
+template void gemm_minus(index_t, index_t, index_t, const float*, index_t,
+                         const float*, index_t, float*, index_t);
 template void gemm_minus(index_t, index_t, index_t, const Complex*, index_t,
                          const Complex*, index_t, Complex*, index_t);
 template void trsm_left_lower_unit(const double*, index_t, index_t, double*,
+                                   index_t, index_t);
+template void trsm_left_lower_unit(const float*, index_t, index_t, float*,
                                    index_t, index_t);
 template void trsm_left_lower_unit(const Complex*, index_t, index_t, Complex*,
                                    index_t, index_t);
 template void trsm_right_upper(const double*, index_t, index_t, double*,
                                index_t, index_t);
+template void trsm_right_upper(const float*, index_t, index_t, float*,
+                               index_t, index_t);
 template void trsm_right_upper(const Complex*, index_t, index_t, Complex*,
                                index_t, index_t);
 template void getrf(double*, index_t, index_t, const PivotPolicy&,
                     PivotStats&, std::vector<PivotReplacement<double>>*);
+template void getrf(float*, index_t, index_t, const PivotPolicy&,
+                    PivotStats&, std::vector<PivotReplacement<float>>*);
 template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
                     PivotStats&, std::vector<PivotReplacement<Complex>>*);
 
@@ -872,40 +965,59 @@ template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
 template void getrf(double*, index_t, index_t, const PivotPolicy&,
                     PivotStats&, std::span<index_t>,
                     std::vector<PivotReplacement<double>>*);
+template void getrf(float*, index_t, index_t, const PivotPolicy&,
+                    PivotStats&, std::span<index_t>,
+                    std::vector<PivotReplacement<float>>*);
 template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
                     PivotStats&, std::span<index_t>,
                     std::vector<PivotReplacement<Complex>>*);
 template void trsm_left_lower_unit(const double*, index_t, index_t, double*,
                                    index_t, index_t);
+template void trsm_left_lower_unit(const float*, index_t, index_t, float*,
+                                   index_t, index_t);
 template void trsm_left_lower_unit(const Complex*, index_t, index_t, Complex*,
                                    index_t, index_t);
 template void trsm_right_upper(const double*, index_t, index_t, double*,
+                               index_t, index_t);
+template void trsm_right_upper(const float*, index_t, index_t, float*,
                                index_t, index_t);
 template void trsm_right_upper(const Complex*, index_t, index_t, Complex*,
                                index_t, index_t);
 template void gemm_minus(index_t, index_t, index_t, const double*, index_t,
                          const double*, index_t, double*, index_t);
+template void gemm_minus(index_t, index_t, index_t, const float*, index_t,
+                         const float*, index_t, float*, index_t);
 template void gemm_minus(index_t, index_t, index_t, const Complex*, index_t,
                          const Complex*, index_t, Complex*, index_t);
 template void gemm_minus_overwrite(index_t, index_t, index_t, const double*,
                                    index_t, const double*, index_t, double*,
                                    index_t);
+template void gemm_minus_overwrite(index_t, index_t, index_t, const float*,
+                                   index_t, const float*, index_t, float*,
+                                   index_t);
 template void gemm_minus_overwrite(index_t, index_t, index_t, const Complex*,
                                    index_t, const Complex*, index_t, Complex*,
                                    index_t);
 template double dot_minus(index_t, const double*, const double*);
+template float dot_minus(index_t, const float*, const float*);
 template Complex dot_minus(index_t, const Complex*, const Complex*);
 template void gemv_minus(index_t, index_t, const double*, index_t,
                          const double*, double*);
+template void gemv_minus(index_t, index_t, const float*, index_t,
+                         const float*, float*);
 template void gemv_minus(index_t, index_t, const Complex*, index_t,
                          const Complex*, Complex*);
 template void trsv_lower_unit(const double*, index_t, index_t, double*);
+template void trsv_lower_unit(const float*, index_t, index_t, float*);
 template void trsv_lower_unit(const Complex*, index_t, index_t, Complex*);
 template void trsv_upper(const double*, index_t, index_t, double*);
+template void trsv_upper(const float*, index_t, index_t, float*);
 template void trsv_upper(const Complex*, index_t, index_t, Complex*);
 template void trsv_upper_trans(const double*, index_t, index_t, double*);
+template void trsv_upper_trans(const float*, index_t, index_t, float*);
 template void trsv_upper_trans(const Complex*, index_t, index_t, Complex*);
 template void trsv_lower_unit_trans(const double*, index_t, index_t, double*);
+template void trsv_lower_unit_trans(const float*, index_t, index_t, float*);
 template void trsv_lower_unit_trans(const Complex*, index_t, index_t,
                                     Complex*);
 

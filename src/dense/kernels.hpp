@@ -177,20 +177,30 @@ void getrf(T* a, index_t b, index_t lda, const PivotPolicy& policy,
 extern template void gemm_minus(index_t, index_t, index_t, const double*,
                                 index_t, const double*, index_t, double*,
                                 index_t);
+extern template void gemm_minus(index_t, index_t, index_t, const float*,
+                                index_t, const float*, index_t, float*,
+                                index_t);
 extern template void gemm_minus(index_t, index_t, index_t, const Complex*,
                                 index_t, const Complex*, index_t, Complex*,
                                 index_t);
 extern template void trsm_left_lower_unit(const double*, index_t, index_t,
                                           double*, index_t, index_t);
+extern template void trsm_left_lower_unit(const float*, index_t, index_t,
+                                          float*, index_t, index_t);
 extern template void trsm_left_lower_unit(const Complex*, index_t, index_t,
                                           Complex*, index_t, index_t);
 extern template void trsm_right_upper(const double*, index_t, index_t,
                                       double*, index_t, index_t);
+extern template void trsm_right_upper(const float*, index_t, index_t,
+                                      float*, index_t, index_t);
 extern template void trsm_right_upper(const Complex*, index_t, index_t,
                                       Complex*, index_t, index_t);
 extern template void getrf(double*, index_t, index_t, const PivotPolicy&,
                            PivotStats&,
                            std::vector<PivotReplacement<double>>*);
+extern template void getrf(float*, index_t, index_t, const PivotPolicy&,
+                           PivotStats&,
+                           std::vector<PivotReplacement<float>>*);
 extern template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
                            PivotStats&,
                            std::vector<PivotReplacement<Complex>>*);
@@ -200,19 +210,29 @@ extern template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
 extern template void getrf(double*, index_t, index_t, const PivotPolicy&,
                            PivotStats&, std::span<index_t>,
                            std::vector<PivotReplacement<double>>*);
+extern template void getrf(float*, index_t, index_t, const PivotPolicy&,
+                           PivotStats&, std::span<index_t>,
+                           std::vector<PivotReplacement<float>>*);
 extern template void getrf(Complex*, index_t, index_t, const PivotPolicy&,
                            PivotStats&, std::span<index_t>,
                            std::vector<PivotReplacement<Complex>>*);
 extern template void trsm_left_lower_unit(const double*, index_t, index_t,
                                           double*, index_t, index_t);
+extern template void trsm_left_lower_unit(const float*, index_t, index_t,
+                                          float*, index_t, index_t);
 extern template void trsm_left_lower_unit(const Complex*, index_t, index_t,
                                           Complex*, index_t, index_t);
 extern template void trsm_right_upper(const double*, index_t, index_t,
                                       double*, index_t, index_t);
+extern template void trsm_right_upper(const float*, index_t, index_t,
+                                      float*, index_t, index_t);
 extern template void trsm_right_upper(const Complex*, index_t, index_t,
                                       Complex*, index_t, index_t);
 extern template void gemm_minus(index_t, index_t, index_t, const double*,
                                 index_t, const double*, index_t, double*,
+                                index_t);
+extern template void gemm_minus(index_t, index_t, index_t, const float*,
+                                index_t, const float*, index_t, float*,
                                 index_t);
 extern template void gemm_minus(index_t, index_t, index_t, const Complex*,
                                 index_t, const Complex*, index_t, Complex*,
@@ -222,27 +242,40 @@ extern template void gemm_minus_overwrite(index_t, index_t, index_t,
                                           const double*, index_t, double*,
                                           index_t);
 extern template void gemm_minus_overwrite(index_t, index_t, index_t,
+                                          const float*, index_t,
+                                          const float*, index_t, float*,
+                                          index_t);
+extern template void gemm_minus_overwrite(index_t, index_t, index_t,
                                           const Complex*, index_t,
                                           const Complex*, index_t, Complex*,
                                           index_t);
 extern template double dot_minus(index_t, const double*, const double*);
+extern template float dot_minus(index_t, const float*, const float*);
 extern template Complex dot_minus(index_t, const Complex*, const Complex*);
 extern template void gemv_minus(index_t, index_t, const double*, index_t,
                                 const double*, double*);
+extern template void gemv_minus(index_t, index_t, const float*, index_t,
+                                const float*, float*);
 extern template void gemv_minus(index_t, index_t, const Complex*, index_t,
                                 const Complex*, Complex*);
 extern template void trsv_lower_unit(const double*, index_t, index_t,
                                      double*);
+extern template void trsv_lower_unit(const float*, index_t, index_t, float*);
 extern template void trsv_lower_unit(const Complex*, index_t, index_t,
                                      Complex*);
 extern template void trsv_upper(const double*, index_t, index_t, double*);
+extern template void trsv_upper(const float*, index_t, index_t, float*);
 extern template void trsv_upper(const Complex*, index_t, index_t, Complex*);
 extern template void trsv_upper_trans(const double*, index_t, index_t,
                                       double*);
+extern template void trsv_upper_trans(const float*, index_t, index_t,
+                                      float*);
 extern template void trsv_upper_trans(const Complex*, index_t, index_t,
                                       Complex*);
 extern template void trsv_lower_unit_trans(const double*, index_t, index_t,
                                            double*);
+extern template void trsv_lower_unit_trans(const float*, index_t, index_t,
+                                           float*);
 extern template void trsv_lower_unit_trans(const Complex*, index_t, index_t,
                                            Complex*);
 

@@ -73,6 +73,8 @@ DistSolver<T>::DistSolver(minimpi::Comm& comm, const sparse::CscMatrix<T>& A,
              "error estimates are not available on the dist backend");
   GESP_CHECK(!opt_.refine.compensated_residual, Errc::invalid_argument,
              "compensated residuals are not available on the dist backend");
+  GESP_CHECK(opt_.precision == Precision::double_, Errc::invalid_argument,
+             "single/mixed precision is not available on the dist backend");
   n_ = A.ncols;
   grid_ = grid_from(opt_.dist);
   GESP_CHECK(grid_.nprocs() == comm.size(), Errc::invalid_argument,
@@ -289,7 +291,8 @@ void DistSolver<T>::solve(minimpi::Comm& comm, std::span<const T> b,
   if (comm.rank() == 0) trace::instant_value("refine", "berr", berr, 0);
   double prev = std::numeric_limits<double>::infinity();
   while (iterations < opt_.refine.max_iters &&
-         berr > opt_.refine.target_berr && berr <= prev / 2.0) {
+         berr > opt_.refine.target_berr &&
+         berr <= prev * opt_.refine.stall_ratio) {
     prev = berr;
     BlockVector dxb = rb;
     lu_->solve_lower_dist(comm, dxb);

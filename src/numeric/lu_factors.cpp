@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/denormal.hpp"
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
@@ -42,13 +43,23 @@ index_t find_block(const std::vector<Block>& blocks, index_t I) {
 }
 
 /// Position of each element of `sub` inside the sorted superset `full`.
+/// A sparse sub in a long full list searches instead of scanning: the
+/// linear merge touches every full[] entry up to the last match, which for
+/// the typical 2-3-row update into a several-hundred-row destination block
+/// is the single most expensive loop of the whole update phase.
 void subset_positions(std::span<const index_t> sub,
                       std::span<const index_t> full,
                       std::vector<index_t>& pos) {
   pos.resize(sub.size());
   std::size_t q = 0;
+  const bool search = sub.size() * 8 < full.size();
   for (std::size_t p = 0; p < sub.size(); ++p) {
-    while (q < full.size() && full[q] < sub[p]) ++q;
+    if (search)
+      q = static_cast<std::size_t>(
+          std::lower_bound(full.begin() + q, full.end(), sub[p]) -
+          full.begin());
+    else
+      while (q < full.size() && full[q] < sub[p]) ++q;
     GESP_ASSERT(q < full.size() && full[q] == sub[p],
                 "symbolic structure is not closed under updates");
     pos[p] = static_cast<index_t>(q);
@@ -192,6 +203,16 @@ void LUFactors<T>::update_pair(index_t K, std::size_t bi, std::size_t uj,
     T* dst = lnz_[I].data();
     const index_t bI = S.block_cols(I);
     const index_t base = S.sn_start[I];
+    if (m == bI) {
+      // Rows cover the whole block (a subset of equal size IS the set):
+      // contiguous column adds, which vectorize.
+      for (index_t cc = 0; cc < c; ++cc) {
+        T* dcol = dst + (src_cols[cc] - base) * bI;
+        const T* scol = scratch.data() + cc * static_cast<std::size_t>(m);
+        for (index_t rr = 0; rr < m; ++rr) dcol[rr] += scol[rr];
+      }
+      return;
+    }
     for (index_t cc = 0; cc < c; ++cc) {
       const index_t dc = src_cols[cc] - base;
       for (index_t rr = 0; rr < m; ++rr)
@@ -203,10 +224,19 @@ void LUFactors<T>::update_pair(index_t K, std::size_t bi, std::size_t uj,
     const index_t dbi = find_block(S.L[J], I);
     GESP_ASSERT(dbi >= 0, "missing destination L block");
     const auto& dst_rows = S.L[J][dbi].rows;
-    subset_positions(src_rows, dst_rows, rpos);
     T* dst = lnz_[J].data() + l_off_[J][dbi];
     const index_t ldd = static_cast<index_t>(dst_rows.size());
     const index_t base = S.sn_start[J];
+    if (m == ldd) {
+      // Row sets identical: straight vectorizable adds, no position map.
+      for (index_t cc = 0; cc < c; ++cc) {
+        T* dcol = dst + (src_cols[cc] - base) * ldd;
+        const T* scol = scratch.data() + cc * static_cast<std::size_t>(m);
+        for (index_t rr = 0; rr < m; ++rr) dcol[rr] += scol[rr];
+      }
+      return;
+    }
+    subset_positions(src_rows, dst_rows, rpos);
     for (index_t cc = 0; cc < c; ++cc) {
       const index_t dc = src_cols[cc] - base;
       T* dcol = dst + dc * ldd;
@@ -218,10 +248,17 @@ void LUFactors<T>::update_pair(index_t K, std::size_t bi, std::size_t uj,
     const index_t dbj = find_block(S.U[I], J);
     GESP_ASSERT(dbj >= 0, "missing destination U block");
     const auto& dst_cols = S.U[I][dbj].cols;
-    subset_positions(src_cols, dst_cols, cpos);
     T* dst = unz_[I].data() + u_off_[I][dbj];
     const index_t bI = S.block_cols(I);
     const index_t base = S.sn_start[I];
+    if (c == static_cast<index_t>(dst_cols.size()) && m == bI) {
+      // Columns identical and rows full height: one contiguous add over
+      // the whole m-by-c block.
+      const std::size_t len = static_cast<std::size_t>(m) * c;
+      for (std::size_t x = 0; x < len; ++x) dst[x] += scratch[x];
+      return;
+    }
+    subset_positions(src_cols, dst_cols, cpos);
     for (index_t cc = 0; cc < c; ++cc) {
       T* dcol = dst + cpos[cc] * bI;
       for (index_t rr = 0; rr < m; ++rr)
@@ -242,6 +279,9 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
   const index_t N = sym_->nsup;
   rowperm_.assign(static_cast<std::size_t>(N), {});
   umax_k_.assign(static_cast<std::size_t>(N), 0.0);
+  // Float only: flush subnormals for the whole elimination (see
+  // denormal.hpp). Placed before the pool so workers inherit the mode.
+  DenormalFlushGuard ftz(std::is_same_v<T, float>);
   ThreadPool pool(opt.num_threads);
   const bool dag =
       opt.schedule == Schedule::kTaskDag ||
@@ -639,6 +679,7 @@ void LUFactors<T>::solve_upper(std::span<T> x) const {
 
 template <class T>
 void LUFactors<T>::solve(std::span<T> x) const {
+  DenormalFlushGuard ftz(std::is_same_v<T, float>);
   solve_lower(x);
   solve_upper(x);
 }
@@ -649,6 +690,7 @@ void LUFactors<T>::solve_multi(std::span<T> X, index_t nrhs) const {
   GESP_CHECK(nrhs >= 1 &&
                  X.size() == static_cast<std::size_t>(S.n) * nrhs,
              Errc::invalid_argument, "solve_multi dimension mismatch");
+  DenormalFlushGuard ftz(std::is_same_v<T, float>);
   const index_t n = S.n;
   std::vector<T> seg;  // gathered block-row segment, b-by-nrhs
   std::vector<T> tmp;
@@ -709,6 +751,7 @@ void LUFactors<T>::solve_transposed(std::span<T> x) const {
   const symbolic::SymbolicLU& S = *sym_;
   GESP_CHECK(x.size() == static_cast<std::size_t>(S.n),
              Errc::invalid_argument, "solve vector size mismatch");
+  DenormalFlushGuard ftz(std::is_same_v<T, float>);
   // Aᵀ = Uᵀ·Lᵀ. Forward pass with Uᵀ (lower triangular): after x(J) is
   // solved, push its contributions through the transposed U blocks.
   for (index_t J = 0; J < S.nsup; ++J) {
@@ -809,6 +852,7 @@ sparse::CscMatrix<T> LUFactors<T>::u_matrix() const {
 }
 
 template class LUFactors<double>;
+template class LUFactors<float>;
 template class LUFactors<Complex>;
 
 }  // namespace gesp::numeric

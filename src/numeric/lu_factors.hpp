@@ -180,6 +180,7 @@ class LUFactors {
 };
 
 extern template class LUFactors<double>;
+extern template class LUFactors<float>;
 extern template class LUFactors<Complex>;
 
 }  // namespace gesp::numeric

@@ -23,8 +23,17 @@ struct RefineOptions {
   /// Use the compensated (twice-working-precision) residual — the paper's
   /// "extra precision" enhancement.
   bool compensated_residual = false;
-  /// Stop once berr <= this (default: machine epsilon).
+  /// Stop once berr <= this (default: double machine epsilon). The mixed-
+  /// precision driver sets it explicitly per precision — the double target
+  /// when refining a single-precision factorization toward full accuracy,
+  /// float epsilon when the solve stays entirely in single.
   double target_berr = std::numeric_limits<double>::epsilon();
+  /// Stagnation guard: keep iterating only while berr <= stall_ratio·prev
+  /// (the paper's "fails to halve" rule at the default 0.5). Previously a
+  /// hardcoded /2.0 inside the loop; hoisted so callers and tests can pin
+  /// it — a looser ratio lets single-precision corrections, whose per-step
+  /// contraction is weaker, keep making progress.
+  double stall_ratio = 0.5;
 };
 
 struct RefineResult {
@@ -61,7 +70,7 @@ RefineResult iterative_refinement(const sparse::CscMatrix<T>& A,
   trace::instant_value("refine", "berr", berr, res.iterations);
   double prev = std::numeric_limits<double>::infinity();
   while (res.iterations < opt.max_iters && berr > opt.target_berr &&
-         berr <= prev / 2.0) {
+         berr <= prev * opt.stall_ratio) {
     prev = berr;
     std::copy(r.begin(), r.end(), dx.begin());
     solver(std::span<T>(dx));  // dx ~= A^{-1} r

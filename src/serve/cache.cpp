@@ -62,12 +62,14 @@ typename FactorizationCache<T>::EntryPtr FactorizationCache<T>::acquire(
 
 template <class T>
 void FactorizationCache<T>::update_bytes(const EntryPtr& e,
-                                         std::size_t bytes) {
+                                         std::size_t bytes,
+                                         Precision precision) {
   std::lock_guard lk(mu_);
   auto it = map_.find(e->key);
   if (it == map_.end() || it->second != e) return;  // evicted meanwhile
   bytes_ += bytes - e->bytes;
   e->bytes = bytes;
+  e->precision = precision;
   e->last_use = ++tick_;
   evict_over_budget_locked(e.get());
   publish_locked();
@@ -104,10 +106,18 @@ void FactorizationCache<T>::evict_over_budget_locked(
 
 template <class T>
 void FactorizationCache<T>::publish_locked() {
+  // Recomputed rather than tracked incrementally: every mutation path
+  // (update, erase, eviction, collision) ends here, and the map is small
+  // by construction (max_entries budget).
+  single_bytes_ = 0;
+  for (const auto& [key, e] : map_)
+    if (e->precision == Precision::single) single_bytes_ += e->bytes;
   metrics::global().gauge("serve.cache.entries").set(
       static_cast<double>(map_.size()));
   metrics::global().gauge("serve.cache.bytes").set(
       static_cast<double>(bytes_));
+  metrics::global().gauge("serve.cache.single_bytes").set(
+      static_cast<double>(single_bytes_));
 }
 
 template <class T>
@@ -120,6 +130,12 @@ template <class T>
 std::size_t FactorizationCache<T>::bytes() const {
   std::lock_guard lk(mu_);
   return bytes_;
+}
+
+template <class T>
+std::size_t FactorizationCache<T>::single_bytes() const {
+  std::lock_guard lk(mu_);
+  return single_bytes_;
 }
 
 template <class T>

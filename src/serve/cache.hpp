@@ -42,6 +42,10 @@ struct CacheEntry {
   /// degrade to a refactorize, never serve stale factors. Guarded by `mu`.
   std::vector<T> values;
   std::size_t bytes = 0;              ///< footprint estimate (cache mutex)
+  /// Precision of the stored factors (cache mutex, recorded with `bytes`).
+  /// Single-precision entries hold their factor values at half the bytes,
+  /// so a mixed-mode service packs ~2× the factorizations into one budget.
+  Precision precision = Precision::double_;
   std::uint64_t last_use = 0;         ///< LRU tick (cache mutex)
 };
 
@@ -63,9 +67,11 @@ class FactorizationCache {
   EntryPtr acquire(const sparse::CscMatrix<T>& A, bool* pattern_matched);
 
   /// Record the re-measured byte footprint of `e` (call after every
-  /// factorization/refactorization), then evict least-recently-used
-  /// entries — never `e` itself — until both budgets hold.
-  void update_bytes(const EntryPtr& e, std::size_t bytes);
+  /// factorization/refactorization) and the precision its factors are
+  /// stored at, then evict least-recently-used entries — never `e` itself —
+  /// until both budgets hold.
+  void update_bytes(const EntryPtr& e, std::size_t bytes,
+                    Precision precision = Precision::double_);
 
   /// Unlink `e` (failure path: a poisoned factorization must not be
   /// served again). No-op if `e` was already evicted or replaced.
@@ -73,6 +79,8 @@ class FactorizationCache {
 
   std::size_t entries() const;
   std::size_t bytes() const;
+  /// Bytes held by entries whose factors are stored in single precision.
+  std::size_t single_bytes() const;
   std::size_t max_entries() const { return max_entries_; }
   std::size_t max_bytes() const { return max_bytes_; }
   void clear();
@@ -95,6 +103,7 @@ class FactorizationCache {
   std::size_t max_entries_;
   std::size_t max_bytes_;
   std::size_t bytes_ = 0;
+  std::size_t single_bytes_ = 0;  ///< recomputed in publish_locked
   std::uint64_t tick_ = 0;
 };
 

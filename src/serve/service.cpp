@@ -20,13 +20,18 @@ bool recoverable(Errc c) noexcept {
 /// Footprint estimate for one cache entry: the factors (stored supernodal
 /// values + structure), the retained transformed copy of A, the entry's
 /// exact-value check copy, and the O(n) transform vectors. Deliberately an
-/// estimate — the byte budget is a pressure valve, not an allocator.
+/// estimate — the byte budget is a pressure valve, not an allocator. The
+/// factor values are charged at the precision they are actually stored at:
+/// a single-precision factorization costs half the dominant term, so a
+/// mixed-mode service fits ~2× the factorizations into one byte budget.
 template <class T>
 std::size_t estimate_bytes(const Solver<T>& s, const sparse::CscMatrix<T>& A) {
   const SolveStats& st = s.stats();
   const auto n = static_cast<std::size_t>(A.ncols);
+  const std::size_t factor_scalar =
+      s.active_precision() == Precision::single ? sizeof(float) : sizeof(T);
   std::size_t b = 0;
-  b += static_cast<std::size_t>(st.stored_l + st.stored_u) * sizeof(T);
+  b += static_cast<std::size_t>(st.stored_l + st.stored_u) * factor_scalar;
   b += static_cast<std::size_t>(st.nnz_l + st.nnz_u) * sizeof(index_t);
   b += static_cast<std::size_t>(A.nnz()) * (2 * sizeof(T) + sizeof(index_t));
   b += (n + 1) * sizeof(index_t);
@@ -122,7 +127,8 @@ void SolverService<T>::warm(const sparse::CscMatrix<T>& A) {
   std::lock_guard elk(e->mu);
   prepare_entry(*e, A, sparse::value_hash(A), /*arm_recovery=*/false,
                 /*hostile=*/false);
-  cache_.update_bytes(e, estimate_bytes(*e->solver, A));
+  cache_.update_bytes(e, estimate_bytes(*e->solver, A),
+                      e->solver->active_precision());
 }
 
 template <class T>
@@ -339,7 +345,9 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
       tmpl.recovered = attempt > 0;
       tmpl.hostile = hostile;
       tmpl.batch_width = width;
-      cache_.update_bytes(e, estimate_bytes(*e->solver, A));
+      tmpl.precision = e->solver->active_precision();
+      cache_.update_bytes(e, estimate_bytes(*e->solver, A),
+                          tmpl.precision);
 
       std::vector<std::vector<T>> xs(live.size());
       if (opt_.batch_mode == BatchMode::blocked && live.size() > 1) {
@@ -349,6 +357,7 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
           std::copy((*live[j])->b.begin(), (*live[j])->b.end(),
                     B.begin() + static_cast<std::ptrdiff_t>(j * n));
         e->solver->solve_multi(B, X, width, ov);
+        tmpl.precision = e->solver->active_precision();
         tmpl.berr = e->solver->stats().berr;
         tmpl.refine_iterations = e->solver->stats().refine_iterations;
         // Read the trail after the solves: the ladder can also escalate
@@ -365,12 +374,19 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
           xs[j].resize(n);
           e->solver->solve((*live[j])->b, xs[j], ov);
           Response<T> r = tmpl;
+          r.precision = e->solver->active_precision();
           r.berr = e->solver->stats().berr;
           r.refine_iterations = e->solver->stats().refine_iterations;
           r.recovery = e->solver->stats().recovery;
           fulfill(*live[j], r, std::move(xs[j]));
         }
       }
+      // A mixed-mode promotion (or ladder escalation) during the solves
+      // replaced the float factors with double ones: re-account the entry
+      // at its real footprint so the byte budget stays honest.
+      if (e->solver->active_precision() != tmpl.precision)
+        cache_.update_bytes(e, estimate_bytes(*e->solver, A),
+                            e->solver->active_precision());
       if (attempt > 0 || hostile) {
         // Reputation update for an armed-ladder execution. "The ladder ran
         // but its best-effort answer missed the policy thresholds" is a

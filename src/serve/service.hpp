@@ -110,6 +110,9 @@ struct Response {
   index_t batch_width = 1;   ///< requests coalesced into this execution
   double berr = 0.0;         ///< batch-level for BatchMode::blocked
   int refine_iterations = 0;
+  /// Precision of the factors that produced x (single under
+  /// Precision::single/mixed until a promotion replaces them with double).
+  Precision precision = Precision::double_;
   /// Recovery trail of the factorization that served this request — every
   /// ladder rung attempted, in order. Empty attempts: the ladder never
   /// armed or never triggered.
@@ -146,6 +149,8 @@ class SolverService {
   const ServiceOptions& options() const { return opt_; }
   std::size_t cache_entries() const { return cache_.entries(); }
   std::size_t cache_bytes() const { return cache_.bytes(); }
+  /// Bytes held by single-precision cache entries (mixed/single modes).
+  std::size_t cache_single_bytes() const { return cache_.single_bytes(); }
   std::size_t queue_depth() const;
   /// Whether `key`'s pattern has been marked hostile (inspection/tests).
   bool is_hostile(const sparse::PatternKey& key) const;

@@ -15,6 +15,12 @@
 //   --no-equil            skip DGEEQU equilibration
 //   --no-mc64-scaling     keep the matching but drop the Dr/Dc scalings
 //   --tiny=replace|fail|smw
+//   --precision=double|single|mixed
+//                         numeric compute precision: single factors and
+//                         solves in float (refinement targets float eps);
+//                         mixed factors in float but refines toward the
+//                         double target, promoting to a double
+//                         refactorization when refinement stalls above it
 //   --max-block=N         supernode splitting width (default 24)
 //   --relax=N             supernode amalgamation size (default 8)
 //   --ferr                estimate the forward error bound (extra solves)
@@ -55,6 +61,8 @@
 //   10 overloaded (serving layer shed the request)
 //   11 recovered, but only by falling all the way to the GEPP rung — the
 //      answer is good, the static portfolio was defeated
+//   12 solved, but --precision=mixed promoted to a double refactorization —
+//      the answer meets the double target, the float factors did not hold
 //   70 unexpected non-library exception
 #include <cstdio>
 #include <cstring>
@@ -87,7 +95,8 @@ using namespace gesp;
                "[--rowperm=mc64|mc21|bottleneck|none]\n"
                "       [--colorder=amd|amd-apa|rcm|nd|natural] [--no-equil] "
                "[--no-mc64-scaling]\n"
-               "       [--tiny=replace|fail|smw] [--max-block=N] "
+               "       [--tiny=replace|fail|smw] "
+               "[--precision=double|single|mixed] [--max-block=N] "
                "[--relax=N] [--ferr] [--rcond] [--recover]\n"
                "       [--backend=serial|threaded|dist] [--threads=N] "
                "[--repeat=N] [--dist=P] [--grid=RxC]\n"
@@ -97,7 +106,8 @@ using namespace gesp;
                "            5/6 structurally/numerically singular, "
                "7 unstable/not recovered, 8 comm, 9 internal,\n"
                "            10 overloaded (serve layer shed the request),\n"
-               "            11 recovered only by the GEPP fallback rung\n");
+               "            11 recovered only by the GEPP fallback rung,\n"
+               "            12 mixed precision promoted to double\n");
   std::exit(msg ? 2 : 0);
 }
 
@@ -221,6 +231,16 @@ int main(int argc, char** argv) {
         opt.tiny_pivot = TinyPivotOption::aggressive_smw;
       else
         usage("unknown --tiny value");
+    } else if (const char* vp = value_of(a, "--precision")) {
+      const std::string s = vp;
+      if (s == "double")
+        opt.precision = Precision::double_;
+      else if (s == "single")
+        opt.precision = Precision::single;
+      else if (s == "mixed")
+        opt.precision = Precision::mixed;
+      else
+        usage("unknown --precision value");
     } else if (const char* v5 = value_of(a, "--max-block")) {
       opt.symbolic.max_block = std::atoi(v5);
     } else if (const char* v6 = value_of(a, "--relax")) {
@@ -270,6 +290,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) usage("no matrix given");
+  if (opt.backend == Backend::dist && opt.precision != Precision::double_)
+    usage("--precision=single|mixed is not available on the dist backend");
 
   if (!trace_path.empty()) trace::start();
 
@@ -359,6 +381,12 @@ int main(int argc, char** argv) {
                   sparse::relative_error_inf<double>(x_true, x));
     std::printf("berr        %.3e after %d refinement steps\n", s.berr,
                 s.refine_iterations);
+    if (opt.precision != Precision::double_)
+      std::printf("precision   %s requested; factors %s, %lld promotion%s\n",
+                  precision_name(opt.precision),
+                  precision_name(s.factor_precision),
+                  static_cast<long long>(s.promotions),
+                  s.promotions == 1 ? "" : "s");
     if (s.ferr >= 0) std::printf("ferr bound  %.3e\n", s.ferr);
     if (s.rcond >= 0) std::printf("rcond       %.3e\n", s.rcond);
     std::printf("factors     nnz(L+U) = %lld (fill %.1fx), %d supernodes\n",
@@ -443,10 +471,14 @@ int main(int argc, char** argv) {
     // pivoting portfolio could not hold — only the GEPP fallback converged
     // — is a correct answer but a defeated static pipeline, and gets its
     // own code so harnesses can count portfolio rescues vs falls.
+    // Same idea one layer up: a --precision=mixed run whose float factors
+    // could not carry refinement to the double target promoted — a correct
+    // answer, but harnesses counting "did single hold" need to know.
     if (!recovered_ok) return 7;
     if (!s.recovery.attempts.empty() &&
         s.recovery.final_rung == RecoveryRung::gepp)
       return 11;
+    if (s.promotions > 0) return 12;
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "gesp_solve: %s\n", e.what());
