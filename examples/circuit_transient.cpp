@@ -6,9 +6,11 @@
 //
 // A TWOTONE-class circuit matrix (zero diagonals from voltage sources, tiny
 // supernodes) is factored once with the full pipeline; then each implicit
-// time step perturbs the device values and calls refactorize(), which
-// reuses every static decision: scalings, permutations, the symbolic
-// structure and communication pattern.
+// time step perturbs a small fraction of the device values and calls
+// refactorize_delta(), which reuses every static decision (scalings,
+// permutations, symbolic structure) AND every supernode the value change
+// cannot reach — re-eliminating only the dirty subset, or absorbing a
+// handful of changed entries with an SMW correction.
 #include <cstdio>
 #include <vector>
 
@@ -38,24 +40,47 @@ int main() {
 
   const index_t n = A0.ncols;
   std::vector<double> x_true(n, 1.0), b(n), x(n);
-  double refactor_total = 0.0;
+  // Refactorization and solve are separate phases with separate budgets
+  // (one timer over both would let solve time masquerade as refactor cost
+  // in the amortization figure below).
+  double refactor_total = 0.0, solve_total = 0.0;
+  auto A = A0;
   for (int step = 1; step <= kSteps; ++step) {
-    // Device model evaluation changes the values, never the pattern.
-    const auto A = sparse::perturb_values(A0, 0.2, 9000 + step);
+    // Device model evaluation changes one localized window of ~3% of the
+    // columns of the PREVIOUS step's matrix (values drift, they don't
+    // reset), never the pattern — the transient shape delta
+    // refactorization exploits (one subcircuit switching while the rest
+    // of the design is quiescent).
+    A = sparse::perturb_column_window(A, 0.03, 0.2, 9000 + step);
     sparse::spmv<double>(A, x_true, b);
+    const DeltaStats before = solver.stats().delta;
     t.reset();
-    solver.refactorize(A);
+    solver.refactorize_delta(A);
+    const double dt_factor = t.seconds();
+    refactor_total += dt_factor;
+    t.reset();
     solver.solve(b, x);
-    const double dt = t.seconds();
-    refactor_total += dt;
-    std::printf("step %2d: refactor+solve %.3f s, err %.2e, berr %.2e, "
-                "refine %d\n",
-                step, dt, sparse::relative_error_inf<double>(x_true, x),
+    const double dt_solve = t.seconds();
+    solve_total += dt_solve;
+    const DeltaStats& d = solver.stats().delta;
+    const char* route = d.smw > before.smw           ? "smw"
+                        : d.partial > before.partial ? "partial"
+                        : d.noop > before.noop       ? "noop"
+                                                     : "full";
+    std::printf("step %2d: refactor %.3f s (%s, %lld changed entries, "
+                "%d/%d dirty supernodes), solve %.3f s, err %.2e, "
+                "berr %.2e, refine %d\n",
+                step, dt_factor, route,
+                static_cast<long long>(d.changed_entries),
+                d.dirty_supernodes, solver.stats().nsup, dt_solve,
+                sparse::relative_error_inf<double>(x_true, x),
                 solver.stats().berr, solver.stats().refine_iterations);
   }
   std::printf(
-      "\namortization: setup %.3f s once vs %.3f s per subsequent step "
-      "(%.1fx cheaper than re-analyzing every time)\n",
-      setup, refactor_total / kSteps, setup / (refactor_total / kSteps));
+      "\namortization: setup %.3f s once vs %.3f s refactor + %.3f s solve "
+      "per subsequent step (analysis re-use alone is %.1fx; delta "
+      "refactorization is what keeps the factor share this small)\n",
+      setup, refactor_total / kSteps, solve_total / kSteps,
+      setup / (refactor_total / kSteps + solve_total / kSteps));
   return 0;
 }

@@ -26,6 +26,7 @@ bench_dist_backend
 bench_hostile
 bench_serve
 bench_mixed
+bench_delta
 bench_kernels
 "
 for b in $BENCHES; do
@@ -54,6 +55,13 @@ for b in $BENCHES; do
     # testbed, recorded machine-readable next to this script (the CI
     # bench-smoke artifact behind the INTERNALS §16 table).
     "build/bench/$b" --out=BENCH_mixed.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_delta" ]; then
+    # Delta refactorization: full-vs-delta refactorize cost per transient
+    # step on circuit-class generators, windowed and scattered drift
+    # shapes at 1/5/25% changed columns, recorded machine-readable next
+    # to this script (the CI bench-smoke artifact behind the
+    # EXPERIMENTS.md table).
+    "build/bench/$b" --out=BENCH_delta.json || echo "BENCH FAILED: $b"
   elif [ "$b" = "bench_kernels" ]; then
     # google-benchmark binary: also record the machine-readable perf
     # trajectory (GEMM GFLOP/s per block size, factorization per schedule

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
@@ -99,6 +100,17 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
       .set(factor_precision == Precision::single ? 32.0 : 64.0);
   reg.gauge("solver.precision.promotions")
       .set(static_cast<double>(promotions));
+  reg.gauge("solver.delta.calls").set(static_cast<double>(delta.calls));
+  reg.gauge("solver.delta.noop").set(static_cast<double>(delta.noop));
+  reg.gauge("solver.delta.smw").set(static_cast<double>(delta.smw));
+  reg.gauge("solver.delta.partial").set(static_cast<double>(delta.partial));
+  reg.gauge("solver.delta.full").set(static_cast<double>(delta.full));
+  reg.gauge("solver.delta.changed_entries")
+      .set(static_cast<double>(delta.changed_entries));
+  reg.gauge("solver.delta.dirty_supernodes")
+      .set(static_cast<double>(delta.dirty_supernodes));
+  reg.gauge("solver.delta.smw_rank")
+      .set(static_cast<double>(delta.smw_rank));
   for (const auto& [phase, seconds] : times.all())
     reg.gauge("solver.time." + phase).set(seconds);
   for (const auto& [phase, seconds] : times.all_totals())
@@ -442,6 +454,45 @@ void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   row_perm_ = std::move(r.row_perm);
   col_perm_ = std::move(r.col_perm);
   At_ = std::move(r.At);
+  // Pin ||Â|| here, NOT per factorization: the tiny-pivot threshold derived
+  // from it is a static decision of the analysis, exactly like the scalings
+  // and permutations. Recomputing it from each refactorize's values would
+  // make clean blocks retained by a delta refactorization encode a
+  // different threshold than the dirty ones — and partial would no longer
+  // be bitwise identical to full for pivots falling between the two.
+  at_norm_ = sparse::norm_max(At_);
+}
+
+template <class T>
+numeric::NumericOptions Solver<T>::numeric_options(bool use_single) const {
+  numeric::NumericOptions nopt;
+  nopt.num_threads = opt_.num_threads;
+  nopt.schedule = opt_.schedule;
+  nopt.panel_pivot = opt_.panel_pivot;
+  nopt.pivot_threshold_tau = opt_.pivot_threshold_tau;
+  // In-flight growth abort: an explicit threshold wins; otherwise inherit
+  // the ladder's growth limit so a blowing-up factorization fails fast
+  // (and escalates at construction time) instead of completing garbage.
+  if (opt_.growth_abort > 0.0)
+    nopt.growth_abort = opt_.growth_abort;
+  else if (opt_.growth_abort == 0.0 && opt_.recovery.enabled)
+    nopt.growth_abort = opt_.recovery.max_pivot_growth;
+  if (opt_.tiny_pivot != TinyPivotOption::fail) {
+    // Tiny-pivot threshold at the compute precision's sqrt(eps) scale: a
+    // double-scale threshold would leave pivots the float kernels cannot
+    // distinguish from zero, and refinement cannot undo a division by
+    // float-noise.
+    const double eps =
+        use_single
+            ? static_cast<double>(std::numeric_limits<float>::epsilon())
+            : std::numeric_limits<double>::epsilon();
+    nopt.tiny_threshold = std::sqrt(eps) * at_norm_;
+  }
+  if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw) {
+    nopt.aggressive_replacement = true;
+    nopt.record_replacements = true;
+  }
+  return nopt;
 }
 
 template <class T>
@@ -462,39 +513,16 @@ void Solver<T>::factor() {
   stats_.flops = sym_->flops;
   stats_.nsup = sym_->nsup;
 
-  numeric::NumericOptions nopt;
-  nopt.num_threads = opt_.num_threads;
-  nopt.schedule = opt_.schedule;
-  nopt.panel_pivot = opt_.panel_pivot;
-  nopt.pivot_threshold_tau = opt_.pivot_threshold_tau;
-  // In-flight growth abort: an explicit threshold wins; otherwise inherit
-  // the ladder's growth limit so a blowing-up factorization fails fast
-  // (and escalates at construction time) instead of completing garbage.
-  if (opt_.growth_abort > 0.0)
-    nopt.growth_abort = opt_.growth_abort;
-  else if (opt_.growth_abort == 0.0 && opt_.recovery.enabled)
-    nopt.growth_abort = opt_.recovery.max_pivot_growth;
   const bool use_single = std::is_same_v<T, double> &&
                           opt_.precision != Precision::double_ && !promoted_;
-  if (opt_.tiny_pivot != TinyPivotOption::fail) {
-    // Tiny-pivot threshold at the compute precision's sqrt(eps) scale: a
-    // double-scale threshold would leave pivots the float kernels cannot
-    // distinguish from zero, and refinement cannot undo a division by
-    // float-noise.
-    const double eps =
-        use_single
-            ? static_cast<double>(std::numeric_limits<float>::epsilon())
-            : std::numeric_limits<double>::epsilon();
-    nopt.tiny_threshold = std::sqrt(eps) * sparse::norm_max(At_);
-  }
-  if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw) {
-    nopt.aggressive_replacement = true;
-    nopt.record_replacements = true;
-  }
+  const numeric::NumericOptions nopt = numeric_options(use_single);
   t.reset();
   {
     GESP_TRACE_SPAN("solver", "factor");
     smw_.reset();  // holds a reference into factors_: drop it first
+    delta_smw_.reset();  // any low-rank correction is against old factors
+    smw_base_values_.clear();
+    stats_.delta.smw_rank = 0;
     factors_f_.reset();
     factors_.reset();
     if constexpr (std::is_same_v<T, double>) {
@@ -503,7 +531,7 @@ void Solver<T>::factor() {
             sym_, to_single(At_), nopt);
     }
     if (!factors_f_)
-      factors_ = std::make_unique<numeric::LUFactors<T>>(sym_, At_, nopt);
+      factors_ = std::make_shared<numeric::LUFactors<T>>(sym_, At_, nopt);
   }
   stats_.times.add("factor", t.seconds());
   stats_.factor_precision =
@@ -515,7 +543,7 @@ void Solver<T>::factor() {
   metrics::global().counter("solver.factorizations").inc();
   if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw &&
       !factors_->replacements().empty())
-    smw_ = std::make_unique<refine::SmwSolver<T>>(*factors_);
+    smw_ = std::make_unique<refine::SmwSolver<T>>(factors_);
 }
 
 template <class T>
@@ -534,7 +562,9 @@ void Solver<T>::apply_solver(std::span<T> x) const {
       return;
     }
   }
-  if (smw_)
+  if (delta_smw_)
+    delta_smw_->solve(x);  // factors_ hold the base; correct to the target
+  else if (smw_)
     smw_->solve(x);
   else
     factors_->solve(x);
@@ -553,6 +583,16 @@ void Solver<T>::apply_solver_multi(std::span<T> X, index_t nrhs) const {
       return;
     }
   }
+  if (delta_smw_) {
+    // Unlike the tiny-pivot smw_ (whose correction refinement recovers),
+    // the delta correction can be arbitrarily large — refinement against
+    // uncorrected factors need not converge, so each column gets the exact
+    // corrected solve.
+    for (index_t c = 0; c < nrhs; ++c)
+      delta_smw_->solve(X.subspan(c * static_cast<std::size_t>(n_),
+                                  static_cast<std::size_t>(n_)));
+    return;
+  }
   factors_->solve_multi(X, nrhs);
 }
 
@@ -569,7 +609,10 @@ void Solver<T>::apply_solver_transposed(std::span<T> x) const {
       return;
     }
   }
-  factors_->solve_transposed(x);
+  if (delta_smw_)
+    delta_smw_->solve_transposed(x);
+  else
+    factors_->solve_transposed(x);
 }
 
 template <class T>
@@ -930,6 +973,193 @@ void Solver<T>::refactorize(const sparse::CscMatrix<T>& A_new) {
   gepp_.reset();
   rung_ = opt_.recovery.start_rung;
   factor_ladder();
+}
+
+template <class T>
+void Solver<T>::refactorize_delta(const sparse::CscMatrix<T>& A_new) {
+  GESP_CHECK(A_new.nrows == n_ && A_new.ncols == n_, Errc::invalid_argument,
+             "refactorize_delta dimension mismatch");
+  GESP_CHECK(sparse::pattern_key(A_new) == pattern_, Errc::invalid_argument,
+             "refactorize_delta: matrix sparsity pattern differs from the "
+             "analysed pattern (same-size is not same-structure)");
+  stats_.times.new_epoch();
+  GESP_TRACE_SPAN("solver", "refactorize_delta");
+  ++stats_.delta.calls;
+  metrics::global().counter("solver.delta.call_events").inc();
+  const auto fall_back_to_full = [&] {
+    ++stats_.delta.full;
+    metrics::global().counter("solver.delta.full_events").inc();
+    stats_.delta.smw_rank = 0;
+    refactorize(A_new);
+  };
+  // An escalated ladder or the GEPP fallback means the static factors no
+  // longer produce the answer as-is; only a full refactorize restarts that
+  // machinery correctly (and identically to refactorize(A_new), which is
+  // what keeps delta-vs-full comparable on hostile matrices).
+  if (rung_ != RecoveryRung::gesp || gepp_ || (!factors_ && !factors_f_)) {
+    fall_back_to_full();
+    return;
+  }
+
+  // Same arithmetic as refactorize(): combined scaling, then permutation.
+  // Both are value-independent layout transforms, so At_new's colptr and
+  // rowind are identical to At_'s and the value arrays align positionally.
+  sparse::CscMatrix<T> As =
+      sparse::apply_scaling(A_new, row_scale_, col_scale_);
+  sparse::CscMatrix<T> At_new = sparse::permute(As, row_perm_, col_perm_);
+  // Diff against the values the current factors CONSUMED — with an active
+  // low-rank correction that is the stashed base, not At_ (which already
+  // holds the previous target). memcmp, not ==: matches the serve layer's
+  // value-hash semantics (distinguishes ±0.0, treats identical NaNs equal).
+  const std::vector<T>& base = delta_smw_ ? smw_base_values_ : At_.values;
+  std::vector<index_t> changed_pos, changed_col;
+  for (index_t j = 0; j < n_; ++j)
+    for (index_t p = At_.colptr[j]; p < At_.colptr[j + 1]; ++p)
+      if (std::memcmp(&base[p], &At_new.values[p], sizeof(T)) != 0) {
+        changed_pos.push_back(p);
+        changed_col.push_back(j);
+      }
+  stats_.delta.changed_entries = changed_pos.size();
+  stats_.delta.dirty_supernodes = 0;
+
+  if (changed_pos.empty()) {
+    ++stats_.delta.noop;
+    metrics::global().counter("solver.delta.noop_events").inc();
+    if (delta_smw_) {
+      // A_new IS the base the factors consumed: retire the correction.
+      delta_smw_.reset();
+      smw_base_values_.clear();
+      stats_.delta.smw_rank = 0;
+      At_ = std::move(At_new);
+    }
+    if (opt_.recovery.enabled) {
+      A_keep_ = A_new;
+      stats_.recovery = {};
+    }
+    return;
+  }
+
+  // Route 1: a handful of changed entries — exact SMW correction over the
+  // unchanged factors, no refactorization. Excluded while the tiny-pivot
+  // smw_ correction is active (stacking corrections would compound) and on
+  // the float path (the correction solves in T).
+  if (opt_.delta.smw_max_rank > 0 &&
+      static_cast<index_t>(changed_pos.size()) <= opt_.delta.smw_max_rank &&
+      factors_ && !factors_f_ && !smw_) {
+    Timer t;
+    std::vector<typename refine::SmwSolver<T>::Update> ups;
+    ups.reserve(changed_pos.size());
+    for (std::size_t k = 0; k < changed_pos.size(); ++k) {
+      const index_t p = changed_pos[k];
+      ups.push_back(
+          {At_.rowind[p], changed_col[k], At_new.values[p] - base[p]});
+    }
+    try {
+      auto corr = std::make_unique<refine::SmwSolver<T>>(factors_, ups);
+      if (!delta_smw_) smw_base_values_ = At_.values;
+      delta_smw_ = std::move(corr);
+      At_ = std::move(At_new);  // refinement and residuals target A_new
+      stats_.delta.smw_rank = static_cast<index_t>(ups.size());
+      ++stats_.delta.smw;
+      stats_.times.add("factor", t.seconds());
+      metrics::global().counter("solver.delta.smw_events").inc();
+      if (opt_.recovery.enabled) {
+        A_keep_ = A_new;
+        stats_.recovery = {};
+      }
+      return;
+    } catch (const Error& e) {
+      if (!recoverable(e.code())) throw;
+      // Singular capacitance: the update is not absorbable as a low-rank
+      // correction of this base. State untouched — fall through and
+      // refactorize instead.
+    }
+  }
+
+  // Route 2: partial re-elimination. Mark the owner supernode of every
+  // changed entry dirty, close under the update dependencies, and redo only
+  // those — bitwise identical to a full refactorize. The double diff is
+  // computed before any float rounding, so on the float path it can only
+  // over-mark (a superset of the float diff): still correct.
+  const symbolic::SymbolicLU& S = *sym_;
+  std::vector<char> dirty(static_cast<std::size_t>(S.nsup), 0);
+  for (std::size_t k = 0; k < changed_pos.size(); ++k) {
+    const index_t i = At_.rowind[changed_pos[k]];
+    const index_t j = changed_col[k];
+    dirty[std::min(S.col_to_sn[i], S.col_to_sn[j])] = 1;
+  }
+  symbolic::close_update_reachable(S, dirty);
+  index_t ndirty = 0;
+  for (char d : dirty) ndirty += d;
+  stats_.delta.dirty_supernodes = ndirty;
+  if (static_cast<double>(ndirty) >
+      opt_.delta.max_dirty_fraction * static_cast<double>(S.nsup)) {
+    fall_back_to_full();
+    return;
+  }
+
+  Timer t;
+  GESP_TRACE_SPAN("solver", "factor_partial");
+  // Corrections reference the pre-update factors: drop them before the
+  // in-place rewrite (smw_ is rebuilt below from the fresh replacements).
+  delta_smw_.reset();
+  smw_base_values_.clear();
+  stats_.delta.smw_rank = 0;
+  smw_.reset();
+  At_ = std::move(At_new);
+  try {
+    if (factors_f_) {
+      if constexpr (std::is_same_v<T, double>)
+        factors_f_->refactorize_partial(to_single(At_), dirty,
+                                        numeric_options(true));
+    } else {
+      factors_->refactorize_partial(At_, dirty, numeric_options(false));
+    }
+  } catch (const Error& e) {
+    if (!opt_.recovery.enabled || !recoverable(e.code())) throw;
+    // The partial step is bitwise-equal to a full factorization of the
+    // same values, so a full retry at this rung would fail identically:
+    // restart the ladder exactly as refactorize() would, with the failed
+    // gesp attempt on record, and escalate.
+    A_keep_ = A_new;
+    stats_.recovery = {};
+    gepp_.reset();
+    RecoveryAttempt a;
+    a.rung = rung_;
+    a.trigger = trigger_for(e.code());
+    a.detail = e.what();
+    stats_.recovery.attempts.push_back(std::move(a));
+    if (!advance_rung()) throw;
+    factor_ladder();
+    ++stats_.delta.full;
+    metrics::global().counter("solver.delta.full_events").inc();
+    return;
+  }
+  stats_.times.add("factor", t.seconds());
+  // Same stats contract as factor(): the partial refactorization IS the
+  // factorization now producing answers.
+  stats_.nnz_l = sym_->nnz_L;
+  stats_.nnz_u = sym_->nnz_U;
+  stats_.stored_l = sym_->stored_L;
+  stats_.stored_u = sym_->stored_U;
+  stats_.flops = sym_->flops;
+  stats_.nsup = sym_->nsup;
+  stats_.factor_precision =
+      factors_f_ ? Precision::single : Precision::double_;
+  stats_.pivots_replaced = factors_f_ ? factors_f_->pivots_replaced()
+                                      : factors_->pivots_replaced();
+  stats_.pivot_growth =
+      factors_f_ ? factors_f_->pivot_growth() : factors_->pivot_growth();
+  metrics::global().counter("solver.factorizations").inc();
+  if (opt_.tiny_pivot == TinyPivotOption::aggressive_smw && factors_ &&
+      !factors_->replacements().empty())
+    smw_ = std::make_unique<refine::SmwSolver<T>>(factors_);
+  ++stats_.delta.partial;
+  metrics::global().counter("solver.delta.partial_events").inc();
+  if (opt_.recovery.enabled) {
+    A_keep_ = A_new;
+    stats_.recovery = {};
+  }
 }
 
 template <class T>

@@ -171,6 +171,19 @@ struct DistBackendOptions {
   double recv_timeout_s = 0.0;  ///< transport watchdog; 0 = no timeout
 };
 
+/// Routing policy for Solver::refactorize_delta(): how a same-pattern
+/// value update is absorbed, cheapest route first.
+struct DeltaPolicy {
+  /// Value diffs of at most this many changed entries route to the
+  /// Sherman–Morrison–Woodbury low-rank correction — no refactorization at
+  /// all, just rank-r extra triangular solves. 0 disables the SMW route.
+  index_t smw_max_rank = 16;
+  /// Partial re-elimination only pays while the closed dirty set stays a
+  /// fraction of the supernodes; above this share, a full refactorization
+  /// is cheaper than the bookkeeping.
+  double max_dirty_fraction = 0.6;
+};
+
 struct SolverOptions {
   /// Execution engine. serial/threaded run in-process via Solver;
   /// Backend::dist is driven by gesp::dist::solve (one-shot) or
@@ -217,6 +230,22 @@ struct SolverOptions {
   numeric::Schedule schedule = numeric::Schedule::kAuto;
   /// Graceful-degradation ladder (keeps a copy of A while enabled).
   RecoveryPolicy recovery;
+  /// Delta-refactorization routing (see refactorize_delta()).
+  DeltaPolicy delta;
+};
+
+/// Accounting of refactorize_delta() routing. Counters are cumulative over
+/// the solver's lifetime; the per-call fields describe the last call.
+struct DeltaStats {
+  count_t calls = 0;    ///< refactorize_delta() invocations
+  count_t noop = 0;     ///< values bitwise identical to the factored base
+  count_t smw = 0;      ///< absorbed by the SMW low-rank correction
+  count_t partial = 0;  ///< partial supernode re-elimination
+  count_t full = 0;     ///< fell back to a full refactorization
+  count_t changed_entries = 0;   ///< last call: size of the value diff
+  index_t dirty_supernodes = 0;  ///< last call: closed dirty set size (0
+                                 ///< when the diff never reached routing)
+  index_t smw_rank = 0;  ///< rank of the ACTIVE SMW correction (0 = none)
 };
 
 struct SolveStats {
@@ -256,6 +285,8 @@ struct SolveStats {
   /// How the answer was obtained: every ladder rung attempted, in order.
   /// Empty attempts == recovery disabled or never triggered.
   RecoveryTrail recovery;
+  /// refactorize_delta() routing accounting.
+  DeltaStats delta;
 
   /// Publish every field into `reg` as typed metrics under "solver.*"
   /// (gauges for snapshots, "solver.time.<phase>" for the last call's
@@ -329,6 +360,27 @@ class Solver {
   /// structure. Throws Errc::invalid_argument on a pattern() mismatch.
   void refactorize(const sparse::CscMatrix<T>& A_new);
 
+  /// Like refactorize(), but diff the new values against the ones the
+  /// current factors consumed and absorb only the change — the transient
+  /// workload (circuit time stepping, Newton sweeps) where most columns are
+  /// unchanged between steps. Three routes, cheapest first, governed by
+  /// SolverOptions::delta:
+  ///
+  ///   noop     values bitwise identical: keep everything.
+  ///   smw      at most delta.smw_max_rank changed entries: wrap the
+  ///            existing factors in an exact Sherman–Morrison–Woodbury
+  ///            correction (no refactorization).
+  ///   partial  mark the supernodes owning changed entries dirty, close the
+  ///            set under the update dependencies, re-eliminate only those
+  ///            — bitwise identical to a full refactorize(A_new).
+  ///   full     large diffs, or an escalated/GEPP configuration where the
+  ///            static factors no longer produce the answer: plain
+  ///            refactorize(A_new).
+  ///
+  /// stats().delta records the route taken; the partial route refreshes
+  /// the factorization fields of stats() exactly as refactorize() does.
+  void refactorize_delta(const sparse::CscMatrix<T>& A_new);
+
   /// The factored, fully transformed matrix Â = P·(Dr·A·Dc)·Pᵀ (testing).
   const sparse::CscMatrix<T>& transformed_matrix() const { return At_; }
   const numeric::LUFactors<T>& factors() const { return *factors_; }
@@ -348,6 +400,11 @@ class Solver {
  private:
   void transform(const sparse::CscMatrix<T>& A);
   void factor();
+  /// Numeric options for the current configuration. The tiny-pivot
+  /// threshold uses the ||Â|| pinned at transform() time, so delta and full
+  /// refactorizations of the same analysis agree bitwise (the threshold is
+  /// a static decision, like the scalings and permutations it rides with).
+  numeric::NumericOptions numeric_options(bool use_single) const;
   void apply_solver(std::span<T> x) const;  ///< LU or SMW-corrected solve
   void apply_solver_multi(std::span<T> X, index_t nrhs) const;
   void apply_solver_transposed(std::span<T> x) const;
@@ -382,13 +439,21 @@ class Solver {
   std::vector<double> row_scale_, col_scale_;
   std::vector<index_t> row_perm_, col_perm_;  ///< new-from-old, combined
   sparse::CscMatrix<T> At_;                   ///< transformed matrix
+  double at_norm_ = 0.0;  ///< ||Â||_max pinned at transform() time
   std::shared_ptr<const symbolic::SymbolicLU> sym_;
-  std::unique_ptr<numeric::LUFactors<T>> factors_;
+  /// shared_ptr so SMW corrections (tiny-pivot recovery, delta updates) tie
+  /// the factors' lifetime to their own instead of dangling on a rebuild.
+  std::shared_ptr<numeric::LUFactors<T>> factors_;
   /// Single-precision factors (Precision::single/mixed); exactly one of
   /// factors_ / factors_f_ is live outside the gepp rung.
   std::unique_ptr<numeric::LUFactors<float>> factors_f_;
   bool promoted_ = false;  ///< mixed mode fell back to double for good
   std::unique_ptr<refine::SmwSolver<T>> smw_;
+  /// Active low-rank delta correction (refactorize_delta's smw route):
+  /// factors_ describe the BASE values in smw_base_values_, At_ holds the
+  /// TARGET values, and delta_smw_ solves the target exactly.
+  std::unique_ptr<refine::SmwSolver<T>> delta_smw_;
+  std::vector<T> smw_base_values_;  ///< Â values factors_ consumed
   // Recovery state (inert unless opt_.recovery.enabled).
   sparse::CscMatrix<T> A_keep_;  ///< original A for re-transform / GEPP
   std::unique_ptr<numeric::GeppLU<T>> gepp_;  ///< active at the gepp rung

@@ -106,7 +106,20 @@ void LUFactors<T>::scatter_initial(const sparse::CscMatrix<T>& A) {
     }
     unz_[K].assign(sz, T{});
   }
-  // Scatter A.
+  scatter_values(A, nullptr);
+}
+
+template <class T>
+void LUFactors<T>::scatter_values(const sparse::CscMatrix<T>& A,
+                                  const std::vector<char>* dirty) {
+  using std::abs;
+  const symbolic::SymbolicLU& S = *sym_;
+  // Scatter A. Every entry (i, j) lives in the storage of its OWNER
+  // supernode min(sn(i), sn(j)): the diagonal and L blocks of column
+  // supernode J when sn(i) >= J, the U row of supernode I when sn(i) < J.
+  // In the partial pass only dirty owners' buffers were zeroed, so only
+  // their entries are (re)written; amax_ still covers the whole matrix —
+  // it must match a full factorization's value bit for bit.
   amax_ = 0.0;
   for (index_t j = 0; j < S.n; ++j) {
     const index_t J = S.col_to_sn[j];
@@ -117,6 +130,7 @@ void LUFactors<T>::scatter_initial(const sparse::CscMatrix<T>& A) {
       const T v = A.values[p];
       amax_ = std::max<double>(amax_, abs(v));
       const index_t I = S.col_to_sn[i];
+      if (dirty && !(*dirty)[std::min(I, J)]) continue;
       if (I == J) {
         lnz_[J][(i - S.sn_start[J]) + cj * bj] = v;
       } else if (I > J) {
@@ -279,6 +293,8 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
   const index_t N = sym_->nsup;
   rowperm_.assign(static_cast<std::size_t>(N), {});
   umax_k_.assign(static_cast<std::size_t>(N), 0.0);
+  stats_k_.assign(static_cast<std::size_t>(N), {});
+  repl_k_.assign(static_cast<std::size_t>(N), {});
   // Float only: flush subnormals for the whole elimination (see
   // denormal.hpp). Placed before the pool so workers inherit the mode.
   DenormalFlushGuard ftz(std::is_same_v<T, float>);
@@ -290,8 +306,29 @@ void LUFactors<T>::eliminate(const NumericOptions& opt) {
     eliminate_taskdag(opt, pool);
   else
     eliminate_forkjoin(opt, pool);
+  finish_elimination();
+}
+
+template <class T>
+void LUFactors<T>::merge_pivot_stats() {
+  const symbolic::SymbolicLU& S = *sym_;
+  stats_ = {};
+  replacements_.clear();
+  for (index_t K = 0; K < S.nsup; ++K) {
+    stats_.replaced += stats_k_[K].replaced;
+    stats_.swaps += stats_k_[K].swaps;
+    for (const auto& r : repl_k_[K])
+      replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
+  }
+}
+
+template <class T>
+void LUFactors<T>::finish_elimination() {
+  const index_t N = sym_->nsup;
+  pivoted_ = false;
   for (index_t K = 0; K < N && !pivoted_; ++K)
     pivoted_ = !rowperm_[K].empty();
+  merge_pivot_stats();
   finish_growth(false);
   if (stats_.replaced > 0)
     metrics::global().counter("numeric.pivots_replaced").inc(stats_.replaced);
@@ -327,18 +364,15 @@ void LUFactors<T>::eliminate_forkjoin(const NumericOptions& opt,
   std::vector<std::vector<T>> scratch_w(static_cast<std::size_t>(W));
   std::vector<std::vector<index_t>> rpos_w(static_cast<std::size_t>(W));
   std::vector<std::vector<index_t>> cpos_w(static_cast<std::size_t>(W));
-  std::vector<dense::PivotReplacement<T>> block_repl;
 
   for (index_t K = 0; K < N; ++K) {
     const index_t b = S.block_cols(K);
     T* diag = lnz_[K].data();
     // (1) factor the diagonal block (strategy dispatch; static pivots with
-    // tiny replacement by default).
-    block_repl.clear();
-    factor_diag(K, policy, stats_,
-                opt.record_replacements ? &block_repl : nullptr);
-    for (const auto& r : block_repl)
-      replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
+    // tiny replacement by default). Bookkeeping goes to the per-K sinks;
+    // finish_elimination merges them in ascending K.
+    factor_diag(K, policy, stats_k_[K],
+                opt.record_replacements ? &repl_k_[K] : nullptr);
     // (2) panel: L(I,K) <- A(I,K) · U(K,K)^{-1}, block rows in parallel.
     {
       GESP_TRACE_SPAN_ID("factor", "panel", K);
@@ -415,12 +449,9 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
   policy.strategy = opt.panel_pivot;
   policy.threshold_tau = opt.pivot_threshold_tau;
 
-  // Per-supernode pivot stats/replacements, merged in K order afterwards
-  // so concurrent F(K) tasks never touch shared state and the recorded
-  // order matches serial.
-  std::vector<dense::PivotStats> stats_k(static_cast<std::size_t>(N));
-  std::vector<std::vector<dense::PivotReplacement<T>>> repl_k(
-      static_cast<std::size_t>(N));
+  // Pivot stats/replacements go to the per-supernode sinks (merged in K
+  // order by finish_elimination) so concurrent F(K) tasks never touch
+  // shared state and the recorded order matches serial.
   const bool record = opt.record_replacements;
   // Growth-abort flag: once any milestone's monitor trips, remaining tasks
   // degrade to no-ops so the graph drains quickly; the violation itself is
@@ -439,10 +470,9 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
     const index_t nl = static_cast<index_t>(S.L[K].size());
     const index_t nu = static_cast<index_t>(S.U[K].size());
     // F(K): factor the diagonal block after the last update into owner K.
-    const auto fk = graph.add_task([this, K, &policy, &stats_k, &repl_k,
-                                    record, &abort] {
+    const auto fk = graph.add_task([this, K, &policy, record, &abort] {
       if (abort.load(std::memory_order_relaxed)) return;
-      factor_diag(K, policy, stats_k[K], record ? &repl_k[K] : nullptr);
+      factor_diag(K, policy, stats_k_[K], record ? &repl_k_[K] : nullptr);
     });
     if (last_owner[K] >= 0) graph.add_dependency(last_owner[K], fk);
     // Panel solves in up to P chunks per side (plenty for the pool while
@@ -523,14 +553,147 @@ void LUFactors<T>::eliminate_taskdag(const NumericOptions& opt,
   }
 
   graph.run(pool);
+}
 
-  // Merge per-supernode pivot bookkeeping in ascending K — the serial
-  // recording order.
+template <class T>
+void LUFactors<T>::refactorize_partial(const sparse::CscMatrix<T>& A,
+                                       const std::vector<char>& dirty,
+                                       const NumericOptions& opt) {
+  GESP_CHECK(A.ncols == sym_->n && A.nrows == sym_->n, Errc::invalid_argument,
+             "matrix does not match the symbolic structure");
+  GESP_CHECK(dirty.size() == static_cast<std::size_t>(sym_->nsup),
+             Errc::invalid_argument,
+             "dirty set size does not match the supernode count");
+  GESP_CHECK(!(opt.record_replacements &&
+               opt.panel_pivot != dense::PanelPivot::static_),
+             Errc::invalid_argument,
+             "SMW replacement recording assumes the unpivoted factorization; "
+             "it cannot combine with an in-block pivoting strategy");
+  {
+    // A dirty set that is not closed would scatter-add updates into blocks
+    // that were never reset — silent corruption. Verify instead of trusting.
+    std::vector<char> closed(dirty.begin(), dirty.end());
+    symbolic::close_update_reachable(*sym_, closed);
+    GESP_CHECK(std::equal(closed.begin(), closed.end(), dirty.begin()),
+               Errc::invalid_argument,
+               "dirty set is not closed under update reachability");
+  }
+  growth_abort_ = opt.growth_abort;
+  const index_t N = sym_->nsup;
   for (index_t K = 0; K < N; ++K) {
-    stats_.replaced += stats_k[K].replaced;
-    stats_.swaps += stats_k[K].swaps;
-    for (const auto& r : repl_k[K])
-      replacements_.emplace_back(S.sn_start[K] + r.col, r.delta);
+    if (!dirty[K]) continue;
+    std::fill(lnz_[K].begin(), lnz_[K].end(), T{});
+    std::fill(unz_[K].begin(), unz_[K].end(), T{});
+    rowperm_[K].clear();
+    umax_k_[K] = 0.0;
+    stats_k_[K] = {};
+    repl_k_[K].clear();
+  }
+  scatter_values(A, &dirty);
+  DenormalFlushGuard ftz(std::is_same_v<T, float>);
+  ThreadPool pool(opt.num_threads);
+  eliminate_partial(opt, pool, dirty);
+  finish_elimination();
+}
+
+// The partial sweep runs one deterministic schedule regardless of
+// NumericOptions::schedule: parallel_for phases whose accumulation order is
+// the serial one (every full-factorization engine is bitwise identical to
+// serial, so "identical to full under any schedule" holds by transitivity).
+// Dirty supernodes run the complete factor/panel/monitor/update step; clean
+// supernodes keep their blocks untouched and only replay the update pairs
+// whose owner is dirty — a re-scattered destination needs the contribution
+// of EVERY source, clean or not, in ascending-K order.
+template <class T>
+void LUFactors<T>::eliminate_partial(const NumericOptions& opt,
+                                     ThreadPool& pool,
+                                     const std::vector<char>& dirty) {
+  const symbolic::SymbolicLU& S = *sym_;
+  const index_t N = S.nsup;
+  dense::PivotPolicy policy;
+  policy.tiny_threshold = opt.tiny_threshold;
+  policy.aggressive = opt.aggressive_replacement;
+  policy.strategy = opt.panel_pivot;
+  policy.threshold_tau = opt.pivot_threshold_tau;
+
+  const int W = pool.num_threads();
+  std::vector<std::vector<T>> scratch_w(static_cast<std::size_t>(W));
+  std::vector<std::vector<index_t>> rpos_w(static_cast<std::size_t>(W));
+  std::vector<std::vector<index_t>> cpos_w(static_cast<std::size_t>(W));
+  std::vector<index_t> pairs;  // flattened bi*nu+uj pairs into dirty owners
+
+  for (index_t K = 0; K < N; ++K) {
+    const index_t nl = static_cast<index_t>(S.L[K].size());
+    const index_t nu = static_cast<index_t>(S.U[K].size());
+    if (dirty[K]) {
+      const index_t b = S.block_cols(K);
+      T* diag = lnz_[K].data();
+      factor_diag(K, policy, stats_k_[K],
+                  opt.record_replacements ? &repl_k_[K] : nullptr);
+      {
+        GESP_TRACE_SPAN_ID("factor", "panel", K);
+        pool.parallel_for(
+            nl,
+            [&](index_t lo, index_t hi, int) {
+              for (index_t bi = lo; bi < hi; ++bi) {
+                const index_t m =
+                    static_cast<index_t>(S.L[K][bi].rows.size());
+                dense::trsm_right_upper(diag, b, b,
+                                        lnz_[K].data() + l_off_[K][bi], m, m);
+              }
+            },
+            /*grain=*/2);
+        pool.parallel_for(
+            nu,
+            [&](index_t lo, index_t hi, int) {
+              for (index_t uj = lo; uj < hi; ++uj) {
+                const index_t c =
+                    static_cast<index_t>(S.U[K][uj].cols.size());
+                if (!rowperm_[K].empty())
+                  permute_rows(rowperm_[K], unz_[K].data() + u_off_[K][uj],
+                               b, c);
+                dense::trsm_left_lower_unit(
+                    diag, b, b, unz_[K].data() + u_off_[K][uj], c, b);
+              }
+            },
+            /*grain=*/2);
+      }
+      if (monitor_supernode(K)) finish_growth(/*aborted=*/true);
+      // Every owner of a dirty K's pairs is dirty (the closure), so all
+      // pairs run, exactly as in the full elimination.
+      const index_t npairs = nl * nu;
+      GESP_TRACE_SPAN_ID("factor", "update", K);
+      pool.parallel_for(
+          npairs,
+          [&](index_t lo, index_t hi, int w) {
+            for (index_t pair = lo; pair < hi; ++pair)
+              update_pair(K, static_cast<std::size_t>(pair) / S.U[K].size(),
+                          static_cast<std::size_t>(pair) % S.U[K].size(),
+                          scratch_w[w], rpos_w[w], cpos_w[w]);
+          },
+          /*grain=*/2);
+    } else {
+      // Clean K: factors final, blocks untouched; replay only the pairs
+      // that feed a re-eliminated owner.
+      pairs.clear();
+      for (index_t bi = 0; bi < nl; ++bi) {
+        const index_t I = S.L[K][bi].I;
+        for (index_t uj = 0; uj < nu; ++uj)
+          if (dirty[std::min(I, S.U[K][uj].J)])
+            pairs.push_back(bi * nu + uj);
+      }
+      if (pairs.empty()) continue;
+      GESP_TRACE_SPAN_ID("factor", "update", K);
+      pool.parallel_for(
+          static_cast<index_t>(pairs.size()),
+          [&](index_t lo, index_t hi, int w) {
+            for (index_t p = lo; p < hi; ++p)
+              update_pair(K, static_cast<std::size_t>(pairs[p]) / nu,
+                          static_cast<std::size_t>(pairs[p]) % nu,
+                          scratch_w[w], rpos_w[w], cpos_w[w]);
+          },
+          /*grain=*/2);
+    }
   }
 }
 

@@ -137,9 +137,41 @@ class LUFactors {
   const std::vector<T>& l_store(index_t K) const { return lnz_[K]; }
   const std::vector<T>& u_store(index_t K) const { return unz_[K]; }
 
+  /// Partial refactorization for new values over the SAME pattern.
+  /// `dirty[K]` marks the supernodes whose inputs changed; the set must be
+  /// closed under the update dependencies (symbolic::close_update_reachable)
+  /// — a clean supernode's blocks then depend only on clean supernodes, so
+  /// they are reused in place, bitwise unchanged. Dirty supernodes are
+  /// re-scattered from `A` and re-eliminated, receiving the updates of
+  /// every source (clean sources replay their pairs from the retained
+  /// panels), in the serial ascending-K accumulation order — the result is
+  /// bitwise identical to constructing a fresh LUFactors from `A` under
+  /// any schedule. `opt` must describe the same pivoting configuration
+  /// (and in particular the same tiny_threshold) as the original
+  /// factorization, or the clean blocks would encode stale decisions.
+  void refactorize_partial(const sparse::CscMatrix<T>& A,
+                           const std::vector<char>& dirty,
+                           const NumericOptions& opt);
+
  private:
   void scatter_initial(const sparse::CscMatrix<T>& A);
+  /// Scatter A's values into the block storage; with `dirty`, only entries
+  /// owned by a dirty supernode are written (the rest keep their factored
+  /// values). Recomputes amax_ over ALL of A either way.
+  void scatter_values(const sparse::CscMatrix<T>& A,
+                      const std::vector<char>* dirty);
   void eliminate(const NumericOptions& opt);
+  /// Ascending-K sweep for refactorize_partial: dirty supernodes run the
+  /// full factor/panel/update step, clean supernodes only replay their
+  /// update pairs into dirty owners.
+  void eliminate_partial(const NumericOptions& opt, ThreadPool& pool,
+                         const std::vector<char>& dirty);
+  /// pivoted_ scan + per-K stats merge + growth finish + metrics (the
+  /// common tail of eliminate and refactorize_partial).
+  void finish_elimination();
+  /// Rebuild stats_/replacements_ from the per-supernode sinks in
+  /// ascending K — the serial recording order.
+  void merge_pivot_stats();
   void eliminate_forkjoin(const NumericOptions& opt, ThreadPool& pool);
   void eliminate_taskdag(const NumericOptions& opt, ThreadPool& pool);
   /// One trailing-matrix update: the (bi, uj) block pair of supernode K,
@@ -171,6 +203,11 @@ class LUFactors {
   std::vector<std::vector<std::size_t>> u_off_;  ///< block offsets in unz_
   std::vector<std::vector<index_t>> rowperm_;  ///< per-supernode local perm
   std::vector<double> umax_k_;                 ///< per-supernode max |U|
+  /// Per-supernode pivot bookkeeping, kept after the factorization so a
+  /// partial refactorize can reset only the dirty supernodes' entries and
+  /// re-merge; stats_/replacements_ are the ascending-K merge of these.
+  std::vector<dense::PivotStats> stats_k_;
+  std::vector<std::vector<dense::PivotReplacement<T>>> repl_k_;
   dense::PivotStats stats_;
   std::vector<std::pair<index_t, T>> replacements_;
   double growth_ = 0.0;

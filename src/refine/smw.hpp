@@ -1,14 +1,23 @@
-// Sherman–Morrison–Woodbury recovery of tiny-pivot perturbations —
-// the paper's §4 "aggressive pivot size control" extension.
+// Sherman–Morrison–Woodbury corrections over a static factorization.
 //
-// The factorization actually computed is of Ã = A + Σ_k δ_k e_k e_kᵀ
-// (each replaced pivot is a rank-1 diagonal perturbation). With
-// V = [δ_k e_k] and W = [e_k],  A = Ã − V·Wᵀ  and
+// Two users share the machinery:
+//
+//  1. Tiny-pivot recovery (the paper's §4 "aggressive pivot size control"):
+//     the factorization actually computed is of Ã = A + Σ_k δ_k e_k e_kᵀ
+//     (each replaced pivot is a rank-1 diagonal perturbation), and solves
+//     with the ORIGINAL A are recovered exactly.
+//  2. Low-rank delta refactorization: the factors describe a BASE matrix Ã
+//     and the target is A = Ã + Σ_k δ_k e_{i_k} e_{j_k}ᵀ — a handful of
+//     changed entries in a transient sweep, solved without refactorizing.
+//
+// Both are the same identity. With A = Ã − V·Wᵀ,
 //   A^{-1} = Ã^{-1} + Ã^{-1} V (I − Wᵀ Ã^{-1} V)^{-1} Wᵀ Ã^{-1},
-// so a handful of extra triangular solves recovers the *exact* inverse of
-// the original matrix — no matter how large the perturbations were.
+// so r extra triangular solves at construction and one r×r solve per
+// application recover the exact inverse — no matter how large the
+// perturbations were.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -18,23 +27,53 @@
 
 namespace gesp::refine {
 
-/// Wraps LU factors of the perturbed matrix Ã together with the recorded
-/// replacements, exposing exact solves with the original A.
+/// Wraps LU factors of a base matrix Ã together with a rank-r entrywise
+/// update, exposing exact solves with the updated matrix. The factors are
+/// held by shared_ptr so a correction in flight keeps them alive even when
+/// the owner (a cache entry, a solver mid-rebuild) lets go.
 template <class T>
 class SmwSolver {
  public:
-  /// `factors` must have been built with record_replacements = true.
-  explicit SmwSolver(const numeric::LUFactors<T>& factors);
+  /// One rank-1 term: the solve target is Ã + delta·e_row·e_colᵀ summed
+  /// over all updates (duplicate (row, col) positions are allowed — the
+  /// deltas simply add).
+  struct Update {
+    index_t row, col;
+    T delta;
+  };
 
-  /// Number of recorded perturbations (0 means plain solves).
-  index_t rank() const { return static_cast<index_t>(positions_.size()); }
+  /// Tiny-pivot recovery: `factors` must have been built with
+  /// record_replacements = true; solves target the original matrix (every
+  /// recorded diagonal perturbation is subtracted back out).
+  explicit SmwSolver(std::shared_ptr<const numeric::LUFactors<T>> factors);
+
+  /// Low-rank delta: solves target Ã + Σ updates[k].delta·e_row·e_colᵀ,
+  /// where Ã is the matrix `factors` factored.
+  SmwSolver(std::shared_ptr<const numeric::LUFactors<T>> factors,
+            const std::vector<Update>& updates);
+
+  /// Non-owning convenience for stack-held factors (tests, benches): the
+  /// caller guarantees `factors` outlives this solver.
+  explicit SmwSolver(const numeric::LUFactors<T>& factors)
+      : SmwSolver(std::shared_ptr<const numeric::LUFactors<T>>(
+            std::shared_ptr<const void>{}, &factors)) {}
+
+  /// Rank of the correction (0 means plain solves).
+  index_t rank() const { return static_cast<index_t>(gather_.size()); }
 
   /// x <- A^{-1}·x (exact up to roundoff, SMW-corrected).
   void solve(std::span<T> x) const;
+  /// x <- A^{-T}·x — the transposed solves the Hager–Higham condition /
+  /// forward-error estimators need.
+  void solve_transposed(std::span<T> x) const;
 
  private:
-  const numeric::LUFactors<T>& f_;
-  std::vector<index_t> positions_;  ///< global pivot columns replaced
+  void build(const std::vector<Update>& updates);
+
+  std::shared_ptr<const numeric::LUFactors<T>> f_;
+  std::vector<index_t> scatter_;  ///< row i_k (V's nonzero position)
+  std::vector<index_t> gather_;   ///< column j_k (Wᵀ gathers here)
+  std::vector<T> vscale_;         ///< −δ_k (V column k's nonzero value)
   std::vector<T> z_;          ///< Z = Ã^{-1}V, n-by-r column major
   std::vector<T> cap_;        ///< factored capacitance C = I − WᵀZ (r×r)
   std::vector<index_t> cap_perm_;  ///< partial-pivot permutation of C

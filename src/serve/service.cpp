@@ -502,7 +502,19 @@ Response<T> SolverService<T>::prepare_entry(CacheEntry<T>& e,
       metrics::global().counter("serve.cache.value_hash_collisions").inc();
     GESP_TRACE_SPAN("serve", "refactorize");
     metrics::global().counter("serve.cache.pattern_hit").inc();
-    e.solver->refactorize(A);
+    if (opt_.values_delta) {
+      // Near-values hit: let the solver diff the values and absorb the
+      // change with the cheapest route (noop / SMW / partial); it falls
+      // back to the full refactorize on its own for large drifts or an
+      // escalated configuration.
+      const count_t full_before = e.solver->stats().delta.full;
+      e.solver->refactorize_delta(A);
+      r.value_delta = e.solver->stats().delta.full == full_before;
+      if (r.value_delta)
+        metrics::global().counter("serve.cache.value_delta").inc();
+    } else {
+      e.solver->refactorize(A);
+    }
     e.value_hash = vhash;
     e.values = A.values;
     r.pattern_hit = true;

@@ -90,6 +90,11 @@ struct ServiceOptions {
   /// pattern. A successful recovery resets a not-yet-hostile pattern's
   /// failure count. <= 0 disables marking.
   int hostile_threshold = 2;
+  /// Pattern hits route through Solver::refactorize_delta instead of a
+  /// full refactorize: a transient workload whose values drift a few
+  /// columns per step turns same-values cache hits into near-values hits
+  /// (SMW correction or partial re-elimination, per solver.delta policy).
+  bool values_delta = true;
 };
 
 struct RequestOptions {
@@ -104,6 +109,8 @@ struct Response {
   double latency_s = 0.0;    ///< admission -> completion, service-side
   bool pattern_hit = false;  ///< reused a cached analysis (refactorized)
   bool value_hit = false;    ///< reused the factors outright
+  bool value_delta = false;  ///< near-values hit: the value change was
+                             ///< absorbed without a full refactorization
   bool shed = false;         ///< refinement skipped under load
   bool recovered = false;    ///< failure eviction + ladder retry happened
   bool hostile = false;      ///< pattern marked hostile; strongest rung armed

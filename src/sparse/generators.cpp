@@ -251,8 +251,9 @@ CscMatrix<double> chemical_like(index_t nstages, index_t stage_size,
   return A.to_csc();
 }
 
-CscMatrix<double> with_zero_diagonal(const CscMatrix<double>& A,
-                                     double fraction, std::uint64_t seed) {
+template <class T>
+CscMatrix<T> with_zero_diagonal(const CscMatrix<T>& A, double fraction,
+                                std::uint64_t seed) {
   GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
              "with_zero_diagonal needs a square matrix");
   GESP_CHECK(fraction >= 0.0 && fraction <= 1.0, Errc::invalid_argument,
@@ -275,7 +276,7 @@ CscMatrix<double> with_zero_diagonal(const CscMatrix<double>& A,
   for (index_t v : order) victim[v] = 1;
 
   const double strong = 2.0 * std::max(1.0, norm_max(A));
-  CooMatrix<double> B(n, n);
+  CooMatrix<T> B(n, n);
   for (index_t j = 0; j < n; ++j)
     for (index_t p = A.colptr[j]; p < A.colptr[j + 1]; ++p) {
       if (A.rowind[p] == j && victim[j]) continue;  // drop victim diagonal
@@ -285,11 +286,16 @@ CscMatrix<double> with_zero_diagonal(const CscMatrix<double>& A,
   // columns (j,i). Entries are strong so MC64 prefers them.
   for (index_t k = 0; k + 1 < count; k += 2) {
     const index_t i = order[k], j = order[k + 1];
-    B.add(i, j, strong);
-    B.add(j, i, -strong);
+    B.add(i, j, T(strong));
+    B.add(j, i, T(-strong));
   }
   return B.to_csc();
 }
+
+template CscMatrix<double> with_zero_diagonal(const CscMatrix<double>&,
+                                              double, std::uint64_t);
+template CscMatrix<Complex> with_zero_diagonal(const CscMatrix<Complex>&,
+                                               double, std::uint64_t);
 
 CscMatrix<double> cancellation_matrix(index_t n, index_t cancel_at,
                                       std::uint64_t seed) {
@@ -536,12 +542,73 @@ CscMatrix<Complex> randomize_phases(const CscMatrix<double>& A,
   return B;
 }
 
-CscMatrix<double> perturb_values(const CscMatrix<double>& A, double rel,
-                                 std::uint64_t seed) {
+template <class T>
+CscMatrix<T> perturb_values(const CscMatrix<T>& A, double rel,
+                            std::uint64_t seed) {
   Rng rng(seed);
-  CscMatrix<double> B = A;
-  for (double& v : B.values) v *= 1.0 + rel * rng.uniform(-1.0, 1.0);
+  CscMatrix<T> B = A;
+  for (T& v : B.values) v *= 1.0 + rel * rng.uniform(-1.0, 1.0);
   return B;
 }
+
+template CscMatrix<double> perturb_values(const CscMatrix<double>&, double,
+                                          std::uint64_t);
+template CscMatrix<Complex> perturb_values(const CscMatrix<Complex>&, double,
+                                           std::uint64_t);
+
+template <class T>
+CscMatrix<T> perturb_columns(const CscMatrix<T>& A, double col_fraction,
+                             double rel, std::uint64_t seed) {
+  GESP_CHECK(col_fraction >= 0.0 && col_fraction <= 1.0,
+             Errc::invalid_argument, "col_fraction must be in [0,1]");
+  Rng rng(seed);
+  const index_t n = A.ncols;
+  index_t count = static_cast<index_t>(col_fraction * n);
+  if (col_fraction > 0.0 && n > 0) count = std::max<index_t>(count, 1);
+  // Fisher–Yates prefix: the chosen column set depends only on (n, seed).
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[i] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[i], order[rng.next_index(i + 1)]);
+  std::vector<char> chosen(static_cast<std::size_t>(n), 0);
+  for (index_t k = 0; k < count; ++k) chosen[order[k]] = 1;
+  CscMatrix<T> B = A;
+  for (index_t j = 0; j < n; ++j) {
+    if (!chosen[j]) continue;  // bitwise untouched
+    for (index_t p = B.colptr[j]; p < B.colptr[j + 1]; ++p)
+      B.values[p] *= 1.0 + rel * rng.uniform(-1.0, 1.0);
+  }
+  return B;
+}
+
+template CscMatrix<double> perturb_columns(const CscMatrix<double>&, double,
+                                           double, std::uint64_t);
+template CscMatrix<Complex> perturb_columns(const CscMatrix<Complex>&, double,
+                                            double, std::uint64_t);
+
+template <class T>
+CscMatrix<T> perturb_column_window(const CscMatrix<T>& A, double col_fraction,
+                                   double rel, std::uint64_t seed) {
+  GESP_CHECK(col_fraction >= 0.0 && col_fraction <= 1.0,
+             Errc::invalid_argument, "col_fraction must be in [0,1]");
+  Rng rng(seed);
+  const index_t n = A.ncols;
+  index_t count = static_cast<index_t>(col_fraction * n);
+  if (col_fraction > 0.0 && n > 0) count = std::max<index_t>(count, 1);
+  CscMatrix<T> B = A;
+  if (count == 0) return B;
+  const index_t start = rng.next_index(n - count + 1);
+  for (index_t j = start; j < start + count; ++j)
+    for (index_t p = B.colptr[j]; p < B.colptr[j + 1]; ++p)
+      B.values[p] *= 1.0 + rel * rng.uniform(-1.0, 1.0);
+  return B;
+}
+
+template CscMatrix<double> perturb_column_window(const CscMatrix<double>&,
+                                                 double, double,
+                                                 std::uint64_t);
+template CscMatrix<Complex> perturb_column_window(const CscMatrix<Complex>&,
+                                                  double, double,
+                                                  std::uint64_t);
 
 }  // namespace gesp::sparse

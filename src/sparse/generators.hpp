@@ -72,9 +72,12 @@ CscMatrix<double> chemical_like(index_t nstages, index_t stage_size,
 /// Remove the diagonal entry from ~fraction·n rows, pairing the affected
 /// rows in 2-cycles and inserting strong entries at (i,j) and (j,i) so a
 /// perfect matching still exists (the matrix stays structurally
-/// nonsingular, but *requires* row pivoting/permutation).
-CscMatrix<double> with_zero_diagonal(const CscMatrix<double>& A,
-                                     double fraction, std::uint64_t seed);
+/// nonsingular, but *requires* row pivoting/permutation). Works on double
+/// and Complex inputs with identical RNG consumption: the victim set (the
+/// pattern edit) depends only on (pattern, seed), never on the value type.
+template <class T>
+CscMatrix<T> with_zero_diagonal(const CscMatrix<T>& A, double fraction,
+                                std::uint64_t seed);
 
 /// Tridiagonal-with-cancellation matrix: all diagonal entries are nonzero
 /// and well scaled, but elimination without pivoting produces an *exact
@@ -157,8 +160,30 @@ CscMatrix<Complex> randomize_phases(const CscMatrix<double>& A,
 
 /// Perturb the nonzero *values* (not the pattern) — models the paper's
 /// repeated-factorization scenario, where the pattern is fixed across a
-/// simulation but values change each step.
-CscMatrix<double> perturb_values(const CscMatrix<double>& A, double rel,
-                                 std::uint64_t seed);
+/// simulation but values change each step. One RNG draw per stored entry
+/// for every value type, so double and Complex runs with the same seed
+/// perturb by the same relative factors.
+template <class T>
+CscMatrix<T> perturb_values(const CscMatrix<T>& A, double rel,
+                            std::uint64_t seed);
+
+/// Perturb the values of ~col_fraction·n randomly chosen columns, leaving
+/// every other column bitwise untouched — the transient-simulation update
+/// shape (a few device stamps change per time step) that delta
+/// refactorization exploits. Pattern-preserving and seeded-deterministic;
+/// a positive fraction touches at least one column.
+template <class T>
+CscMatrix<T> perturb_columns(const CscMatrix<T>& A, double col_fraction,
+                             double rel, std::uint64_t seed);
+
+/// Perturb the values of one contiguous window of ~col_fraction·n columns
+/// (seeded random placement), leaving every other column bitwise untouched.
+/// Models *localized* transient activity — one subcircuit switching while
+/// the rest of the design is quiescent — which keeps the dirty-supernode
+/// closure small; scattered perturb_columns() is the pessimistic contrast
+/// whose closure reaches much more of the factorization.
+template <class T>
+CscMatrix<T> perturb_column_window(const CscMatrix<T>& A, double col_fraction,
+                                   double rel, std::uint64_t seed);
 
 }  // namespace gesp::sparse

@@ -278,6 +278,24 @@ std::vector<index_t> etree_postorder(const sparse::CscMatrix<T>& A) {
   return ordering::postorder(ordering::column_etree(A));
 }
 
+void close_update_reachable(const SymbolicLU& S, std::vector<char>& dirty) {
+  GESP_CHECK(dirty.size() == static_cast<std::size_t>(S.nsup),
+             Errc::invalid_argument,
+             "dirty set size does not match the supernode count");
+  for (index_t K = 0; K < S.nsup; ++K) {
+    if (!dirty[K]) continue;
+    if (S.L[K].empty() || S.U[K].empty()) continue;  // no update pairs
+    const index_t maxI = S.L[K].back().I;
+    const index_t maxJ = S.U[K].back().J;
+    // A pair (I, J) with owner I exists iff some J >= I does (I <= maxJ);
+    // symmetrically for owners from the U side.
+    for (const auto& blk : S.L[K])
+      if (blk.I <= maxJ) dirty[blk.I] = 1;
+    for (const auto& blk : S.U[K])
+      if (blk.J <= maxI) dirty[blk.J] = 1;
+  }
+}
+
 template SymbolicLU analyze(const sparse::CscMatrix<double>&,
                             const SymbolicOptions&);
 template SymbolicLU analyze(const sparse::CscMatrix<Complex>&,

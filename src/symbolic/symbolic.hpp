@@ -94,6 +94,15 @@ SymbolicLU analyze(const sparse::CscMatrix<T>& A,
 template <class T>
 std::vector<index_t> etree_postorder(const sparse::CscMatrix<T>& A);
 
+/// Close a per-supernode dirty set under the numeric update dependencies,
+/// in place. A supernode O must be re-eliminated when any source K < O
+/// with an update pair (I, J), O = min(I, J), is itself dirty: the pair
+/// writes into O's storage, so O's blocks depend on K's panels. Every
+/// owner of K's pairs is > K, so one ascending-K sweep computes the full
+/// transitive closure. The owner set of K is exact (not the etree-ancestor
+/// superset): {I in L[K] : I <= max J} ∪ {J in U[K] : J <= max I}.
+void close_update_reachable(const SymbolicLU& S, std::vector<char>& dirty);
+
 extern template SymbolicLU analyze(const sparse::CscMatrix<double>&,
                                    const SymbolicOptions&);
 extern template SymbolicLU analyze(const sparse::CscMatrix<Complex>&,

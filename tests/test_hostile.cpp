@@ -183,33 +183,62 @@ TEST(FaultInjection, LadderAbsorbsValueCorruption) {
 
 TEST(FaultInjection, ServeRefactorizesFaultedValuesOnTheCachedPattern) {
   // The faulted matrix keeps the clean pattern, so the serve layer routes
-  // it onto the cached analysis as a refactorize — which reuses the CLEAN
-  // values' equilibration and mc64 scalings on entries now 1e9 off. The
-  // static factorization that falls out is garbage (berr stalls near 1),
-  // and a robust service must be run with the ladder armed so the stall
-  // escalates instead of being served. End-to-end: warm clean, then
-  // serve faulted values across seeds and demand a policy-meeting berr
-  // plus a trail that shows the escalation happened.
+  // it onto the cached analysis. With values_delta off that is a plain
+  // refactorize — which reuses the CLEAN values' equilibration and mc64
+  // scalings on entries now 1e14 off. The static factorization that falls
+  // out stalls refinement (pivot growth the stale scalings can no longer
+  // damp — 40 faults at this magnitude; with the replacement threshold
+  // pinned at analysis time, milder faults now factor cleanly), and a
+  // robust service must be run with the ladder armed so the stall
+  // escalates instead of being served. End-to-end: warm clean, then serve
+  // faulted values across seeds and demand a policy-meeting berr plus a
+  // trail showing the escalation.
   serve::ServiceOptions sopt;
   sopt.solver.backend = Backend::serial;
   sopt.solver.recovery.enabled = true;
+  sopt.values_delta = false;
   serve::SolverService<double> svc(sopt);
   const auto A = sparse::convdiff2d(20, 20, 1.0, 0.5);
   svc.warm(A);
   bool escalated = false;
   for (std::uint64_t seed : {11u, 12u, 13u}) {
-    const auto F = sparse::inject_value_faults(A, 10, 1e9, seed);
+    const auto F = sparse::inject_value_faults(A, 40, 1e14, seed);
     const auto b = rhs_for(F);
     const auto r = svc.solve(F, b);
     EXPECT_TRUE(r.pattern_hit) << "seed " << seed;
-    // 1e9-magnitude faults leave the matrix very ill-conditioned, so the
-    // guarantee is backward error, not closeness to the unfaulted x.
+    // Faults of this magnitude leave the matrix very ill-conditioned, so
+    // the guarantee is backward error, not closeness to the unfaulted x.
     EXPECT_LE(r.berr, sqrt_eps()) << "seed " << seed;
     ASSERT_FALSE(r.recovery.attempts.empty()) << "seed " << seed;
     EXPECT_TRUE(r.recovery.recovered) << "seed " << seed;
     escalated |= r.recovery.final_rung != RecoveryRung::gesp;
   }
   EXPECT_TRUE(escalated);
+}
+
+TEST(FaultInjection, ValuesDeltaAbsorbsFaultsExactlyWithoutEscalation) {
+  // With values_delta on (the default), the same 10-entry faults never
+  // reach the stale-scalings trap: the delta router absorbs them as an
+  // exact rank-10 SMW correction over the clean factors, so the service
+  // answers at machine-level berr with no ladder escalation at all —
+  // strictly cheaper AND strictly more accurate than the refactorize path
+  // above. This pins the interplay between fault injection and the delta
+  // route: an exact correction is a *better* recovery than the ladder.
+  serve::ServiceOptions sopt;
+  sopt.solver.backend = Backend::serial;
+  sopt.solver.recovery.enabled = true;
+  serve::SolverService<double> svc(sopt);
+  const auto A = sparse::convdiff2d(20, 20, 1.0, 0.5);
+  svc.warm(A);
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const auto F = sparse::inject_value_faults(A, 10, 1e9, seed);
+    const auto b = rhs_for(F);
+    const auto r = svc.solve(F, b);
+    EXPECT_TRUE(r.pattern_hit) << "seed " << seed;
+    EXPECT_TRUE(r.value_delta) << "seed " << seed;
+    EXPECT_LE(r.berr, sqrt_eps()) << "seed " << seed;
+    EXPECT_EQ(r.recovery.final_rung, RecoveryRung::gesp) << "seed " << seed;
+  }
 }
 
 }  // namespace

@@ -649,6 +649,81 @@ TEST(Workload, MalformedFileThrowsIo) {
   }
 }
 
+TEST(SolverService, ValuesDeltaAbsorbsDriftOnPatternHits) {
+  // A pattern hit with drifted values routes through refactorize_delta:
+  // the response's value_delta flag and the serve.cache.value_delta
+  // counter record that the change was absorbed without a full
+  // refactorization, and the answer stays refinement-converged.
+  serve::ServiceOptions opt;
+  opt.solver.backend = Backend::serial;
+  serve::SolverService<double> svc(opt);
+  const auto A = testbed_matrix("west0497-s");
+  const std::vector<double> ones(static_cast<std::size_t>(A.ncols), 1.0);
+
+  const count_t delta0 = counter_value("serve.cache.value_delta");
+  const auto cold = svc.solve(A, rhs_for(A));
+  EXPECT_FALSE(cold.value_delta);
+  // A handful of changed entries: the SMW or partial route absorbs it.
+  auto B = A;
+  B.values[0] *= 1.4;
+  B.values[B.values.size() / 2] *= 0.9;
+  const auto drift = svc.solve(B, rhs_for(B));
+  EXPECT_TRUE(drift.pattern_hit);
+  EXPECT_FALSE(drift.value_hit);
+  EXPECT_TRUE(drift.value_delta);
+  EXPECT_EQ(counter_value("serve.cache.value_delta"), delta0 + 1);
+  EXPECT_LT(sparse::relative_error_inf<double>(ones, drift.x), 1e-8);
+  // Resubmitting the drifted values is a value hit, not a delta: the
+  // entry's stored value bytes were refreshed by the delta path.
+  const auto again = svc.solve(B, rhs_for(B));
+  EXPECT_TRUE(again.value_hit);
+  EXPECT_FALSE(again.value_delta);
+
+  // values_delta=false restores the plain refactorize path.
+  serve::ServiceOptions off = opt;
+  off.values_delta = false;
+  serve::SolverService<double> svc2(off);
+  (void)svc2.solve(A, rhs_for(A));
+  const auto full = svc2.solve(B, rhs_for(B));
+  EXPECT_TRUE(full.pattern_hit);
+  EXPECT_FALSE(full.value_delta);
+}
+
+TEST(FactorizationCache, EvictedEntryWithLiveSmwCorrectionStillSolves) {
+  // Lifetime satellite: entries are shared_ptr and the SMW correction
+  // holds the factors through a shared_ptr of its own, so evicting an
+  // entry mid-flight — unlinking it while a holder still references it —
+  // must leave an active delta correction fully usable. (ASan in CI turns
+  // any dangling factor reference here into a hard failure.)
+  serve::FactorizationCache<double> cache(/*max_entries=*/1,
+                                          /*max_bytes=*/0);
+  const auto A = testbed_matrix("west0497-s");
+  bool hit = false;
+  auto e = cache.acquire(A, &hit);
+  e->solver = std::make_unique<Solver<double>>(A, SolverOptions{});
+  // Activate a rank-2 SMW correction over the cached factors.
+  auto B = A;
+  B.values[3] *= 1.5;
+  B.values[B.values.size() / 3] *= 0.8;
+  e->solver->refactorize_delta(B);
+  ASSERT_EQ(e->solver->stats().delta.smw, 1u);
+
+  // Evict mid-flight: unlink our entry, then churn the one-slot cache so
+  // other patterns occupy and re-evict the map position.
+  cache.erase(e);
+  cache.acquire(testbed_matrix("orsirr-s"), &hit);
+  cache.acquire(testbed_matrix("goodwin-s"), &hit);
+  EXPECT_EQ(cache.entries(), 1u);
+
+  // Our reference — the "batch still executing" of the cache contract —
+  // solves through the correction as if nothing happened.
+  const auto b = rhs_for(B);
+  std::vector<double> x(b.size());
+  const std::vector<double> ones(b.size(), 1.0);
+  e->solver->solve(b, x);
+  EXPECT_LT(sparse::relative_error_inf<double>(ones, x), 1e-8);
+}
+
 TEST(HistogramQuantile, InterpolatesWithinMinMax) {
   metrics::Histogram h;
   EXPECT_EQ(h.quantile(0.5), 0.0);  // empty

@@ -36,6 +36,12 @@
 //   --repeat=N            call solve() N times on the same system; the
 //                         report then shows per-call AND cumulative phase
 //                         times (they differ: factorization is amortized)
+//   --delta[=FRAC]        after the initial solve, run --repeat transient
+//                         steps: perturb a contiguous window of ~FRAC·n
+//                         columns (default 0.05, values only) and
+//                         refactorize through the delta router
+//                         (noop/SMW/partial/full), printing the route and
+//                         per-step cost (in-process backends only)
 //   --dist=P              shorthand for --backend=dist with P simulated
 //                         MiniMPI ranks (near-square grid); comm spans and
 //                         dist.* counters land in the trace
@@ -80,6 +86,7 @@
 #include "dist/minimpi.hpp"
 #include "io/harwell_boeing.hpp"
 #include "io/matrix_market.hpp"
+#include "sparse/generators.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/testbed.hpp"
 #include "symbolic/symbolic.hpp"
@@ -99,7 +106,7 @@ using namespace gesp;
                "[--precision=double|single|mixed] [--max-block=N] "
                "[--relax=N] [--ferr] [--rcond] [--recover]\n"
                "       [--backend=serial|threaded|dist] [--threads=N] "
-               "[--repeat=N] [--dist=P] [--grid=RxC]\n"
+               "[--repeat=N] [--delta[=FRAC]] [--dist=P] [--grid=RxC]\n"
                "       [--no-pipeline] [--no-edag] "
                "[--trace=FILE] [--metrics-json=FILE] [--list]\n"
                "exit codes: 0 solved, 2 usage, 3 invalid argument, 4 io,\n"
@@ -173,6 +180,7 @@ int main(int argc, char** argv) {
   std::string trace_path, metrics_path;
   int repeat = 1;
   int dist_p = 0;
+  double delta_frac = 0.0;
   SolverOptions opt;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -251,6 +259,12 @@ int main(int argc, char** argv) {
     } else if (const char* v8 = value_of(a, "--repeat")) {
       repeat = std::atoi(v8);
       if (repeat < 1) usage("--repeat must be >= 1");
+    } else if (std::strcmp(a, "--delta") == 0) {
+      delta_frac = 0.05;
+    } else if (const char* vd = value_of(a, "--delta")) {
+      delta_frac = std::atof(vd);
+      if (delta_frac <= 0.0 || delta_frac > 1.0)
+        usage("--delta fraction must be in (0,1]");
     } else if (const char* v9 = value_of(a, "--dist")) {
       dist_p = std::atoi(v9);
       if (dist_p < 1) usage("--dist must be >= 1");
@@ -292,6 +306,8 @@ int main(int argc, char** argv) {
   if (path.empty()) usage("no matrix given");
   if (opt.backend == Backend::dist && opt.precision != Precision::double_)
     usage("--precision=single|mixed is not available on the dist backend");
+  if (opt.backend == Backend::dist && delta_frac > 0.0)
+    usage("--delta is not available on the dist backend");
 
   if (!trace_path.empty()) trace::start();
 
@@ -368,6 +384,34 @@ int main(int argc, char** argv) {
     } else {
       Solver<double> solver(A, opt);
       for (int r = 0; r < repeat; ++r) solver.solve(b, x);
+      if (delta_frac > 0.0) {
+        // Transient drift: each of `repeat` steps perturbs one contiguous
+        // window of ~delta_frac·n columns of the previous step's matrix
+        // (values only — the pattern is fixed) and refactorizes through
+        // the delta router, reporting which route absorbed the change.
+        auto Ad = A;
+        for (int step = 1; step <= repeat; ++step) {
+          Ad = sparse::perturb_column_window(Ad, delta_frac, 0.2,
+                                             9000 + step);
+          if (know_truth) sparse::spmv<double>(Ad, x_true, b);
+          const DeltaStats before = solver.stats().delta;
+          Timer td;
+          solver.refactorize_delta(Ad);
+          const double refactor_s = td.seconds();
+          solver.solve(b, x);
+          const DeltaStats& d = solver.stats().delta;
+          const char* route = d.smw > before.smw           ? "smw"
+                              : d.partial > before.partial ? "partial"
+                              : d.noop > before.noop       ? "noop"
+                                                           : "full";
+          std::printf("delta step %d: %s route, %lld changed entries, "
+                      "%d/%d dirty supernodes, refactor %.3f s, berr %.3e\n",
+                      step, route,
+                      static_cast<long long>(d.changed_entries),
+                      d.dirty_supernodes, solver.stats().nsup, refactor_s,
+                      solver.stats().berr);
+        }
+      }
       s = solver.stats();
     }
 
