@@ -51,7 +51,7 @@ Problem make_problem(const std::string& name) {
 serve::ServiceOptions service_options(index_t max_batch, double linger_s,
                                       int workers) {
   serve::ServiceOptions o;
-  o.solver.backend = Backend::serial;
+  o.backend = Backend::serial;
   o.num_workers = workers;
   o.max_batch = max_batch;
   o.batch_linger_s = linger_s;

@@ -25,7 +25,7 @@ int main() {
   // a service with defaults: 2 workers, pattern cache, batching enabled.
   const auto base = sparse::testbed_entry("add20-s").make();
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   serve::SolverService<double> svc(opt);
 
   std::printf("sweeping %d parameter sets over %s (n = %d, nnz = %lld)\n\n",

@@ -25,6 +25,7 @@ bench_machine_epochs
 bench_dist_backend
 bench_hostile
 bench_serve
+bench_serve_dist
 bench_mixed
 bench_delta
 bench_kernels
@@ -38,6 +39,12 @@ for b in $BENCHES; do
     # batched vs unbatched throughput, recorded machine-readable next to
     # this script (the CI serve-smoke artifact).
     "build/bench/$b" --out=BENCH_serve.json || echo "BENCH FAILED: $b"
+  elif [ "$b" = "bench_serve_dist" ]; then
+    # Sharded serving tier: fleet-vs-single-node cache capacity under one
+    # per-rank byte budget (the ~R x retention claim) and kill-rank chaos
+    # accounting, recorded machine-readable next to this script (the CI
+    # serve-dist artifact).
+    "build/bench/$b" --out=BENCH_serve_dist.json || echo "BENCH FAILED: $b"
   elif [ "$b" = "bench_dist_backend" ]; then
     # Distributed backend: pipelined-vs-strict makespan model, real
     # message/byte counters and look-ahead hits per grid shape, recorded

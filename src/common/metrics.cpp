@@ -47,6 +47,26 @@ void Histogram::record(double v) noexcept {
       1, std::memory_order_relaxed);
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  count_t buckets[kBuckets];
+  for (int k = 0; k < kBuckets; ++k) buckets[k] = other.bucket(k);
+  merge_raw(other.count(), other.sum(), other.min(), other.max(), buckets);
+}
+
+void Histogram::merge_raw(count_t count, double sum, double mn, double mx,
+                          const count_t* buckets) noexcept {
+  if (count == 0) return;  // empty operand: min/max are sentinel infinities
+  count_.fetch_add(count, std::memory_order_relaxed);
+  atomic_add(sum_, sum);
+  atomic_min(min_, mn);
+  atomic_max(max_, mx);
+  for (int k = 0; k < kBuckets; ++k) {
+    if (buckets[k] != 0)
+      buckets_[static_cast<std::size_t>(k)].fetch_add(
+          buckets[k], std::memory_order_relaxed);
+  }
+}
+
 double Histogram::quantile(double q) const noexcept {
   const count_t total = count();
   if (total == 0) return 0.0;

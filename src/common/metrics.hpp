@@ -81,6 +81,19 @@ class Histogram {
   /// keep sub-second tails distinguishable. Returns 0 when empty.
   double quantile(double q) const noexcept;
 
+  /// Fold another histogram's samples into this one: bucket counts add,
+  /// count/sum add, min/max widen. Quantiles computed afterwards come from
+  /// the merged bucket counts, not either operand alone — the serving tier
+  /// aggregates per-rank serve.latency histograms this way. `other` should
+  /// be quiescent while merged (concurrent record() on it may be missed).
+  void merge(const Histogram& other) noexcept;
+
+  /// merge() from raw components — the wire form used when a histogram
+  /// arrives from another rank as a flat blob. `buckets` must hold kBuckets
+  /// entries.
+  void merge_raw(count_t count, double sum, double mn, double mx,
+                 const count_t* buckets) noexcept;
+
   void reset() noexcept;
 
  private:

@@ -446,6 +446,32 @@ TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
   return out;
 }
 
+std::size_t factor_asset_bytes(count_t stored_l, count_t stored_u,
+                               count_t nnz_l, count_t nnz_u, index_t n,
+                               count_t nnz, std::size_t factor_scalar,
+                               std::size_t value_scalar) noexcept {
+  const auto un = static_cast<std::size_t>(n);
+  std::size_t b = 0;
+  b += static_cast<std::size_t>(stored_l + stored_u) * factor_scalar;
+  b += static_cast<std::size_t>(nnz_l + nnz_u) * sizeof(index_t);
+  b += static_cast<std::size_t>(nnz) *
+       (2 * value_scalar + sizeof(index_t));
+  b += (un + 1) * sizeof(index_t);
+  b += 6 * un * sizeof(double);  // row/col scales + permutations + workspace
+  return b;
+}
+
+template <class T>
+std::size_t estimate_factor_bytes(const sparse::CscMatrix<T>& A,
+                                  const SolverOptions& opt) {
+  const TransformResult<T> tr = compute_transform(A, opt);
+  const symbolic::SymbolicLU sym = symbolic::analyze(tr.At, opt.symbolic);
+  const std::size_t factor_scalar =
+      opt.precision == Precision::double_ ? sizeof(T) : sizeof(float);
+  return factor_asset_bytes(sym.stored_L, sym.stored_U, sym.nnz_L, sym.nnz_U,
+                            A.ncols, A.nnz(), factor_scalar, sizeof(T));
+}
+
 template <class T>
 void Solver<T>::transform(const sparse::CscMatrix<T>& A) {
   TransformResult<T> r = compute_transform(A, opt_, &stats_.times);
@@ -1178,6 +1204,10 @@ template TransformResult<double> compute_transform(
     const sparse::CscMatrix<double>&, const SolverOptions&, PhaseTimes*);
 template TransformResult<Complex> compute_transform(
     const sparse::CscMatrix<Complex>&, const SolverOptions&, PhaseTimes*);
+template std::size_t estimate_factor_bytes(const sparse::CscMatrix<double>&,
+                                           const SolverOptions&);
+template std::size_t estimate_factor_bytes(const sparse::CscMatrix<Complex>&,
+                                           const SolverOptions&);
 template class Solver<double>;
 template class Solver<Complex>;
 template std::vector<double> solve(const sparse::CscMatrix<double>&,

@@ -316,6 +316,29 @@ TransformResult<T> compute_transform(const sparse::CscMatrix<T>& A,
                                      const SolverOptions& opt,
                                      PhaseTimes* times = nullptr);
 
+/// Byte footprint of one resident factorization asset: supernodal factor
+/// storage (at `factor_scalar` bytes per stored entry), factor index
+/// structure, a retained copy of A (values twice — original + transformed —
+/// at `value_scalar` each, plus row indices and column pointers), and the
+/// n-proportional scales/permutations/workspace. This is the accounting the
+/// serve-layer cache charges per entry and the sharded tier budgets shards
+/// by — one formula, used by both, so the budgets agree.
+std::size_t factor_asset_bytes(count_t stored_l, count_t stored_u,
+                               count_t nnz_l, count_t nnz_u, index_t n,
+                               count_t nnz, std::size_t factor_scalar,
+                               std::size_t value_scalar) noexcept;
+
+/// Pre-factorization estimate of factor_asset_bytes for A under `opt`:
+/// runs the analysis pipeline only (transform + symbolic — cheap,
+/// deterministic, no numeric phase) and prices the resulting structure.
+/// Exact for the serial/threaded engines, whose numeric factorization
+/// fills exactly the symbolic structure. The sharded serving tier routes
+/// on this: a matrix whose estimate exceeds a shard's byte budget goes to
+/// the cooperative multi-rank path instead of a single owner.
+template <class T>
+std::size_t estimate_factor_bytes(const sparse::CscMatrix<T>& A,
+                                  const SolverOptions& opt);
+
 /// GESP solver: construction runs steps (1)-(3) (analysis + factorization);
 /// solve() runs step (4) per right-hand side.
 template <class T>
@@ -472,6 +495,10 @@ extern template TransformResult<double> compute_transform(
     const sparse::CscMatrix<double>&, const SolverOptions&, PhaseTimes*);
 extern template TransformResult<Complex> compute_transform(
     const sparse::CscMatrix<Complex>&, const SolverOptions&, PhaseTimes*);
+extern template std::size_t estimate_factor_bytes(
+    const sparse::CscMatrix<double>&, const SolverOptions&);
+extern template std::size_t estimate_factor_bytes(
+    const sparse::CscMatrix<Complex>&, const SolverOptions&);
 extern template class Solver<double>;
 extern template class Solver<Complex>;
 extern template std::vector<double> solve(const sparse::CscMatrix<double>&,

@@ -67,14 +67,6 @@ class DistributedLU {
   /// solution is written to x on every rank on exit).
   void solve(minimpi::Comm& comm, std::span<const T> b, std::span<T> x);
 
-  /// Deprecated replicated-vector shim over the std::span overload.
-  [[deprecated("use the std::span overload of solve()")]]
-  std::vector<T> solve(minimpi::Comm& comm, const std::vector<T>& b) {
-    std::vector<T> x(b.size());
-    solve(comm, std::span<const T>(b.data(), b.size()), std::span<T>(x));
-    return x;
-  }
-
   /// Re-factorize for a matrix with the SAME nonzero pattern but new
   /// values (the repeated-solve workload the paper amortizes the ordering
   /// over): re-scatter the owned entries and run the factorization again.

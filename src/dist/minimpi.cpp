@@ -169,6 +169,18 @@ Message Comm::recv(int src, int tag) {
                   "rank " + std::to_string(rank_) + " unblocked from recv " +
                       envelope(src, tag) + ": rank " +
                       std::to_string(world_->failed_rank()) + " failed");
+    if (world_->opt_.survive_failures && world_->dead_mask() != 0) {
+      // Surviving world: fail only receives that depend on a dead rank —
+      // a named dead source can never send again, and a wildcard receive
+      // cannot prove its sender is alive (this is how collective episodes
+      // abort while point-to-point serving from live ranks continues).
+      if (src == kAnySource || world_->is_dead(src))
+        throw_error(Errc::comm,
+                    "rank " + std::to_string(rank_) +
+                        " unblocked from recv " + envelope(src, tag) +
+                        ": rank " + std::to_string(world_->failed_rank()) +
+                        " is dead in a surviving world");
+    }
     if (timeout > 0) {
       if (box.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
           !box.poisoned) {
@@ -254,6 +266,28 @@ double Comm::reduce_sum(int root, int tag, double value) {
   return value;
 }
 
+std::vector<double> Comm::reduce_sum_vec(int root, int tag,
+                                         std::span<const double> v,
+                                         int contributors) {
+  std::vector<double> out(v.begin(), v.end());
+  if (contributors < 0) contributors = size() - 1;
+  if (rank_ == root) {
+    for (int r = 0; r < contributors; ++r) {
+      const Message m = recv(kAnySource, tag);
+      const auto part = m.as<double>();
+      GESP_CHECK(part.size() == out.size(), Errc::comm,
+                 "reduce_sum_vec: contribution from rank " +
+                     std::to_string(m.src) + " has " +
+                     std::to_string(part.size()) + " elements, expected " +
+                     std::to_string(out.size()));
+      for (std::size_t i = 0; i < out.size(); ++i) out[i] += part[i];
+    }
+    return out;
+  }
+  send(root, tag, out.data(), out.size() * sizeof(double));
+  return out;
+}
+
 double Comm::reduce_max(int root, int tag, double value) {
   if (rank_ == root) {
     double best = value;
@@ -274,6 +308,8 @@ double Comm::reduce_max(int root, int tag, double value) {
 
 World::World(int nprocs, const WorldOptions& opt) : opt_(opt) {
   GESP_CHECK(nprocs > 0, Errc::invalid_argument, "need at least one rank");
+  GESP_CHECK(nprocs <= 64, Errc::invalid_argument,
+             "in-process worlds are capped at 64 ranks (dead-rank mask)");
   mailboxes_.reserve(static_cast<std::size_t>(nprocs));
   for (int r = 0; r < nprocs; ++r)
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -294,10 +330,14 @@ void World::poison(int src) {
     tm().poisonings.inc();
     trace::instant("mpi", "poison", src);
   }
+  dead_mask_.fetch_or(std::uint64_t{1} << static_cast<unsigned>(src),
+                      std::memory_order_acq_rel);
   for (auto& box : mailboxes_) {
     {
       std::lock_guard<std::mutex> lock(box->mu);
-      box->poisoned = true;
+      // A surviving world only records the death and wakes the waiters;
+      // receives that do not depend on the dead rank keep working.
+      if (!opt_.survive_failures) box->poisoned = true;
     }
     box->cv.notify_all();
   }
@@ -307,11 +347,20 @@ void World::poison(int src) {
   barrier_cv_.notify_all();
 }
 
+int World::alive_count() const {
+  const std::uint64_t dead = dead_mask();
+  int n = 0;
+  for (int r = 0; r < size(); ++r)
+    if (!((dead >> static_cast<unsigned>(r)) & 1u)) ++n;
+  return n;
+}
+
 std::vector<RankReport> World::run_report(
     const std::function<void(Comm&)>& body) {
   const int P = size();
   // Reset failure state so a World can host several runs.
   failed_rank_.store(-1);
+  dead_mask_.store(0);
   for (auto& box : mailboxes_) {
     std::lock_guard<std::mutex> lock(box->mu);
     box->poisoned = false;

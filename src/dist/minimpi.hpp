@@ -22,10 +22,12 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +39,24 @@ namespace gesp::minimpi {
 
 inline constexpr int kAnySource = -1;
 inline constexpr int kAnyTag = -1;
+
+/// Reserved tag block for the sharded serving tier (serve/shard.cpp). The
+/// factorization and solve tag spaces are all bounded by O(16·nsup), so a
+/// high fixed block never collides with numeric traffic for any matrix an
+/// in-process world can hold; keeping the constants here (with the other
+/// envelope-level definitions) makes the reservation visible to anyone
+/// adding a new tag family.
+namespace serve_tags {
+inline constexpr int kBase = 1 << 28;
+inline constexpr int kRequest = kBase + 0;    ///< gateway -> owner rank
+inline constexpr int kResponse = kBase + 1;   ///< owner rank -> gateway
+inline constexpr int kReplicate = kBase + 2;  ///< gateway -> backup owner
+inline constexpr int kReplicaAck = kBase + 3; ///< backup owner -> gateway
+inline constexpr int kCollective = kBase + 4; ///< gateway -> all (DistSolver)
+inline constexpr int kStop = kBase + 5;       ///< gateway -> all (drain+exit)
+inline constexpr int kMetrics = kBase + 6;    ///< rank -> gateway (histogram)
+inline constexpr int kReduce = kBase + 7;     ///< counter reduce (reduce_sum_vec)
+}  // namespace serve_tags
 
 /// FNV-1a over the payload — cheap, and any single flipped byte changes it.
 std::uint64_t payload_checksum(const std::byte* data, std::size_t bytes);
@@ -79,6 +99,17 @@ struct WorldOptions {
   /// the blocked rank throws Errc::comm naming the (src, tag) it waited
   /// for — the deadlock watchdog.
   double recv_timeout_s = 0.0;
+  /// Failure semantics when a rank dies. false (the collective default):
+  /// poison every mailbox — any subsequent blocked receive anywhere throws
+  /// Errc::comm, because a collective factorization cannot outlive a lost
+  /// participant. true (the serving tier): record the rank in the dead set
+  /// and wake all waiters, but poison nothing — a receive throws only when
+  /// it provably cannot be satisfied (its named source is dead, or it is a
+  /// wildcard receive while any rank is dead, which is how a collective
+  /// episode inside a surviving world aborts). Sends to a dead rank are
+  /// delivered to its unread mailbox and harmless. Already-queued messages
+  /// from a dead rank remain receivable either way (drain semantics).
+  bool survive_failures = false;
   /// Chaos hook applied to every send (see dist/fault.hpp).
   FaultInjector fault;
 };
@@ -133,6 +164,14 @@ class Comm {
   /// Max-reduction onto `root` (other ranks return their own value).
   /// NaN-propagating: if any contribution is NaN the root result is NaN.
   double reduce_max(int root, int tag, double value);
+  /// Elementwise sum-reduce of a vector onto root (non-root ranks return
+  /// their own contribution). `contributors` is the number of non-root
+  /// ranks expected to send (-1 = size()-1); a degraded surviving world
+  /// passes its alive count so the reduce never waits on the dead. The
+  /// serving tier aggregates per-rank serve.* counters with this.
+  std::vector<double> reduce_sum_vec(int root, int tag,
+                                     std::span<const double> v,
+                                     int contributors = -1);
 
   const CommStats& stats() const { return stats_; }
 
@@ -173,12 +212,26 @@ class World {
   /// how (the chaos tests assert per-rank Errc::comm this way).
   std::vector<RankReport> run_report(const std::function<void(Comm&)>& body);
 
-  /// Rank `src` died: poison every mailbox and the barrier so all blocked
-  /// peers throw Errc::comm instead of hanging. Idempotent.
+  /// Rank `src` died. Default mode: poison every mailbox and the barrier so
+  /// all blocked peers throw Errc::comm instead of hanging. With
+  /// WorldOptions::survive_failures: mark `src` dead and wake all waiters;
+  /// only receives that depend on a dead rank throw. Idempotent.
   void poison(int src);
 
   /// Rank that first poisoned the world, or -1 if healthy.
   int failed_rank() const { return failed_rank_.load(); }
+
+  /// Dead-rank observers (meaningful under survive_failures, where the
+  /// world keeps running after a rank loss; in the default mode the whole
+  /// run is poisoned at the first death anyway).
+  bool is_dead(int rank) const {
+    return (dead_mask_.load(std::memory_order_acquire) >>
+            static_cast<unsigned>(rank)) & 1u;
+  }
+  std::uint64_t dead_mask() const {
+    return dead_mask_.load(std::memory_order_acquire);
+  }
+  int alive_count() const;
 
  private:
   friend class Comm;
@@ -193,6 +246,9 @@ class World {
   WorldOptions opt_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::atomic<int> failed_rank_{-1};
+  /// Bit r set = rank r died (survive_failures bookkeeping; worlds are
+  /// capped at 64 ranks well before this in-process simulation is).
+  std::atomic<std::uint64_t> dead_mask_{0};
   // Central barrier.
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "serve/shard.hpp"
 
 namespace gesp::serve {
 namespace {
@@ -27,16 +28,10 @@ bool recoverable(Errc c) noexcept {
 template <class T>
 std::size_t estimate_bytes(const Solver<T>& s, const sparse::CscMatrix<T>& A) {
   const SolveStats& st = s.stats();
-  const auto n = static_cast<std::size_t>(A.ncols);
   const std::size_t factor_scalar =
       s.active_precision() == Precision::single ? sizeof(float) : sizeof(T);
-  std::size_t b = 0;
-  b += static_cast<std::size_t>(st.stored_l + st.stored_u) * factor_scalar;
-  b += static_cast<std::size_t>(st.nnz_l + st.nnz_u) * sizeof(index_t);
-  b += static_cast<std::size_t>(A.nnz()) * (2 * sizeof(T) + sizeof(index_t));
-  b += (n + 1) * sizeof(index_t);
-  b += 6 * n * sizeof(double);  // row/col scales + permutations + workspace
-  return b;
+  return factor_asset_bytes(st.stored_l, st.stored_u, st.nnz_l, st.nnz_u,
+                            A.ncols, A.nnz(), factor_scalar, sizeof(T));
 }
 
 /// Bitwise equality of value arrays — the same byte-level view value_hash
@@ -57,15 +52,31 @@ bool same_values(const std::vector<T>& cached, const std::vector<T>& now) {
 
 }  // namespace
 
+bool shard_options_set(const ShardOptions& s) noexcept {
+  return s.pr != 0 || s.pc != 0 || s.replication != 0 ||
+         s.shard_max_entries != 0 || s.shard_max_bytes != 0 ||
+         s.fault.armed();
+}
+
 template <class T>
 SolverService<T>::SolverService(const ServiceOptions& opt)
     : opt_(opt), cache_(opt.cache_max_entries, opt.cache_max_bytes) {
-  GESP_CHECK(opt_.solver.backend != Backend::dist, Errc::invalid_argument,
-             "SolverService: Backend::dist cannot run inside request "
-             "threads; use Backend::serial or Backend::threaded");
+  // ServiceOptions::backend is THE selector; the per-solver field is
+  // derived from it so a caller-set solver.backend can never smuggle an
+  // engine past the service (the old implicit-split failure mode).
+  opt_.solver.backend = opt_.backend;
   opt_.num_workers = std::max(1, opt_.num_workers);
   opt_.max_queue = std::max<std::size_t>(1, opt_.max_queue);
   opt_.max_batch = std::max<index_t>(1, opt_.max_batch);
+  if (opt_.backend == Backend::dist) {
+    tier_ = std::make_unique<ShardedTier<T>>(opt_);
+    return;  // the tier IS the service; no worker pool
+  }
+  GESP_CHECK(!shard_options_set(opt_.shard), Errc::invalid_argument,
+             "SolverService: ShardOptions (grid/replication/shard budgets/"
+             "fault injection) require ServiceOptions::backend == "
+             "Backend::dist; a single-node backend would silently ignore "
+             "them");
   workers_.reserve(static_cast<std::size_t>(opt_.num_workers));
   for (int i = 0; i < opt_.num_workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -80,6 +91,7 @@ template <class T>
 Response<T> SolverService<T>::solve(const sparse::CscMatrix<T>& A,
                                     std::span<const T> b,
                                     const RequestOptions& ropt) {
+  if (tier_) return tier_->solve(A, b, ropt);
   GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
              "SolverService::solve: matrix must be square");
   GESP_CHECK(b.size() == static_cast<std::size_t>(A.ncols),
@@ -120,6 +132,10 @@ Response<T> SolverService<T>::solve(const sparse::CscMatrix<T>& A,
 
 template <class T>
 void SolverService<T>::warm(const sparse::CscMatrix<T>& A) {
+  if (tier_) {
+    tier_->warm(A);
+    return;
+  }
   GESP_CHECK(A.nrows == A.ncols, Errc::invalid_argument,
              "SolverService::warm: matrix must be square");
   bool matched = false;
@@ -133,6 +149,10 @@ void SolverService<T>::warm(const sparse::CscMatrix<T>& A) {
 
 template <class T>
 void SolverService<T>::stop() {
+  if (tier_) {
+    tier_->stop();
+    return;
+  }
   {
     std::lock_guard lk(mu_);
     stop_ = true;
@@ -155,12 +175,29 @@ void SolverService<T>::stop() {
 
 template <class T>
 std::size_t SolverService<T>::queue_depth() const {
+  if (tier_) return tier_->queue_depth();
   std::lock_guard lk(mu_);
   return queue_.size();
 }
 
 template <class T>
+std::size_t SolverService<T>::cache_entries() const {
+  return tier_ ? tier_->cache_entries() : cache_.entries();
+}
+
+template <class T>
+std::size_t SolverService<T>::cache_bytes() const {
+  return tier_ ? tier_->cache_bytes() : cache_.bytes();
+}
+
+template <class T>
+std::size_t SolverService<T>::cache_single_bytes() const {
+  return tier_ ? 0 : cache_.single_bytes();
+}
+
+template <class T>
 bool SolverService<T>::is_hostile(const sparse::PatternKey& key) const {
+  if (tier_) return false;  // reputation lives shard-side, not aggregated
   std::lock_guard lk(hostile_mu_);
   auto it = hostile_.find(key);
   return it != hostile_.end() && it->second.hostile;
@@ -341,6 +378,7 @@ void SolverService<T>::execute_batch_impl(Batch& batch) {
     try {
       Response<T> tmpl =
           prepare_entry(*e, A, vhash, attempt > 0, hostile);
+      tmpl.backend = opt_.backend;
       tmpl.shed = shed;
       tmpl.recovered = attempt > 0;
       tmpl.hostile = hostile;

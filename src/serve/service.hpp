@@ -46,10 +46,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "dist/fault.hpp"
 #include "refine/refine.hpp"
 #include "serve/cache.hpp"
 
 namespace gesp::serve {
+
+template <class T>
+class ShardedTier;
 
 /// How a batch of coalesced single-RHS requests is executed.
 enum class BatchMode {
@@ -62,10 +66,58 @@ enum class BatchMode {
   per_column,
 };
 
+/// Backend::dist sharding knobs. Meaningful only with
+/// ServiceOptions::backend == Backend::dist; single-node backends REJECT a
+/// non-default ShardOptions with Errc::invalid_argument rather than
+/// silently ignoring it (the old failure mode this redesign removes).
+struct ShardOptions {
+  /// Process grid for the rank fleet; 0x0 derives the near-square grid
+  /// from solver.dist.nprocs (default 4 -> 2x2). Rank 0 is both the
+  /// gateway and a shard server so collective episodes can span the whole
+  /// grid.
+  int pr = 0, pc = 0;
+  /// Copies of a hot pattern across the top rendezvous ranks; 0 means the
+  /// dist default (2: primary + one backup). 1 disables replication.
+  int replication = 0;
+  /// Per-shard cache budgets; 0 inherits cache_max_entries /
+  /// cache_max_bytes. The fleet capacity is therefore ~R x the single-node
+  /// capacity under the same per-rank budget.
+  std::size_t shard_max_entries = 0;
+  std::size_t shard_max_bytes = 0;
+  /// Primary-owner hits of one pattern before it is promoted (replicated
+  /// to the next rendezvous rank); <= 0 disables promotion.
+  int promote_hits = 3;
+  /// Matrices whose pre-factorization byte estimate exceeds the per-shard
+  /// byte budget fall through to a cooperative DistSolver factorization
+  /// over the whole grid instead of crowding one shard.
+  bool dist_fallthrough = true;
+  /// Gateway watchdog: seconds an in-flight request may wait on its owner
+  /// rank before the client gets Errc::comm; <= 0 disables (not
+  /// recommended — this is the no-hung-service backstop).
+  double request_timeout_s = 30.0;
+  /// Transport receive watchdog inside the rank world (seconds; 0 = none).
+  /// Bounds how long a collective episode can block on a lost peer.
+  double recv_timeout_s = 60.0;
+  /// Chaos hook forwarded to the rank world (see dist/fault.hpp).
+  minimpi::FaultInjector fault;
+};
+
+/// True when any dist-only knob differs from its default — the
+/// single-node-backend validation predicate.
+bool shard_options_set(const ShardOptions& s) noexcept;
+
 struct ServiceOptions {
-  /// Base solver configuration (Backend::serial or Backend::threaded;
-  /// Backend::dist cannot run inside a request thread).
+  /// Execution engine behind the service — THE backend selector (the
+  /// solver.backend field below is overwritten with it at construction).
+  /// serial/threaded run the in-process worker pool; dist runs the sharded
+  /// multi-rank tier (shard.hpp) over a MiniMPI world.
+  Backend backend = Backend::threaded;
+  /// Base solver configuration. backend is ignored (see above); under
+  /// Backend::dist each shard factors with serial or threaded numerics
+  /// according to num_threads, and collective episodes use the dist grid.
   SolverOptions solver;
+  /// Sharding knobs (Backend::dist only; validated otherwise).
+  ShardOptions shard;
   int num_workers = 2;          ///< executor threads
   std::size_t max_queue = 64;   ///< admission bound on queued requests
   std::size_t cache_max_entries = 16;
@@ -106,6 +158,16 @@ struct RequestOptions {
 template <class T>
 struct Response {
   std::vector<T> x;
+  /// Engine that produced x. Single-node: the service's configured
+  /// backend. Sharded tier: Backend::dist — including the cooperative
+  /// fall-through episodes (owner_rank distinguishes them).
+  Backend backend = Backend::serial;
+  /// Rank that served the request under Backend::dist: the shard rank for
+  /// routed requests (primary or backup), -1 for a cooperative DistSolver
+  /// episode spanning the grid. Always -1 on single-node backends.
+  int owner_rank = -1;
+  /// A backup rendezvous rank served this from its replica (dist only).
+  bool replica_hit = false;
   double latency_s = 0.0;    ///< admission -> completion, service-side
   bool pattern_hit = false;  ///< reused a cached analysis (refactorized)
   bool value_hit = false;    ///< reused the factors outright
@@ -154,13 +216,22 @@ class SolverService {
   void stop();
 
   const ServiceOptions& options() const { return opt_; }
-  std::size_t cache_entries() const { return cache_.entries(); }
-  std::size_t cache_bytes() const { return cache_.bytes(); }
-  /// Bytes held by single-precision cache entries (mixed/single modes).
-  std::size_t cache_single_bytes() const { return cache_.single_bytes(); }
+  /// Cached patterns / bytes. Under Backend::dist these are fleet-wide
+  /// sums over every shard (a dead rank's shard counts as empty).
+  std::size_t cache_entries() const;
+  std::size_t cache_bytes() const;
+  /// Bytes held by single-precision cache entries (mixed/single modes;
+  /// single-node backends only — 0 under dist).
+  std::size_t cache_single_bytes() const;
   std::size_t queue_depth() const;
-  /// Whether `key`'s pattern has been marked hostile (inspection/tests).
+  /// Whether `key`'s pattern has been marked hostile (inspection/tests;
+  /// single-node backends only — hostile reputation lives shard-side
+  /// under dist and is not aggregated, so this returns false there).
   bool is_hostile(const sparse::PatternKey& key) const;
+  /// The sharded tier behind Backend::dist (null otherwise) — the
+  /// introspection surface for routing/failover tests and tools.
+  const ShardedTier<T>* tier() const { return tier_.get(); }
+  ShardedTier<T>* tier() { return tier_.get(); }
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -236,6 +307,9 @@ class SolverService {
 
   ServiceOptions opt_;
   FactorizationCache<T> cache_;
+  /// Backend::dist: the whole service is this tier; the worker pool,
+  /// queue and cache above stay idle.
+  std::unique_ptr<ShardedTier<T>> tier_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

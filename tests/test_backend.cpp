@@ -244,27 +244,5 @@ TEST(Backend, DistFailsOnZeroPivotWhenReplacementOff) {
   EXPECT_EQ(reports[0].error_code(), Errc::numerically_singular);
 }
 
-TEST(Backend, DeprecatedVectorShimMatchesSpanOverload) {
-  const auto A = sparse::convdiff2d(10, 10, 1.0, 0.5);
-  auto sym = std::make_shared<const symbolic::SymbolicLU>(
-      symbolic::analyze(A, {}));
-  const index_t n = A.ncols;
-  std::vector<double> ones(static_cast<std::size_t>(n), 1.0), b(ones.size());
-  sparse::spmv<double>(A, ones, b);
-  const ProcessGrid grid{2, 2};
-  minimpi::World world(grid.nprocs());
-  world.run([&](minimpi::Comm& comm) {
-    dist::DistributedLU<double> dlu(comm, grid, sym, A, {});
-    std::vector<double> xs(b.size());
-    dlu.solve(comm, b, xs);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const auto xv = dlu.solve(comm, b);
-#pragma GCC diagnostic pop
-    ASSERT_EQ(xv.size(), xs.size());
-    for (std::size_t i = 0; i < xs.size(); ++i) EXPECT_EQ(xv[i], xs[i]);
-  });
-}
-
 }  // namespace
 }  // namespace gesp

@@ -194,7 +194,7 @@ TEST(FaultInjection, ServeRefactorizesFaultedValuesOnTheCachedPattern) {
   // faulted values across seeds and demand a policy-meeting berr plus a
   // trail showing the escalation.
   serve::ServiceOptions sopt;
-  sopt.solver.backend = Backend::serial;
+  sopt.backend = Backend::serial;
   sopt.solver.recovery.enabled = true;
   sopt.values_delta = false;
   serve::SolverService<double> svc(sopt);
@@ -225,7 +225,7 @@ TEST(FaultInjection, ValuesDeltaAbsorbsFaultsExactlyWithoutEscalation) {
   // above. This pins the interplay between fault injection and the delta
   // route: an exact correction is a *better* recovery than the ladder.
   serve::ServiceOptions sopt;
-  sopt.solver.backend = Backend::serial;
+  sopt.backend = Backend::serial;
   sopt.solver.recovery.enabled = true;
   serve::SolverService<double> svc(sopt);
   const auto A = sparse::convdiff2d(20, 20, 1.0, 0.5);

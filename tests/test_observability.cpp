@@ -351,6 +351,50 @@ TEST(Metrics, CounterGaugeHistogramBasics) {
             (std::pair<std::string, std::string>("h", "histogram")));
 }
 
+TEST(Metrics, HistogramMergeCombinesBucketsAndBounds) {
+  metrics::Histogram a;
+  metrics::Histogram b;
+  a.record(0.5);
+  a.record(3.0);
+  b.record(1024.0);
+  b.record(3.5);
+  b.record(2048.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.count(), 5);
+  EXPECT_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.max(), 2048.0);
+  EXPECT_NEAR(a.sum(), 0.5 + 3.0 + 1024.0 + 3.5 + 2048.0, 1e-12);
+  EXPECT_EQ(a.bucket(0), 1);   // 0.5
+  EXPECT_EQ(a.bucket(2), 2);   // 3.0 and 3.5 both in (2, 4]
+  EXPECT_EQ(a.bucket(10), 1);  // 1024
+  EXPECT_EQ(a.bucket(11), 1);  // 2048
+  // b is untouched.
+  EXPECT_EQ(b.count(), 3);
+
+  // Quantiles now come from the merged buckets: the median of the merged
+  // distribution sits in the (2, 4] bucket, which rank-0's histogram alone
+  // (median bucket (0, 1]) could never report.
+  const double med = a.quantile(0.5);
+  EXPECT_GE(med, 2.0);
+  EXPECT_LE(med, 4.0);
+
+  // Merging an empty histogram is a no-op (the sentinel min/max must not
+  // leak through).
+  metrics::Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 5);
+  EXPECT_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.max(), 2048.0);
+
+  // Merging into an empty histogram adopts the operand wholesale.
+  metrics::Histogram fresh;
+  fresh.merge(b);
+  EXPECT_EQ(fresh.count(), 3);
+  EXPECT_EQ(fresh.min(), 3.5);
+  EXPECT_EQ(fresh.max(), 2048.0);
+}
+
 TEST(Metrics, TypeMismatchThrows) {
   metrics::Registry reg;
   reg.counter("x");

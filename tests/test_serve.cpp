@@ -212,7 +212,7 @@ TEST(SolverService, ConcurrentBitwiseParityWithSerial) {
   std::vector<sparse::CscMatrix<double>> bases;
   std::vector<std::vector<Prob>> probs;  // [pattern][valueset]
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   for (const char* name : kPatterns) {
     bases.push_back(testbed_matrix(name));
     Solver<double> oracle(bases.back(), opt.solver);
@@ -268,7 +268,7 @@ TEST(SolverService, BlockedBatchingCoalescesAndStaysAccurate) {
   const auto A = testbed_matrix("west0497-s");
   const auto b = rhs_for(A);
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.num_workers = 1;          // one executor => one batch per drain
   opt.batch_linger_s = 50e-3;   // generous: TSan slows the clients down
   opt.max_batch = 4;
@@ -315,7 +315,7 @@ TEST(SolverService, TinyCacheBudgetEvictsAndStaysCorrect) {
   const auto B = testbed_matrix("orsirr-s");
   const auto ba = rhs_for(A), bb = rhs_for(B);
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.cache_max_entries = 4;
   opt.cache_max_bytes = 1;  // nothing fits: every new pattern evicts
   opt.shed_refinement = false;
@@ -336,7 +336,7 @@ TEST(SolverService, TinyCacheBudgetEvictsAndStaysCorrect) {
 
 TEST(SolverService, QueueFullRejectsWithOverloaded) {
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.num_workers = 1;
   opt.max_queue = 1;
   serve::SolverService<double> svc(opt);
@@ -375,7 +375,7 @@ TEST(SolverService, QueueFullRejectsWithOverloaded) {
 
 TEST(SolverService, ExpiredDeadlineRejectsInsteadOfSolvingLate) {
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.num_workers = 1;
   serve::SolverService<double> svc(opt);
 
@@ -406,7 +406,7 @@ TEST(SolverService, ExpiredDeadlineRejectsInsteadOfSolvingLate) {
 
 TEST(SolverService, StoppedServiceRejects) {
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   serve::SolverService<double> svc(opt);
   const auto A = testbed_matrix("west0497-s");
   const auto b = rhs_for(A);
@@ -422,7 +422,7 @@ TEST(SolverService, StoppedServiceRejects) {
 
 TEST(SolverService, RecoverableFailureEvictsAndRetriesWithLadder) {
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.solver.tiny_pivot = TinyPivotOption::fail;  // make singularity fatal
   serve::SolverService<double> svc(opt);
 
@@ -457,7 +457,7 @@ TEST(SolverService, RecoveredResponseCarriesTheTrail) {
   // evict-and-retry rebuild arms the ladder, and the ladder's trail rides
   // back in Response::recovery.
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.solver.tiny_pivot = TinyPivotOption::fail;
   serve::SolverService<double> svc(opt);
 
@@ -486,7 +486,7 @@ TEST(SolverService, PersistentFailuresMarkThePatternHostile) {
   // disabled so an exactly singular system defeats the armed rebuilds —
   // with them enabled, threshold pivoting absorbs the 2x2 gadget.
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.solver.tiny_pivot = TinyPivotOption::fail;
   opt.solver.recovery.try_aggressive_smw = false;
   opt.solver.recovery.try_unscaled_refactor = false;
@@ -534,7 +534,7 @@ TEST(SolverService, PersistentFailuresMarkThePatternHostile) {
 
 TEST(SolverService, ValueHitRequiresExactBytesAndStillFastPaths) {
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   serve::SolverService<double> svc(opt);
   const auto A = testbed_matrix("west0497-s");
   const auto b = rhs_for(A);
@@ -566,7 +566,7 @@ TEST(SolverService, FailingCoalescedBatchResolvesEveryClientExactlyOnce) {
   // std::future_error past the worker's Error handler and terminates the
   // process) and none is abandoned (that hangs its client forever).
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   opt.solver.tiny_pivot = TinyPivotOption::fail;
   opt.batch_mode = serve::BatchMode::per_column;
   opt.num_workers = 1;              // one executor, so requests coalesce
@@ -655,7 +655,7 @@ TEST(SolverService, ValuesDeltaAbsorbsDriftOnPatternHits) {
   // counter record that the change was absorbed without a full
   // refactorization, and the answer stays refinement-converged.
   serve::ServiceOptions opt;
-  opt.solver.backend = Backend::serial;
+  opt.backend = Backend::serial;
   serve::SolverService<double> svc(opt);
   const auto A = testbed_matrix("west0497-s");
   const std::vector<double> ones(static_cast<std::size_t>(A.ncols), 1.0);

@@ -24,9 +24,18 @@
 //   --no-shed             keep iterative refinement even under load
 //   --warm                pre-factor every distinct pattern (value set 0)
 //                         before replay starts
-//   --backend=serial|threaded, --threads=N
-//                         solver engine under the service (default serial;
-//                         Backend::dist cannot serve request threads)
+//   --backend=serial|threaded|dist, --threads=N
+//                         service engine (default serial). dist runs the
+//                         sharded multi-rank tier: requests route to the
+//                         rank owning their pattern key
+//   --grid=PxQ            dist: process grid (default near-square over 4)
+//   --replication=N       dist: copies of a hot pattern (default 2)
+//   --shard-entries=N, --shard-mb=N
+//                         dist: per-shard cache budgets (default: inherit
+//                         --cache-entries / --cache-mb)
+//   --kill-rank=N         dist chaos: kill rank N at its --kill-at'th send
+//   --kill-at=M           dist chaos: send ordinal for --kill-rank
+//                         (default 3)
 //   --trace=FILE          chrome://tracing capture ("serve" category spans)
 //   --metrics-json=FILE   dump the metrics registry (serve.* tree included)
 //
@@ -50,6 +59,7 @@
 #include "common/timer.hpp"
 #include "common/trace.hpp"
 #include "serve/service.hpp"
+#include "serve/shard.hpp"
 #include "serve/workload.hpp"
 #include "sparse/ops.hpp"
 
@@ -67,8 +77,11 @@ using namespace gesp;
                "       [--linger-us=N] [--max-queue=N] [--cache-entries=N] "
                "[--cache-mb=N] [--per-column]\n"
                "       [--deadline-ms=X] [--no-shed] [--warm] "
-               "[--backend=serial|threaded] [--threads=N]\n"
-               "       [--trace=FILE] [--metrics-json=FILE]\n");
+               "[--backend=serial|threaded|dist] [--threads=N]\n"
+               "       [--grid=PxQ] [--replication=N] [--shard-entries=N] "
+               "[--shard-mb=N]\n"
+               "       [--kill-rank=N] [--kill-at=M] [--trace=FILE] "
+               "[--metrics-json=FILE]\n");
   std::exit(2);
 }
 
@@ -109,8 +122,10 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   int clients = 4;
   double deadline_ms = 0.0;
+  int kill_rank = -1;
+  long long kill_at = 3;
   serve::ServiceOptions sopt;
-  sopt.solver.backend = Backend::serial;
+  sopt.backend = Backend::serial;
 
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -144,11 +159,30 @@ int main(int argc, char** argv) {
       sopt.solver.num_threads = std::atoi(v13);
     } else if (const char* v14 = value_of(a, "--backend")) {
       if (std::strcmp(v14, "serial") == 0)
-        sopt.solver.backend = Backend::serial;
+        sopt.backend = Backend::serial;
       else if (std::strcmp(v14, "threaded") == 0)
-        sopt.solver.backend = Backend::threaded;
+        sopt.backend = Backend::threaded;
+      else if (std::strcmp(v14, "dist") == 0)
+        sopt.backend = Backend::dist;
       else
-        usage("gesp_serve backends: serial or threaded");
+        usage("gesp_serve backends: serial, threaded or dist");
+    } else if (const char* vg = value_of(a, "--grid")) {
+      int pr = 0, pc = 0;
+      if (std::sscanf(vg, "%dx%d", &pr, &pc) != 2 || pr < 1 || pc < 1)
+        usage("--grid wants PxQ, e.g. --grid=2x2");
+      sopt.shard.pr = pr;
+      sopt.shard.pc = pc;
+    } else if (const char* vr = value_of(a, "--replication")) {
+      sopt.shard.replication = std::atoi(vr);
+    } else if (const char* vse = value_of(a, "--shard-entries")) {
+      sopt.shard.shard_max_entries = static_cast<std::size_t>(std::atoll(vse));
+    } else if (const char* vsm = value_of(a, "--shard-mb")) {
+      sopt.shard.shard_max_bytes =
+          static_cast<std::size_t>(std::atoll(vsm)) << 20;
+    } else if (const char* vk = value_of(a, "--kill-rank")) {
+      kill_rank = std::atoi(vk);
+    } else if (const char* vka = value_of(a, "--kill-at")) {
+      kill_at = std::atoll(vka);
     } else if (const char* v15 = value_of(a, "--trace")) {
       trace_path = v15;
     } else if (const char* v16 = value_of(a, "--metrics-json")) {
@@ -170,6 +204,15 @@ int main(int argc, char** argv) {
     }
   }
   if (workload_path.empty()) generate = true;
+  if (kill_rank >= 0) {
+    if (sopt.backend != Backend::dist)
+      usage("--kill-rank is a dist chaos knob; add --backend=dist");
+    minimpi::FaultSpec kill;
+    kill.kind = minimpi::FaultKind::kill_rank;
+    kill.rank = kill_rank;
+    kill.nth_send = static_cast<count_t>(kill_at);
+    sopt.shard.fault.schedule(kill);
+  }
 
   if (!trace_path.empty()) trace::start();
 
@@ -216,10 +259,15 @@ int main(int argc, char** argv) {
         sopt.batch_mode == serve::BatchMode::blocked ? "blocked"
                                                      : "per-column",
         sopt.batch_linger_s * 1e6, sopt.cache_max_entries,
-        sopt.cache_max_bytes >> 20, backend_name(sopt.solver.backend),
+        sopt.cache_max_bytes >> 20, backend_name(sopt.backend),
         sopt.solver.num_threads);
 
     serve::SolverService<double> svc(sopt);
+    if (const auto* tier = svc.tier()) {
+      std::printf("sharding    %d ranks, replication %d%s\n", tier->nranks(),
+                  sopt.shard.replication == 0 ? 2 : sopt.shard.replication,
+                  kill_rank >= 0 ? " (chaos: kill-rank armed)" : "");
+    }
     if (warm) {
       Timer tw;
       for (const auto& [name, base] : bases) svc.warm(base);
@@ -228,7 +276,7 @@ int main(int argc, char** argv) {
     }
 
     std::atomic<long long> ok{0}, rejected{0}, pattern_hits{0},
-        value_hits{0}, shed{0}, recovered{0};
+        value_hits{0}, shed{0}, recovered{0}, replica_hits{0}, comm_lost{0};
     std::atomic<double> max_err{0.0};
     std::atomic<int> hard_failure{0};
     serve::RequestOptions ropt;
@@ -255,6 +303,8 @@ int main(int argc, char** argv) {
             if (r.shed) shed.fetch_add(1, std::memory_order_relaxed);
             if (r.recovered)
               recovered.fetch_add(1, std::memory_order_relaxed);
+            if (r.replica_hit)
+              replica_hits.fetch_add(1, std::memory_order_relaxed);
             double err = 0;
             for (double xv : r.x) err = std::max(err, std::abs(xv - 1.0));
             double cur = max_err.load(std::memory_order_relaxed);
@@ -264,6 +314,11 @@ int main(int argc, char** argv) {
           } catch (const Error& e) {
             if (e.code() == Errc::overloaded) {
               rejected.fetch_add(1, std::memory_order_relaxed);
+            } else if (e.code() == Errc::comm && kill_rank >= 0) {
+              // Chaos run: a request in flight to the killed rank may
+              // surface Errc::comm — that is the documented worst case,
+              // not a replay failure. What must never happen is a hang.
+              comm_lost.fetch_add(1, std::memory_order_relaxed);
             } else {
               std::fprintf(stderr, "request %zu failed: %s\n", i, e.what());
               hard_failure.store(exit_code_for(e.code()));
@@ -298,6 +353,24 @@ int main(int argc, char** argv) {
                 "%lld retries after eviction, %lld recovered\n",
                 shed.load(), cval("serve.deadline_expired"),
                 cval("serve.retries"), recovered.load());
+    if (const auto* tier = svc.tier()) {
+      std::printf("sharding    %lld shard requests, %lld replica hits "
+                  "(%lld client-visible), %lld collective episodes\n",
+                  cval("serve.shard.requests"),
+                  cval("serve.shard.replica_hits"), replica_hits.load(),
+                  cval("serve.shard.collective"));
+      std::printf("chaos       %lld rank deaths, %lld failovers, %lld "
+                  "reroutes, %lld timeouts, %lld requests lost to comm "
+                  "(dead mask 0x%llx)\n",
+                  cval("serve.shard.rank_deaths"),
+                  cval("serve.shard.failovers"), cval("serve.shard.reroutes"),
+                  cval("serve.shard.timeouts"), comm_lost.load(),
+                  static_cast<unsigned long long>(tier->dead_mask()));
+      std::printf("shards     ");
+      for (int r = 0; r < tier->nranks(); ++r)
+        std::printf(" r%d:%zu", r, tier->shard_entries(r));
+      std::printf(" entries\n");
+    }
     if (lat && lat->count() > 0)
       std::printf("latency     p50 %.0f us, p95 %.0f us, p99 %.0f us, "
                   "max %.0f us\n",
