@@ -36,6 +36,34 @@ int bucket_of(double v) noexcept {
                : (k >= Histogram::kBuckets ? Histogram::kBuckets - 1 : k);
 }
 
+// Shared quantile estimator over power-of-two bucket counts (the live
+// histogram and its frozen Snapshot use identical interpolation).
+double bucket_quantile(double q, const count_t* buckets, double total,
+                       double mn, double mx) noexcept {
+  if (total <= 0.0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested sample (1-based, ceil as in nearest-rank).
+  const double rank = q * total;
+  double cum = 0.0;
+  for (int k = 0; k < Histogram::kBuckets; ++k) {
+    const double c = static_cast<double>(buckets[k]);
+    if (c == 0.0) continue;
+    if (cum + c >= rank) {
+      // Bucket k covers (2^(k-1), 2^k]; bucket 0 covers (-inf, 1].
+      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, k - 1);
+      const double hi = std::ldexp(1.0, k);
+      const double frac = (rank - cum) / c;
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, mn);
+      v = std::min(v, mx);
+      return v;
+    }
+    cum += c;
+  }
+  return mx;
+}
+
 }  // namespace
 
 void Histogram::record(double v) noexcept {
@@ -70,27 +98,36 @@ void Histogram::merge_raw(count_t count, double sum, double mn, double mx,
 double Histogram::quantile(double q) const noexcept {
   const count_t total = count();
   if (total == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Rank of the requested sample (1-based, ceil as in nearest-rank).
-  const double rank = q * static_cast<double>(total);
-  double cum = 0.0;
-  for (int k = 0; k < kBuckets; ++k) {
-    const double c = static_cast<double>(bucket(k));
-    if (c == 0.0) continue;
-    if (cum + c >= rank) {
-      // Bucket k covers (2^(k-1), 2^k]; bucket 0 covers (-inf, 1].
-      const double lo = k == 0 ? 0.0 : std::ldexp(1.0, k - 1);
-      const double hi = std::ldexp(1.0, k);
-      const double frac = (rank - cum) / c;
-      double v = lo + frac * (hi - lo);
-      v = std::max(v, min());
-      v = std::min(v, max());
-      return v;
-    }
-    cum += c;
+  count_t buckets[kBuckets];
+  for (int k = 0; k < kBuckets; ++k) buckets[k] = bucket(k);
+  return bucket_quantile(q, buckets, static_cast<double>(total), min(),
+                         max());
+}
+
+double Histogram::Snapshot::quantile(double q) const noexcept {
+  // Total from the drained buckets, not the (possibly torn) count field.
+  double total = 0.0;
+  for (const count_t b : buckets) total += static_cast<double>(b);
+  return bucket_quantile(q, buckets, total, min, max);
+}
+
+Histogram::Snapshot Histogram::snapshot_and_reset() noexcept {
+  Snapshot s;
+  s.count = count_.exchange(0, std::memory_order_relaxed);
+  s.sum = sum_.exchange(0.0, std::memory_order_relaxed);
+  s.min = min_.exchange(std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  s.max = max_.exchange(-std::numeric_limits<double>::infinity(),
+                        std::memory_order_relaxed);
+  for (int k = 0; k < kBuckets; ++k)
+    s.buckets[k] =
+        buckets_[static_cast<std::size_t>(k)].exchange(
+            0, std::memory_order_relaxed);
+  if (s.count == 0) {
+    s.min = 0.0;
+    s.max = 0.0;
   }
-  return max();
+  return s;
 }
 
 void Histogram::reset() noexcept {

@@ -1,5 +1,6 @@
 #include "core/solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -70,6 +71,18 @@ const char* precision_name(Precision p) noexcept {
   return "unknown";
 }
 
+const char* tune_policy_name(TunePolicy p) noexcept {
+  switch (p) {
+    case TunePolicy::off:
+      return "off";
+    case TunePolicy::model:
+      return "model";
+    case TunePolicy::probe:
+      return "probe";
+  }
+  return "unknown";
+}
+
 void SolveStats::export_metrics(metrics::Registry& reg) const {
   reg.gauge("solver.nnz_l").set(static_cast<double>(nnz_l));
   reg.gauge("solver.nnz_u").set(static_cast<double>(nnz_u));
@@ -111,6 +124,26 @@ void SolveStats::export_metrics(metrics::Registry& reg) const {
       .set(static_cast<double>(delta.dirty_supernodes));
   reg.gauge("solver.delta.smw_rank")
       .set(static_cast<double>(delta.smw_rank));
+  reg.gauge("solver.tune.policy").set(static_cast<double>(tuning.policy));
+  reg.gauge("solver.tune.consulted").set(tuning.consulted ? 1.0 : 0.0);
+  reg.gauge("solver.tune.applied").set(tuning.applied ? 1.0 : 0.0);
+  if (tuning.consulted) {
+    reg.gauge("solver.tune.block")
+        .set(static_cast<double>(tuning.decision.max_block > 0
+                                     ? tuning.decision.max_block
+                                     : tuning.default_block));
+    reg.gauge("solver.tune.default_block")
+        .set(static_cast<double>(tuning.default_block));
+    reg.gauge("solver.tune.num_threads")
+        .set(static_cast<double>(tuning.decision.num_threads));
+    reg.gauge("solver.tune.predicted_seconds")
+        .set(tuning.decision.predicted_seconds);
+    reg.gauge("solver.tune.predicted_default_seconds")
+        .set(tuning.decision.predicted_default_seconds);
+    reg.gauge("solver.tune.actual_factor_seconds")
+        .set(tuning.actual_factor_seconds);
+    reg.gauge("solver.tune.model_error").set(tuning.model_error);
+  }
   for (const auto& [phase, seconds] : times.all())
     reg.gauge("solver.time." + phase).set(seconds);
   for (const auto& [phase, seconds] : times.all_totals())
@@ -188,14 +221,92 @@ Solver<T>::Solver(const sparse::CscMatrix<T>& A, const SolverOptions& opt)
   pattern_ = sparse::pattern_key(A);
   if (opt_.recovery.enabled) A_keep_ = A;
   transform(A);
+  consult_tuner();
   if (!opt_.recovery.enabled) {
     factor();
+    finish_tuning();
     return;
   }
   // A non-default start rung (serve's hostile fast path) skips the rungs
   // a repeat offender is known to burn through.
   rung_ = opt_.recovery.start_rung;
   factor_ladder();
+  finish_tuning();
+}
+
+template <class T>
+void Solver<T>::consult_tuner() {
+  if (opt_.tune.policy == TunePolicy::off) return;
+  GESP_CHECK(opt_.tune.tuner != nullptr, Errc::invalid_argument,
+             "TunePolicy::model/probe need a tuner "
+             "(construct one with tune::make_tuner)");
+  GESP_TRACE_SPAN("solver", "tune");
+  Timer t;
+  // The decision prices the structure the request would produce, so the
+  // symbolic analysis under the requested options runs first; factor()
+  // reuses it unless the tuner picks a different block size.
+  if (!sym_) {
+    GESP_TRACE_SPAN("solver", "symbolic");
+    Timer ts;
+    sym_ = std::make_shared<const symbolic::SymbolicLU>(
+        symbolic::analyze(At_, opt_.symbolic));
+    stats_.times.add("symbolic", ts.seconds());
+  }
+  TuneInputs in;
+  in.n = n_;
+  in.nnz = At_.nnz();
+  in.sym = sym_.get();
+  in.opt = &opt_;
+  in.max_threads = opt_.num_threads;
+  in.analyze = [this](const symbolic::SymbolicOptions& so) {
+    return symbolic::analyze(At_, so);
+  };
+  TuningReport& rep = stats_.tuning;
+  rep.policy = opt_.tune.policy;
+  rep.consulted = true;
+  rep.default_block = opt_.symbolic.max_block;
+  rep.decision = opt_.tune.tuner->decide(in);
+  metrics::global().counter("solver.tune.decisions").inc();
+  const TuneDecision& d = rep.decision;
+  if (d.changed) {
+    rep.applied = true;
+    metrics::global().counter("solver.tune.applied_events").inc();
+    trace::instant("solver", "tune_apply",
+                   static_cast<int>(d.max_block > 0 ? d.max_block
+                                                    : opt_.symbolic.max_block));
+    if (d.max_block > 0 && d.max_block != opt_.symbolic.max_block) {
+      opt_.symbolic.max_block = d.max_block;
+      sym_.reset();  // factor() re-analyzes under the chosen block
+    }
+    opt_.schedule = d.schedule;
+    opt_.num_threads = std::clamp(d.num_threads, 1, std::max(1, in.max_threads));
+    if constexpr (std::is_same_v<T, double>) {
+      // A precision override must satisfy the same constraints the
+      // constructor validates for an explicit request; the tuner only
+      // proposes precisions its TunerOptions allow, this re-checks.
+      if (d.precision != opt_.precision &&
+          opt_.tiny_pivot != TinyPivotOption::aggressive_smw &&
+          !opt_.refine.compensated_residual)
+        opt_.precision = d.precision;
+    }
+  }
+  stats_.times.add("tune", t.seconds());
+}
+
+template <class T>
+void Solver<T>::finish_tuning() {
+  TuningReport& rep = stats_.tuning;
+  if (!rep.consulted) return;
+  rep.actual_factor_seconds = stats_.times.total("factor");
+  if (rep.decision.predicted_seconds > 0.0 &&
+      rep.actual_factor_seconds > 0.0)
+    rep.model_error =
+        rep.actual_factor_seconds / rep.decision.predicted_seconds;
+  if (opt_.tune.policy == TunePolicy::probe)
+    opt_.tune.tuner->observe(rep.decision, rep.actual_factor_seconds);
+  // Construction has no solve() to export through: publish the tuning
+  // gauges now so the decision is observable before the first request.
+  stats_.export_metrics(metrics::global());
 }
 
 template <class T>

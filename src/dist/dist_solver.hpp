@@ -71,6 +71,14 @@ class DistSolver {
  private:
   using BlockVector = typename DistributedLU<T>::BlockVector;
 
+  /// TunePolicy::model/probe: hand the tuner the replicated symbolic
+  /// analysis plus dist_nprocs = comm.size(); apply block size
+  /// (re-analysis), grid shape, and look-ahead. decide() is deterministic
+  /// in its inputs and every rank sees identical inputs, so the call is
+  /// collective without any extra communication. No-op under off.
+  void consult_tuner(minimpi::Comm& comm);
+  /// Record predicted-vs-actual factor cost; rank 0 feeds probe feedback.
+  void finish_tuning(minimpi::Comm& comm);
   void reduce_factor_stats(minimpi::Comm& comm);
   /// One distributed residual + berr evaluation over my rows (diag-block
   /// ownership): exchanges the needed x̂ slices, fills rb = b̂ - Â·x̂, and

@@ -36,6 +36,7 @@
 // served solutions are then bitwise identical to a serial Solver replay.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -46,9 +47,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "dist/fault.hpp"
 #include "refine/refine.hpp"
 #include "serve/cache.hpp"
+#include "tune/controller.hpp"
 
 namespace gesp::serve {
 
@@ -147,6 +150,18 @@ struct ServiceOptions {
   /// columns per step turns same-values cache hits into near-values hits
   /// (SMW correction or partial re-elimination, per solver.delta policy).
   bool values_delta = true;
+  /// Adaptive serving (tune::ServeController): every adapt_window_s a
+  /// sampling loop reads the windowed arrival rate and latency quantiles
+  /// and walks the *effective* max_batch / batch_linger_s / shed_fraction
+  /// toward adapt_controller.target_p99_us (clamped, hysteresis-damped —
+  /// see tune/controller.hpp). Off by default: the static knobs above then
+  /// apply verbatim. Under Backend::dist the controller runs beside the
+  /// gateway and its shed knob scales the admission bound instead — the
+  /// tier routes rather than batches, so earlier typed rejection is its
+  /// graceful-degradation lever.
+  bool adapt = false;
+  double adapt_window_s = 0.25;
+  tune::ControllerOptions adapt_controller;
 };
 
 struct RequestOptions {
@@ -216,6 +231,11 @@ class SolverService {
   void stop();
 
   const ServiceOptions& options() const { return opt_; }
+  /// The batching/shedding knobs in force right now: the configured values
+  /// until the adaptive controller (opt.adapt) moves them.
+  tune::ServeKnobs effective_knobs() const;
+  /// Adaptive-controller accounting (all zeros while adapt is off).
+  tune::ServeController::Stats adapt_stats() const;
   /// Cached patterns / bytes. Under Backend::dist these are fleet-wide
   /// sums over every shard (a dead rank's shard counts as empty).
   std::size_t cache_entries() const;
@@ -262,6 +282,9 @@ class SolverService {
   using Batch = std::vector<PendingPtr>;
 
   void worker_loop();
+  /// Sampling thread behind opt.adapt: one ServeController::step per
+  /// window, effective knobs published through the atomics below.
+  void adapt_loop();
   /// Move queued requests matching (key, vhash) into `batch` (locked).
   void collect_matches_locked(Batch& batch);
   /// Execute `batch`, resolving every promise exactly once. Never throws:
@@ -320,6 +343,23 @@ class SolverService {
   mutable std::mutex hostile_mu_;  ///< leaf lock; never held across others
   std::unordered_map<sparse::PatternKey, HostileState, PatternKeyHash>
       hostile_;
+
+  /// Effective knobs, read lock-free on the hot paths (worker batching,
+  /// shed check). Initialized from the configured options; only the
+  /// adapt thread ever stores after construction.
+  std::atomic<index_t> eff_max_batch_{1};
+  std::atomic<double> eff_linger_s_{0.0};
+  std::atomic<double> eff_shed_fraction_{1.0};
+  /// Windowed inputs for the controller — private instances so draining a
+  /// window never disturbs the lifetime serve.* metrics in the global
+  /// registry.
+  metrics::Histogram window_latency_us_;
+  metrics::Counter window_admitted_;
+  std::unique_ptr<tune::ServeController> controller_;  ///< adapt_mu_
+  mutable std::mutex adapt_mu_;
+  std::condition_variable adapt_cv_;
+  bool adapt_stop_ = false;  ///< adapt_mu_
+  std::thread adapt_thread_;
 };
 
 extern template class SolverService<double>;

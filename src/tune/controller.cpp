@@ -1,0 +1,83 @@
+#include "tune/controller.hpp"
+
+#include <algorithm>
+
+namespace gesp::tune {
+
+ServeController::ServeController(ServeKnobs configured, ControllerOptions opt)
+    : configured_(configured), opt_(opt) {
+  knobs_ = clamp(configured);
+}
+
+ServeKnobs ServeController::clamp(ServeKnobs k) const {
+  k.max_batch = std::clamp(k.max_batch, opt_.min_batch, opt_.max_batch);
+  k.batch_linger_s =
+      std::clamp(k.batch_linger_s, opt_.min_linger_s, opt_.max_linger_s);
+  k.shed_fraction = std::clamp(k.shed_fraction, opt_.min_shed, opt_.max_shed);
+  return k;
+}
+
+ServeKnobs ServeController::step(const ControllerInput& in) {
+  ++stats_.windows;
+  // An idle window (nothing completed, nothing waiting) carries no latency
+  // signal: hold state rather than mistake silence for health.
+  if (in.completed == 0 && in.queue_depth <= 0.0 && in.arrival_rate <= 0.0)
+    return knobs_;
+
+  const double hot_line = opt_.target_p99_us * opt_.high_band;
+  const double cold_line = opt_.target_p99_us * opt_.low_band;
+  // A window with queued work but no completions is saturation even though
+  // there is no quantile to read: treat it as hot.
+  const bool hot =
+      (in.completed > 0 && in.p99_us > hot_line) ||
+      (in.completed == 0 && in.queue_depth > 0.0);
+  const bool cold =
+      in.completed > 0 && in.p99_us < cold_line && in.queue_depth <= 0.0;
+
+  hot_streak_ = hot ? hot_streak_ + 1 : 0;
+  cold_streak_ = cold ? cold_streak_ + 1 : 0;
+  if (hot && hot_streak_ >= opt_.settle_windows) {
+    ServeKnobs next = knobs_;
+    // Multiplicative trims: fast enough to catch a step-change arrival
+    // rate within a few windows, damped by the settle counter.
+    next.max_batch = knobs_.max_batch * 2;
+    next.batch_linger_s = knobs_.batch_linger_s * 0.5;
+    if (next.batch_linger_s < 1e-6) next.batch_linger_s = 0.0;
+    next.shed_fraction = knobs_.shed_fraction * 0.8;
+    next = clamp(next);
+    hot_streak_ = 0;  // re-observe the trimmed system before trimming again
+    if (!(next == knobs_)) {
+      knobs_ = next;
+      ++stats_.trims;
+    }
+    return knobs_;
+  }
+  if (cold && cold_streak_ >= opt_.settle_windows) {
+    // Relax halfway back toward the configured values (exactly reaching
+    // them once close), so recovery is geometric but terminates.
+    ServeKnobs next = knobs_;
+    const index_t db = configured_.max_batch > knobs_.max_batch
+                           ? configured_.max_batch - knobs_.max_batch
+                           : knobs_.max_batch - configured_.max_batch;
+    next.max_batch = db <= 1 ? configured_.max_batch
+                             : (knobs_.max_batch + configured_.max_batch) / 2;
+    next.batch_linger_s =
+        std::abs(configured_.batch_linger_s - knobs_.batch_linger_s) < 1e-5
+            ? configured_.batch_linger_s
+            : 0.5 * (knobs_.batch_linger_s + configured_.batch_linger_s);
+    next.shed_fraction =
+        std::abs(configured_.shed_fraction - knobs_.shed_fraction) < 1e-3
+            ? configured_.shed_fraction
+            : 0.5 * (knobs_.shed_fraction + configured_.shed_fraction);
+    next = clamp(next);
+    cold_streak_ = 0;
+    if (!(next == knobs_)) {
+      knobs_ = next;
+      ++stats_.relaxes;
+    }
+    return knobs_;
+  }
+  return knobs_;
+}
+
+}  // namespace gesp::tune

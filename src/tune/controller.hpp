@@ -1,0 +1,92 @@
+// Adaptive serving controller: a clamped, hysteresis-damped feedback loop
+// that walks the serving layer's batching/shedding knobs toward a latency
+// target from windowed arrival-rate and latency measurements.
+//
+// Pure logic, deliberately: step() is a deterministic function of the
+// sampled window and the controller's own state — no clocks, no metrics
+// registry, no threads — so its stability properties (deadband, settle
+// count, multiplicative steps, hard clamps) are unit-testable without a
+// serving stack. src/serve owns the sampling thread and the knob atomics.
+//
+// Control law, two regimes around the p99 target:
+//   * hot  (p99 > target·high_band for `settle` consecutive windows):
+//     batch harder (throughput amortizes per-request cost), stop lingering
+//     (queue wait is latency the controller can remove instantly), and
+//     shed earlier;
+//   * cold (p99 < target·low_band and the queue is empty, again for
+//     `settle` windows): relax each knob halfway back toward its
+//     configured value, so a transient burst does not pin the service in
+//     emergency trim forever.
+// Inside the band nothing moves — that deadband plus the settle counter is
+// what keeps the loop from flapping between regimes on noisy windows.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace gesp::tune {
+
+struct ControllerOptions {
+  double target_p99_us = 50e3;  ///< latency target (microseconds)
+  double high_band = 1.10;      ///< hot above target·high_band
+  double low_band = 0.50;       ///< cold below target·low_band
+  int settle_windows = 2;       ///< consecutive out-of-band windows to act
+  index_t min_batch = 1;
+  index_t max_batch = 64;
+  double min_linger_s = 0.0;
+  double max_linger_s = 5e-3;
+  double min_shed = 0.25;  ///< floor: always keep some shed headroom
+  double max_shed = 1.0;
+};
+
+/// One measurement window, as the serving layer samples it.
+struct ControllerInput {
+  double window_s = 0.0;       ///< window length (seconds)
+  double arrival_rate = 0.0;   ///< admitted requests/second in the window
+  double p50_us = 0.0;         ///< windowed latency quantiles (microseconds)
+  double p99_us = 0.0;
+  count_t completed = 0;       ///< requests fulfilled in the window
+  double queue_depth = 0.0;    ///< queue length at window end
+};
+
+/// The knobs under control — mirrors the ServiceOptions fields they shadow.
+struct ServeKnobs {
+  index_t max_batch = 8;
+  double batch_linger_s = 0.0;
+  double shed_fraction = 0.75;
+
+  bool operator==(const ServeKnobs& o) const {
+    return max_batch == o.max_batch && batch_linger_s == o.batch_linger_s &&
+           shed_fraction == o.shed_fraction;
+  }
+};
+
+class ServeController {
+ public:
+  ServeController(ServeKnobs configured, ControllerOptions opt);
+
+  /// Feed one window; returns the knobs to apply from now on (unchanged
+  /// unless a regime held for settle_windows).
+  ServeKnobs step(const ControllerInput& in);
+
+  const ServeKnobs& knobs() const { return knobs_; }
+  const ServeKnobs& configured() const { return configured_; }
+
+  struct Stats {
+    count_t windows = 0;
+    count_t trims = 0;     ///< hot-regime adjustments applied
+    count_t relaxes = 0;   ///< cold-regime adjustments applied
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ServeKnobs clamp(ServeKnobs k) const;
+
+  ServeKnobs configured_;  ///< the operator's requested values
+  ServeKnobs knobs_;       ///< current effective values
+  ControllerOptions opt_;
+  int hot_streak_ = 0;
+  int cold_streak_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gesp::tune

@@ -724,6 +724,58 @@ TEST(FactorizationCache, EvictedEntryWithLiveSmwCorrectionStillSolves) {
   EXPECT_LT(sparse::relative_error_inf<double>(ones, x), 1e-8);
 }
 
+// ---------------------------------------------------------------------------
+// Adaptive serving (ServiceOptions::adapt).
+
+TEST(SolverService, AdaptOffKeepsStaticKnobs) {
+  serve::ServiceOptions opt;
+  opt.backend = Backend::serial;
+  opt.max_batch = 4;
+  opt.batch_linger_s = 1e-3;
+  opt.shed_fraction = 0.5;
+  serve::SolverService<double> svc(opt);
+  const auto k = svc.effective_knobs();
+  EXPECT_EQ(k.max_batch, 4);
+  EXPECT_DOUBLE_EQ(k.batch_linger_s, 1e-3);
+  EXPECT_DOUBLE_EQ(k.shed_fraction, 0.5);
+  EXPECT_EQ(svc.adapt_stats().windows, 0);
+  svc.stop();
+  EXPECT_EQ(svc.effective_knobs().max_batch, 4);  // stop() never adjusts
+}
+
+TEST(SolverService, AdaptTrimsUnderSustainedOverload) {
+  // An impossible latency target makes every completed window hot, so the
+  // controller must trim within a couple of windows — the assertion waits
+  // on controller state, not on wall-clock luck.
+  serve::ServiceOptions opt;
+  opt.backend = Backend::serial;
+  opt.max_batch = 2;
+  opt.batch_linger_s = 1e-3;
+  opt.shed_fraction = 1.0;
+  opt.adapt = true;
+  opt.adapt_window_s = 0.01;
+  opt.adapt_controller.target_p99_us = 1e-3;  // nothing real is this fast
+  opt.adapt_controller.settle_windows = 2;
+  serve::SolverService<double> svc(opt);
+
+  const auto A = testbed_matrix("west0497-s");
+  const auto b = rhs_for(A);
+  svc.warm(A);
+  bool trimmed = false;
+  for (int round = 0; round < 400 && !trimmed; ++round) {
+    const auto r = svc.solve(A, b);
+    ASSERT_EQ(r.x.size(), b.size());
+    trimmed = svc.adapt_stats().trims > 0;
+  }
+  EXPECT_TRUE(trimmed);
+  const auto k = svc.effective_knobs();
+  EXPECT_GE(k.max_batch, 4);  // batch harder than configured...
+  EXPECT_LT(k.batch_linger_s, 1e-3);  // ...and stop lingering
+  EXPECT_GE(k.shed_fraction, opt.adapt_controller.min_shed);
+  EXPECT_GT(svc.adapt_stats().windows, 0);
+  svc.stop();
+}
+
 TEST(HistogramQuantile, InterpolatesWithinMinMax) {
   metrics::Histogram h;
   EXPECT_EQ(h.quantile(0.5), 0.0);  // empty

@@ -24,6 +24,18 @@
 //   --no-shed             keep iterative refinement even under load
 //   --warm                pre-factor every distinct pattern (value set 0)
 //                         before replay starts
+//   --tune=off|model|probe
+//                         consult the calibrated autotuner for every
+//                         factorization the service builds (block size /
+//                         threads / schedule per matrix); probe feeds the
+//                         measured factor times back into the model
+//   --adapt               enable the adaptive serving controller: walks the
+//                         effective max-batch / linger / shed knobs toward
+//                         the latency target from windowed arrival-rate and
+//                         latency measurements (dist: tightens the gateway
+//                         admission bound instead)
+//   --target-p99-ms=X     adaptive latency target (default 50 ms)
+//   --adapt-window-ms=X   controller sampling window (default 250 ms)
 //   --backend=serial|threaded|dist, --threads=N
 //                         service engine (default serial). dist runs the
 //                         sharded multi-rank tier: requests route to the
@@ -62,6 +74,7 @@
 #include "serve/shard.hpp"
 #include "serve/workload.hpp"
 #include "sparse/ops.hpp"
+#include "tune/tuner.hpp"
 
 namespace {
 
@@ -77,6 +90,8 @@ using namespace gesp;
                "       [--linger-us=N] [--max-queue=N] [--cache-entries=N] "
                "[--cache-mb=N] [--per-column]\n"
                "       [--deadline-ms=X] [--no-shed] [--warm] "
+               "[--tune=off|model|probe] [--adapt]\n"
+               "       [--target-p99-ms=X] [--adapt-window-ms=X] "
                "[--backend=serial|threaded|dist] [--threads=N]\n"
                "       [--grid=PxQ] [--replication=N] [--shard-entries=N] "
                "[--shard-mb=N]\n"
@@ -155,6 +170,24 @@ int main(int argc, char** argv) {
       sopt.cache_max_bytes = static_cast<std::size_t>(std::atoll(v11)) << 20;
     } else if (const char* v12 = value_of(a, "--deadline-ms")) {
       deadline_ms = std::atof(v12);
+    } else if (const char* vt = value_of(a, "--tune")) {
+      if (std::strcmp(vt, "off") == 0)
+        tune::attach_tuner(sopt.solver, TunePolicy::off);
+      else if (std::strcmp(vt, "model") == 0)
+        tune::attach_tuner(sopt.solver, TunePolicy::model);
+      else if (std::strcmp(vt, "probe") == 0)
+        tune::attach_tuner(sopt.solver, TunePolicy::probe);
+      else
+        usage("unknown --tune value");
+    } else if (const char* vtp = value_of(a, "--target-p99-ms")) {
+      sopt.adapt_controller.target_p99_us = std::atof(vtp) * 1e3;
+      if (sopt.adapt_controller.target_p99_us <= 0)
+        usage("--target-p99-ms must be > 0");
+    } else if (const char* vaw = value_of(a, "--adapt-window-ms")) {
+      sopt.adapt_window_s = std::atof(vaw) * 1e-3;
+      if (sopt.adapt_window_s <= 0) usage("--adapt-window-ms must be > 0");
+    } else if (std::strcmp(a, "--adapt") == 0) {
+      sopt.adapt = true;
     } else if (const char* v13 = value_of(a, "--threads")) {
       sopt.solver.num_threads = std::atoi(v13);
     } else if (const char* v14 = value_of(a, "--backend")) {
@@ -353,6 +386,33 @@ int main(int argc, char** argv) {
                 "%lld retries after eviction, %lld recovered\n",
                 shed.load(), cval("serve.deadline_expired"),
                 cval("serve.retries"), recovered.load());
+    if (sopt.solver.tune.policy != TunePolicy::off)
+      std::printf("tuning      policy %s, %lld decisions, %lld applied\n",
+                  tune_policy_name(sopt.solver.tune.policy),
+                  cval("solver.tune.decisions"),
+                  cval("solver.tune.applied_events"));
+    if (sopt.adapt) {
+      const auto as = svc.adapt_stats();
+      const auto gval = [&](const char* name) -> long long {
+        const auto* g = reg.find_gauge(name);
+        return g ? static_cast<long long>(g->value()) : 0;
+      };
+      if (const auto* tier = svc.tier()) {
+        std::printf("adaptive    admit bound %zu of %zu after %lld windows "
+                    "(%lld trims, %lld relaxes)\n",
+                    tier->effective_admit(), sopt.max_queue,
+                    gval("serve.tune.windows"), gval("serve.tune.trims"),
+                    gval("serve.tune.relaxes"));
+      } else {
+        const auto k = svc.effective_knobs();
+        std::printf("adaptive    effective batch %d, linger %.0f us, shed "
+                    "%.2f after %lld windows (%lld trims, %lld relaxes)\n",
+                    static_cast<int>(k.max_batch), k.batch_linger_s * 1e6,
+                    k.shed_fraction, static_cast<long long>(as.windows),
+                    static_cast<long long>(as.trims),
+                    static_cast<long long>(as.relaxes));
+      }
+    }
     if (const auto* tier = svc.tier()) {
       std::printf("sharding    %lld shard requests, %lld replica hits "
                   "(%lld client-visible), %lld collective episodes\n",

@@ -28,6 +28,15 @@
 //   --recover             arm the graceful-degradation ladder (GESP ->
 //                         aggressive SMW -> unscaled -> threshold ->
 //                         panel-RRP -> GEPP) and print the recovery trail
+//   --tune=off|model|probe
+//                         consult the calibrated autotuner after symbolic
+//                         analysis: model applies the perf-model's pick of
+//                         block size / threads / schedule (grid shape and
+//                         look-ahead on the dist backend), probe also
+//                         feeds the measured factor time back into the
+//                         model; the report prints the decision and the
+//                         effective post-tuning configuration. Calibration
+//                         is cached across runs via GESP_TUNE_CACHE.
 //   --threads=N           shared-memory factorization threads (default 1)
 //   --backend=serial|threaded|dist
 //                         execution engine; every other flag (--recover,
@@ -90,6 +99,7 @@
 #include "sparse/ops.hpp"
 #include "sparse/testbed.hpp"
 #include "symbolic/symbolic.hpp"
+#include "tune/tuner.hpp"
 
 namespace {
 
@@ -106,6 +116,7 @@ using namespace gesp;
                "[--precision=double|single|mixed] [--max-block=N] "
                "[--relax=N] [--ferr] [--rcond] [--recover]\n"
                "       [--backend=serial|threaded|dist] [--threads=N] "
+               "[--tune=off|model|probe] "
                "[--repeat=N] [--delta[=FRAC]] [--dist=P] [--grid=RxC]\n"
                "       [--no-pipeline] [--no-edag] "
                "[--trace=FILE] [--metrics-json=FILE] [--list]\n"
@@ -163,6 +174,17 @@ sparse::CscMatrix<double> load_matrix(const std::string& path,
     return io::read_harwell_boeing(path);
   } catch (const Error&) {
     return io::read_matrix_market(path);
+  }
+}
+
+const char* schedule_name(numeric::Schedule s) {
+  switch (s) {
+    case numeric::Schedule::kForkJoin:
+      return "forkjoin";
+    case numeric::Schedule::kTaskDag:
+      return "taskdag";
+    default:
+      return "auto";
   }
 }
 
@@ -253,6 +275,16 @@ int main(int argc, char** argv) {
       opt.symbolic.max_block = std::atoi(v5);
     } else if (const char* v6 = value_of(a, "--relax")) {
       opt.symbolic.relax = std::atoi(v6);
+    } else if (const char* vt = value_of(a, "--tune")) {
+      const std::string s = vt;
+      if (s == "off")
+        tune::attach_tuner(opt, TunePolicy::off);
+      else if (s == "model")
+        tune::attach_tuner(opt, TunePolicy::model);
+      else if (s == "probe")
+        tune::attach_tuner(opt, TunePolicy::probe);
+      else
+        usage("unknown --tune value");
     } else if (const char* v7 = value_of(a, "--threads")) {
       opt.num_threads = std::atoi(v7);
       if (opt.num_threads < 1) usage("--threads must be >= 1");
@@ -431,6 +463,35 @@ int main(int argc, char** argv) {
                   precision_name(s.factor_precision),
                   static_cast<long long>(s.promotions),
                   s.promotions == 1 ? "" : "s");
+    if (s.tuning.consulted) {
+      const TuneDecision& d = s.tuning.decision;
+      std::printf("tuning      policy %s, %s: %s\n",
+                  tune_policy_name(s.tuning.policy),
+                  s.tuning.applied ? "applied" : "no change",
+                  d.note.c_str());
+      // The effective post-tuning configuration (== the request when the
+      // tuner kept it).
+      if (opt.backend == Backend::dist)
+        std::printf("effective   block %lld, grid %dx%d, %s\n",
+                    static_cast<long long>(
+                        d.max_block > 0 ? d.max_block
+                                        : s.tuning.default_block),
+                    d.pr, d.pc,
+                    d.pipelined ? "pipelined" : "strict order");
+      else
+        std::printf("effective   block %lld, threads %d, schedule %s, "
+                    "precision %s\n",
+                    static_cast<long long>(
+                        d.max_block > 0 ? d.max_block
+                                        : s.tuning.default_block),
+                    d.num_threads, schedule_name(d.schedule),
+                    precision_name(d.precision));
+      if (s.tuning.model_error > 0)
+        std::printf("model       predicted %.3gs (request %.3gs), actual "
+                    "%.3gs, error %.2fx\n",
+                    d.predicted_seconds, d.predicted_default_seconds,
+                    s.tuning.actual_factor_seconds, s.tuning.model_error);
+    }
     if (s.ferr >= 0) std::printf("ferr bound  %.3e\n", s.ferr);
     if (s.rcond >= 0) std::printf("rcond       %.3e\n", s.rcond);
     std::printf("factors     nnz(L+U) = %lld (fill %.1fx), %d supernodes\n",
